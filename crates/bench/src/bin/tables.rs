@@ -1,0 +1,59 @@
+//! Regenerate every table of the MACAW paper and print paper-vs-measured.
+//!
+//! Usage:
+//!   tables [--quick] [--seed N] [--table ID]
+//!
+//! `--quick` runs 100-second simulations instead of the paper's 500 s
+//! (2000 s for Table 11); `--table 5` runs only Table 5 (and `--table 1`
+//! also matches Figure 1).
+
+use macaw_bench::{all_tables, default_duration};
+use macaw_core::prelude::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dur = default_duration();
+    let mut seed = 1u64;
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => dur = SimDuration::from_secs(100),
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--table" => {
+                i += 1;
+                only = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: tables [--quick] [--seed N] [--table <n>]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    for t in all_tables(seed, dur) {
+        if let Some(want) = &only {
+            // Accept "5", "table 5", "Figure 1" — but never by substring
+            // ("1" must not also select Tables 10 and 11).
+            let id = t.id.to_lowercase();
+            let want = want.to_lowercase();
+            let matches = id == want || t.id.split_whitespace().last() == Some(want.as_str());
+            if !matches {
+                continue;
+            }
+        }
+        println!("{}", t.render());
+        let paper = t.paper_totals();
+        let meas = t.totals();
+        print!("totals:");
+        for (c, (p, m)) in t.columns.iter().zip(paper.iter().zip(&meas)) {
+            print!("  {c}: paper {p:.1} / measured {m:.1}");
+        }
+        println!("\n{}", "-".repeat(72));
+    }
+}

@@ -1,0 +1,53 @@
+//! Network assembly, paper topologies and statistics for the MACAW
+//! reproduction — the crate a downstream user actually drives.
+//!
+//! * [`network`] — the [`network::Network`]: owns the radio medium, the
+//!   per-station MAC state machines, the per-stream transports and traffic
+//!   generators, and the deterministic event loop that connects them.
+//! * [`scenario`] — the [`scenario::Scenario`] builder: place stations,
+//!   choose protocols, declare streams, schedule mobility / power / noise
+//!   actions, then `run()` to get a [`stats::RunReport`].
+//! * [`figures`] — constructors for every topology in the paper
+//!   (Figures 1–11), each parameterized by the protocol under test so a
+//!   table's two columns differ by exactly one toggle.
+//! * [`stats`] — per-stream throughput, Jain's fairness index, and the run
+//!   report the benches print.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use macaw_core::prelude::*;
+//!
+//! // One cell: two pads saturating the channel toward a base station.
+//! let mut sc = Scenario::new(42);
+//! let base = sc.add_station("B", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+//! let p1 = sc.add_station("P1", Point::new(-3.0, 0.0, 0.0), MacKind::Macaw);
+//! let p2 = sc.add_station("P2", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+//! sc.add_udp_stream("P1-B", p1, base, 64, 512);
+//! sc.add_udp_stream("P2-B", p2, base, 64, 512);
+//! let report = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(5));
+//! assert!(report.total_throughput() > 30.0);
+//! let fairness = report.jain_fairness();
+//! assert!(fairness > 0.95, "MACAW splits the channel fairly: {fairness}");
+//! ```
+
+pub mod figures;
+pub mod network;
+pub mod scenario;
+pub mod stats;
+
+pub use network::Network;
+pub use scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
+pub use stats::{RunReport, StreamReport};
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use crate::figures;
+    pub use crate::network::Network;
+    pub use crate::scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
+    pub use crate::stats::{RunReport, StreamReport};
+    pub use macaw_mac::{BackoffAlgo, BackoffSharing, MacConfig, QueueMode};
+    pub use macaw_phy::{CutoffMode, Point, PropagationConfig};
+    pub use macaw_sim::{SimDuration, SimTime};
+    pub use macaw_transport::TcpConfig;
+}

@@ -1,0 +1,964 @@
+//! The simulated network: radio medium + MAC state machines + transports +
+//! traffic generators, driven by one deterministic event loop.
+//!
+//! # Event model
+//!
+//! Four event families flow through a single totally-ordered queue:
+//! end-of-transmission (frame delivery), MAC timers, transport timers, and
+//! application packet arrivals, plus scheduled scenario actions (mobility,
+//! power, noise). End-of-transmission events carry a lower same-instant
+//! priority value than timers, so a station whose contention slot lands
+//! exactly where an overheard frame ends processes the frame — and defers —
+//! before its own timer would let it transmit.
+//!
+//! # Re-entrancy
+//!
+//! A received DATA packet can make a TCP receiver emit an ACK segment,
+//! which re-enters the very MAC that is currently borrowed. All such
+//! upcalls are therefore buffered as `Effect`s and drained iteratively
+//! after each event handler returns; nothing ever re-enters a borrowed
+//! state machine.
+
+use std::collections::VecDeque;
+
+use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
+use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
+use macaw_phy::{Medium, Point, StationId, TxId};
+use macaw_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
+use macaw_traffic::TrafficSource;
+use macaw_transport::{Segment, Transport, TransportContext};
+
+use crate::stats::{RunReport, StreamReport};
+
+/// A trace record emitted by [`Network::set_tracer`] hooks. Useful for
+/// debugging protocol dynamics and for building packet logs.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A frame finished transmitting; `clean` lists stations that received
+    /// it intact, `dirty` those that heard garbage.
+    Frame {
+        at: SimTime,
+        frame: Frame,
+        clean: Vec<usize>,
+        dirty: Vec<usize>,
+    },
+    /// A MAC timer fired at a station.
+    MacTimer { at: SimTime, station: usize },
+}
+
+/// Same-instant priority for end-of-transmission (frame delivery) events.
+const PRIO_TX_END: u8 = 0;
+/// Same-instant priority for every kind of timer.
+const PRIO_TIMER: u8 = 128;
+
+/// Which endpoint of a stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Side {
+    Sender,
+    Receiver,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Event {
+    /// A station's transmission ends; deliver to everyone in range.
+    TxEnd { station: usize },
+    /// A MAC timer fires (stale generations are ignored).
+    MacTimer { station: usize, gen: u64 },
+    /// A transport endpoint timer fires.
+    TransportTimer { stream: usize, side: Side, gen: u64 },
+    /// The application on a stream produces its next packet.
+    AppArrival { stream: usize },
+    /// A scheduled scenario action (mobility / power / noise) fires.
+    Action { index: usize },
+}
+
+/// Deferred upcalls, drained after each event handler returns.
+enum Effect {
+    MacEnqueue {
+        station: usize,
+        dst: Addr,
+        sdu: MacSdu,
+    },
+    DeliverUp {
+        station: usize,
+        sdu: MacSdu,
+    },
+    SendSegment {
+        stream: usize,
+        side: Side,
+        seg: Segment,
+    },
+    AppDeliver {
+        stream: usize,
+        bytes: u32,
+    },
+    Feedback {
+        station: usize,
+        fb: MacFeedback,
+    },
+}
+
+/// Scheduled scenario actions.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ActionKind {
+    /// Move a station (mobility).
+    Move { station: usize, to: Point },
+    /// Power a station off (the Figure-9 "pad is turned off").
+    PowerOff { station: usize },
+    /// Power a station back on.
+    PowerOn { station: usize },
+    /// Toggle a spatial noise emitter.
+    SetNoise { index: usize, active: bool },
+}
+
+pub(crate) struct ScheduledAction {
+    pub at: SimTime,
+    pub kind: ActionKind,
+}
+
+struct StationSlot {
+    name: String,
+    mac: Option<Box<dyn MacProtocol>>,
+    rng: SimRng,
+    mac_timer: Option<EventId>,
+    mac_timer_gen: u64,
+    /// The in-flight own transmission, if any.
+    tx: Option<(TxId, Frame)>,
+    on: bool,
+    /// Packets dropped by this station's MAC after retry exhaustion.
+    mac_drops: u64,
+}
+
+/// Where the packets of a stream go.
+enum StreamDst {
+    /// A single receiving station with a transport endpoint.
+    Unicast {
+        station: usize,
+        endpoint: Option<Box<dyn Transport>>,
+        timer: Option<EventId>,
+        timer_gen: u64,
+    },
+    /// A multicast group (§3.3.4): members just count deliveries.
+    Multicast { group: u32, members: Vec<usize> },
+}
+
+struct StreamState {
+    name: String,
+    id: StreamId,
+    src: usize,
+    dst: StreamDst,
+    bytes: u32,
+    source: Box<dyn TrafficSource>,
+    rng: SimRng,
+    start: SimTime,
+    stop: Option<SimTime>,
+    sender: Option<Box<dyn Transport>>,
+    sender_timer: Option<EventId>,
+    sender_timer_gen: u64,
+    offered: u64,
+    delivered: u64,
+    offered_measured: u64,
+    delivered_measured: u64,
+    delivered_bytes_measured: u64,
+}
+
+/// The assembled simulated network. Build one through
+/// [`crate::scenario::Scenario`].
+pub struct Network {
+    pub(crate) medium: Medium,
+    queue: EventQueue<Event>,
+    timing: Timing,
+    stations: Vec<StationSlot>,
+    streams: Vec<StreamState>,
+    actions: Vec<ScheduledAction>,
+    effects: VecDeque<Effect>,
+    warmup_end: SimTime,
+    /// Total on-air time of DATA frames after warm-up (utilization).
+    data_air_ns: u64,
+    /// Total on-air time of all frames after warm-up.
+    air_ns: u64,
+    tracer: Option<Box<dyn FnMut(TraceEvent)>>,
+}
+
+impl Network {
+    pub(crate) fn new(medium: Medium, timing: Timing) -> Self {
+        Network {
+            medium,
+            queue: EventQueue::new(),
+            timing,
+            stations: Vec::new(),
+            streams: Vec::new(),
+            actions: Vec::new(),
+            effects: VecDeque::new(),
+            warmup_end: SimTime::ZERO,
+            data_air_ns: 0,
+            air_ns: 0,
+            tracer: None,
+        }
+    }
+
+    /// Install a tracer receiving a [`TraceEvent`] per frame and MAC timer.
+    pub fn set_tracer(&mut self, tracer: Box<dyn FnMut(TraceEvent)>) {
+        self.tracer = Some(tracer);
+    }
+
+    pub(crate) fn add_station(
+        &mut self,
+        name: String,
+        mac: Box<dyn MacProtocol>,
+        rng: SimRng,
+    ) -> usize {
+        self.stations.push(StationSlot {
+            name,
+            mac: Some(mac),
+            rng,
+            mac_timer: None,
+            mac_timer_gen: 0,
+            tx: None,
+            on: true,
+            mac_drops: 0,
+        });
+        self.stations.len() - 1
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add_unicast_stream(
+        &mut self,
+        name: String,
+        id: StreamId,
+        src: usize,
+        dst: usize,
+        bytes: u32,
+        source: Box<dyn TrafficSource>,
+        rng: SimRng,
+        start: SimTime,
+        stop: Option<SimTime>,
+        sender: Box<dyn Transport>,
+        receiver: Box<dyn Transport>,
+    ) -> usize {
+        self.streams.push(StreamState {
+            name,
+            id,
+            src,
+            dst: StreamDst::Unicast {
+                station: dst,
+                endpoint: Some(receiver),
+                timer: None,
+                timer_gen: 0,
+            },
+            bytes,
+            source,
+            rng,
+            start,
+            stop,
+            sender: Some(sender),
+            sender_timer: None,
+            sender_timer_gen: 0,
+            offered: 0,
+            delivered: 0,
+            offered_measured: 0,
+            delivered_measured: 0,
+            delivered_bytes_measured: 0,
+        });
+        self.streams.len() - 1
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add_multicast_stream(
+        &mut self,
+        name: String,
+        id: StreamId,
+        src: usize,
+        group: u32,
+        members: Vec<usize>,
+        bytes: u32,
+        source: Box<dyn TrafficSource>,
+        rng: SimRng,
+        start: SimTime,
+        stop: Option<SimTime>,
+        sender: Box<dyn Transport>,
+    ) -> usize {
+        self.streams.push(StreamState {
+            name,
+            id,
+            src,
+            dst: StreamDst::Multicast { group, members },
+            bytes,
+            source,
+            rng,
+            start,
+            stop,
+            sender: Some(sender),
+            sender_timer: None,
+            sender_timer_gen: 0,
+            offered: 0,
+            delivered: 0,
+            offered_measured: 0,
+            delivered_measured: 0,
+            delivered_bytes_measured: 0,
+        });
+        self.streams.len() - 1
+    }
+
+    pub(crate) fn schedule_action(&mut self, action: ScheduledAction) {
+        self.actions.push(action);
+    }
+
+    /// Prime first arrivals and scheduled actions. Called once before
+    /// running.
+    pub(crate) fn prime(&mut self) {
+        for i in 0..self.streams.len() {
+            let st = &mut self.streams[i];
+            // Random initial phase so same-rate CBR streams are not
+            // pathologically synchronized (the paper's generators are
+            // independent devices).
+            let gap = st.source.next_gap(&mut st.rng);
+            let phase =
+                SimDuration::from_nanos(st.rng.uniform_inclusive(0, gap.as_nanos().max(1) - 1));
+            self.queue
+                .schedule(st.start + phase, Event::AppArrival { stream: i });
+        }
+        for (i, a) in self.actions.iter().enumerate() {
+            self.queue.schedule(a.at, Event::Action { index: i });
+        }
+    }
+
+    /// Set the end of the statistics warm-up window.
+    pub(crate) fn set_warmup(&mut self, end: SimTime) {
+        self.warmup_end = end;
+    }
+
+    /// Current simulated time (time of the event being/last handled).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Run until `end`, then stop (events beyond `end` stay queued).
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.handle(ev);
+            self.drain_effects();
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::TxEnd { station } => self.handle_tx_end(station),
+            Event::MacTimer { station, gen } => {
+                if self.stations[station].mac_timer_gen != gen {
+                    return; // stale
+                }
+                self.stations[station].mac_timer = None;
+                if !self.stations[station].on {
+                    return;
+                }
+                if let Some(t) = self.tracer.as_mut() {
+                    t(TraceEvent::MacTimer {
+                        at: self.queue.now(),
+                        station,
+                    });
+                }
+                self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
+            }
+            Event::TransportTimer { stream, side, gen } => {
+                let current = match side {
+                    Side::Sender => self.streams[stream].sender_timer_gen,
+                    Side::Receiver => match &self.streams[stream].dst {
+                        StreamDst::Unicast { timer_gen, .. } => *timer_gen,
+                        StreamDst::Multicast { .. } => return,
+                    },
+                };
+                if current != gen {
+                    return; // stale
+                }
+                self.with_transport(stream, side, |tp, ctx| tp.on_timer(ctx));
+            }
+            Event::AppArrival { stream } => self.handle_app_arrival(stream),
+            Event::Action { index } => self.handle_action(self.actions[index].kind),
+        }
+    }
+
+    fn handle_tx_end(&mut self, station: usize) {
+        let (tx, frame) = self.stations[station]
+            .tx
+            .take()
+            .expect("TxEnd without in-flight transmission");
+        let now = self.queue.now();
+        let deliveries = self.medium.end_tx(tx, now);
+
+        // Utilization accounting.
+        if now >= self.warmup_end {
+            let dur = self.timing.frame_duration(&frame).as_nanos();
+            self.air_ns += dur;
+            if frame.kind == macaw_mac::frames::FrameKind::Data {
+                self.data_air_ns += dur;
+            }
+        }
+
+        if let Some(t) = self.tracer.as_mut() {
+            t(TraceEvent::Frame {
+                at: now,
+                frame,
+                clean: deliveries
+                    .iter()
+                    .filter(|d| d.clean)
+                    .map(|d| d.station.0)
+                    .collect(),
+                dirty: deliveries
+                    .iter()
+                    .filter(|d| !d.clean)
+                    .map(|d| d.station.0)
+                    .collect(),
+            });
+        }
+        // Receivers first (reception completes as the carrier drops), then
+        // the transmitter's own continuation.
+        for d in deliveries {
+            let rx = d.station.0;
+            if d.clean && self.stations[rx].on {
+                self.with_mac(rx, |mac, ctx| mac.on_receive(ctx, &frame));
+            }
+        }
+        if self.stations[station].on {
+            self.with_mac(station, |mac, ctx| mac.on_tx_end(ctx));
+        }
+    }
+
+    fn handle_app_arrival(&mut self, stream: usize) {
+        let now = self.queue.now();
+        let st = &mut self.streams[stream];
+        if let Some(stop) = st.stop {
+            if now > stop {
+                return; // stream has ended; do not reschedule
+            }
+        }
+        // Schedule the next arrival first (the generator never stops by
+        // itself; `stop` gates it above).
+        let gap = st.source.next_gap(&mut st.rng);
+        let bytes = st.bytes;
+        self.queue.schedule(now + gap, Event::AppArrival { stream });
+
+        let st = &mut self.streams[stream];
+        st.offered += 1;
+        if now >= self.warmup_end {
+            st.offered_measured += 1;
+        }
+        let src_on = self.stations[st.src].on;
+        if src_on {
+            self.with_transport(stream, Side::Sender, |tp, ctx| tp.on_app_send(ctx, bytes));
+        }
+    }
+
+    fn handle_action(&mut self, kind: ActionKind) {
+        match kind {
+            ActionKind::Move { station, to } => {
+                self.medium.set_position(StationId(station), to);
+            }
+            ActionKind::PowerOff { station } => {
+                let slot = &mut self.stations[station];
+                slot.on = false;
+                if let Some(_id) = slot.mac_timer.take() {
+                    slot.mac_timer_gen += 1;
+                }
+            }
+            ActionKind::PowerOn { station } => {
+                self.stations[station].on = true;
+            }
+            ActionKind::SetNoise { index, active } => {
+                self.medium.set_noise_active(index, active);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Borrow juggling: take the state machine out of its slot, build a
+    // context from the remaining disjoint fields, call, put back.
+    // ------------------------------------------------------------------
+
+    fn with_mac(&mut self, station: usize, f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx)) {
+        let mut mac = self.stations[station]
+            .mac
+            .take()
+            .expect("MAC re-entered while borrowed");
+        let now = self.queue.now();
+        {
+            let slot = &mut self.stations[station];
+            let mut ctx = CoreMacCtx {
+                now,
+                station,
+                timing: self.timing,
+                queue: &mut self.queue,
+                medium: &mut self.medium,
+                rng: &mut slot.rng,
+                mac_timer: &mut slot.mac_timer,
+                mac_timer_gen: &mut slot.mac_timer_gen,
+                tx: &mut slot.tx,
+                effects: &mut self.effects,
+            };
+            f(mac.as_mut(), &mut ctx);
+        }
+        self.stations[station].mac = Some(mac);
+    }
+
+    fn with_transport(
+        &mut self,
+        stream: usize,
+        side: Side,
+        f: impl FnOnce(&mut dyn Transport, &mut CoreTransportCtx),
+    ) {
+        let now = self.queue.now();
+        let st = &mut self.streams[stream];
+        let (mut tp, timer, gen) = match side {
+            Side::Sender => (
+                st.sender.take().expect("sender endpoint re-entered"),
+                &mut st.sender_timer,
+                &mut st.sender_timer_gen,
+            ),
+            Side::Receiver => match &mut st.dst {
+                StreamDst::Unicast {
+                    endpoint,
+                    timer,
+                    timer_gen,
+                    ..
+                } => (
+                    endpoint.take().expect("receiver endpoint re-entered"),
+                    timer,
+                    timer_gen,
+                ),
+                StreamDst::Multicast { .. } => {
+                    panic!("multicast streams have no receiver endpoint")
+                }
+            },
+        };
+        {
+            let mut ctx = CoreTransportCtx {
+                now,
+                stream,
+                side,
+                queue: &mut self.queue,
+                timer,
+                timer_gen: gen,
+                effects: &mut self.effects,
+            };
+            f(tp.as_mut(), &mut ctx);
+        }
+        let st = &mut self.streams[stream];
+        match side {
+            Side::Sender => st.sender = Some(tp),
+            Side::Receiver => {
+                if let StreamDst::Unicast { endpoint, .. } = &mut st.dst {
+                    *endpoint = Some(tp);
+                }
+            }
+        }
+    }
+
+    fn drain_effects(&mut self) {
+        while let Some(e) = self.effects.pop_front() {
+            match e {
+                Effect::MacEnqueue { station, dst, sdu } => {
+                    if self.stations[station].on {
+                        self.with_mac(station, |mac, ctx| mac.enqueue(ctx, dst, sdu));
+                    }
+                }
+                Effect::DeliverUp { station, sdu } => self.route_up(station, sdu),
+                Effect::SendSegment { stream, side, seg } => {
+                    let st = &self.streams[stream];
+                    let (from_station, to_addr) = match side {
+                        Side::Sender => match &st.dst {
+                            StreamDst::Unicast { station, .. } => {
+                                (st.src, Addr::Unicast(*station))
+                            }
+                            StreamDst::Multicast { group, .. } => {
+                                (st.src, Addr::Multicast(*group))
+                            }
+                        },
+                        Side::Receiver => match &st.dst {
+                            StreamDst::Unicast { station, .. } => {
+                                (*station, Addr::Unicast(st.src))
+                            }
+                            StreamDst::Multicast { .. } => {
+                                unreachable!("multicast receivers do not send")
+                            }
+                        },
+                    };
+                    let (transport_seq, bytes) = seg.encode();
+                    self.effects.push_back(Effect::MacEnqueue {
+                        station: from_station,
+                        dst: to_addr,
+                        sdu: MacSdu {
+                            stream: st.id,
+                            transport_seq,
+                            bytes,
+                        },
+                    });
+                }
+                Effect::AppDeliver { stream, bytes } => {
+                    let now = self.queue.now();
+                    let st = &mut self.streams[stream];
+                    st.delivered += 1;
+                    if now >= self.warmup_end {
+                        st.delivered_measured += 1;
+                        st.delivered_bytes_measured += bytes as u64;
+                    }
+                }
+                Effect::Feedback { station, fb } => {
+                    if let MacFeedback::Dropped { .. } = fb {
+                        self.stations[station].mac_drops += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Route a MAC-delivered SDU to the right transport endpoint.
+    fn route_up(&mut self, station: usize, sdu: MacSdu) {
+        let Some(stream) = self.streams.iter().position(|s| s.id == sdu.stream) else {
+            debug_assert!(false, "SDU for unknown stream {:?}", sdu.stream);
+            return;
+        };
+        let seg = Segment::decode(sdu.transport_seq, sdu.bytes);
+        enum Route {
+            ToReceiver,
+            ToSender,
+            McastDeliver,
+            Drop,
+        }
+        let route = {
+            let st = &self.streams[stream];
+            match &st.dst {
+                StreamDst::Unicast {
+                    station: dst_station,
+                    ..
+                } => {
+                    if station == *dst_station {
+                        Route::ToReceiver
+                    } else if station == st.src {
+                        Route::ToSender
+                    } else {
+                        // An SDU surfacing anywhere else would be a MAC bug;
+                        // the MAC only delivers frames addressed to it.
+                        Route::Drop
+                    }
+                }
+                StreamDst::Multicast { members, .. } => {
+                    if members.contains(&station) {
+                        Route::McastDeliver
+                    } else {
+                        Route::Drop
+                    }
+                }
+            }
+        };
+        match route {
+            Route::ToReceiver => {
+                self.with_transport(stream, Side::Receiver, |tp, ctx| tp.on_segment(ctx, seg));
+            }
+            Route::ToSender => {
+                self.with_transport(stream, Side::Sender, |tp, ctx| tp.on_segment(ctx, seg));
+            }
+            Route::McastDeliver => {
+                self.effects.push_back(Effect::AppDeliver {
+                    stream,
+                    bytes: sdu.bytes,
+                });
+            }
+            Route::Drop => {}
+        }
+    }
+
+    /// Produce the run report for `[warmup_end, end]`.
+    pub fn report(&self, end: SimTime) -> RunReport {
+        let measured = end.saturating_since(self.warmup_end).as_secs_f64();
+        let streams = self
+            .streams
+            .iter()
+            .map(|s| {
+                let dst_name = match &s.dst {
+                    StreamDst::Unicast { station, .. } => self.stations[*station].name.clone(),
+                    StreamDst::Multicast { group, .. } => format!("mcast:{group}"),
+                };
+                StreamReport {
+                    name: s.name.clone(),
+                    src: self.stations[s.src].name.clone(),
+                    dst: dst_name,
+                    offered: s.offered_measured,
+                    delivered: s.delivered_measured,
+                    offered_pps: if measured > 0.0 {
+                        s.offered_measured as f64 / measured
+                    } else {
+                        0.0
+                    },
+                    throughput_pps: if measured > 0.0 {
+                        s.delivered_measured as f64 / measured
+                    } else {
+                        0.0
+                    },
+                    delivered_bytes: s.delivered_bytes_measured,
+                }
+            })
+            .collect();
+        let mac_stats = self
+            .stations
+            .iter()
+            .map(|s| {
+                s.mac
+                    .as_ref()
+                    .and_then(|m| m.mac_stats().copied())
+            })
+            .collect();
+        RunReport {
+            measured_secs: measured,
+            streams,
+            station_names: self.stations.iter().map(|s| s.name.clone()).collect(),
+            mac_stats,
+            data_air_secs: self.data_air_ns as f64 / 1e9,
+            total_air_secs: self.air_ns as f64 / 1e9,
+        }
+    }
+
+    /// Number of stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Immutable access to the radio medium (diagnostics / tests).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+}
+
+// ----------------------------------------------------------------------
+// Context implementations
+// ----------------------------------------------------------------------
+
+struct CoreMacCtx<'a> {
+    now: SimTime,
+    station: usize,
+    timing: Timing,
+    queue: &'a mut EventQueue<Event>,
+    medium: &'a mut Medium,
+    rng: &'a mut SimRng,
+    mac_timer: &'a mut Option<EventId>,
+    mac_timer_gen: &'a mut u64,
+    tx: &'a mut Option<(TxId, Frame)>,
+    effects: &'a mut VecDeque<Effect>,
+}
+
+impl MacContext for CoreMacCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn set_timer(&mut self, delay: SimDuration) {
+        if let Some(id) = self.mac_timer.take() {
+            self.queue.cancel(id);
+        }
+        *self.mac_timer_gen += 1;
+        let id = self.queue.schedule_with_priority(
+            self.now + delay,
+            PRIO_TIMER,
+            Event::MacTimer {
+                station: self.station,
+                gen: *self.mac_timer_gen,
+            },
+        );
+        *self.mac_timer = Some(id);
+    }
+
+    fn clear_timer(&mut self) {
+        if let Some(id) = self.mac_timer.take() {
+            self.queue.cancel(id);
+        }
+        *self.mac_timer_gen += 1;
+    }
+
+    fn transmit(&mut self, frame: Frame) {
+        assert!(self.tx.is_none(), "station already transmitting");
+        let dur = self.timing.frame_duration(&frame);
+        let tx = self.medium.start_tx(StationId(self.station), self.now);
+        self.queue.schedule_with_priority(
+            self.now + dur,
+            PRIO_TX_END,
+            Event::TxEnd {
+                station: self.station,
+            },
+        );
+        *self.tx = Some((tx, frame));
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn carrier_busy(&self) -> bool {
+        self.medium.carrier_busy(StationId(self.station))
+    }
+
+    fn deliver_up(&mut self, _src: Addr, sdu: MacSdu) {
+        self.effects.push_back(Effect::DeliverUp {
+            station: self.station,
+            sdu,
+        });
+    }
+
+    fn feedback(&mut self, event: MacFeedback) {
+        self.effects.push_back(Effect::Feedback {
+            station: self.station,
+            fb: event,
+        });
+    }
+}
+
+struct CoreTransportCtx<'a> {
+    now: SimTime,
+    stream: usize,
+    side: Side,
+    queue: &'a mut EventQueue<Event>,
+    timer: &'a mut Option<EventId>,
+    timer_gen: &'a mut u64,
+    effects: &'a mut VecDeque<Effect>,
+}
+
+impl TransportContext for CoreTransportCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn set_timer(&mut self, delay: SimDuration) {
+        if let Some(id) = self.timer.take() {
+            self.queue.cancel(id);
+        }
+        *self.timer_gen += 1;
+        let id = self.queue.schedule_with_priority(
+            self.now + delay,
+            PRIO_TIMER,
+            Event::TransportTimer {
+                stream: self.stream,
+                side: self.side,
+                gen: *self.timer_gen,
+            },
+        );
+        *self.timer = Some(id);
+    }
+
+    fn clear_timer(&mut self) {
+        if let Some(id) = self.timer.take() {
+            self.queue.cancel(id);
+        }
+        *self.timer_gen += 1;
+    }
+
+    fn send_segment(&mut self, seg: Segment) {
+        self.effects.push_back(Effect::SendSegment {
+            stream: self.stream,
+            side: self.side,
+            seg,
+        });
+    }
+
+    fn deliver_app(&mut self, _seq: u64, bytes: u32) {
+        self.effects.push_back(Effect::AppDeliver {
+            stream: self.stream,
+            bytes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MacKind, Scenario};
+    use macaw_phy::Point;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn one_cell() -> Scenario {
+        let mut sc = Scenario::new(4);
+        let b = sc.add_station("B", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+        let p = sc.add_station("P", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_udp_stream("P-B", p, b, 16, 512);
+        sc
+    }
+
+    #[test]
+    fn tracer_sees_the_full_exchange() {
+        let mut net = one_cell().build();
+        let kinds = Rc::new(RefCell::new(Vec::new()));
+        let sink = kinds.clone();
+        net.set_tracer(Box::new(move |e| {
+            if let TraceEvent::Frame { frame, clean, .. } = e {
+                sink.borrow_mut().push((frame.kind, clean.len()));
+            }
+        }));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let kinds = kinds.borrow();
+        use macaw_mac::frames::FrameKind::*;
+        for want in [Rts, Cts, Ds, Data, Ack] {
+            assert!(
+                kinds.iter().any(|(k, n)| *k == want && *n == 1),
+                "expected a cleanly received {want:?} in the trace"
+            );
+        }
+        // MACAW order within the first exchange.
+        let seq: Vec<_> = kinds.iter().map(|(k, _)| *k).take(5).collect();
+        assert_eq!(seq, vec![Rts, Cts, Ds, Data, Ack]);
+    }
+
+    #[test]
+    fn utilization_accounting_tracks_air_time() {
+        let mut net = one_cell().build();
+        net.set_warmup(SimTime::ZERO);
+        let end = SimTime::ZERO + SimDuration::from_secs(10);
+        net.run_until(end);
+        let r = net.report(end);
+        // 16 pps of 16 ms data packets ≈ 25.6% data utilization.
+        assert!(
+            (r.data_utilization() - 0.256).abs() < 0.03,
+            "data utilization = {}",
+            r.data_utilization()
+        );
+        assert!(r.total_air_secs > r.data_air_secs, "control frames count too");
+    }
+
+    #[test]
+    fn report_names_match_scenario() {
+        let mut net = one_cell().build();
+        let end = SimTime::ZERO + SimDuration::from_secs(1);
+        net.run_until(end);
+        let r = net.report(end);
+        assert_eq!(r.station_names, vec!["B".to_string(), "P".to_string()]);
+        assert_eq!(r.streams[0].name, "P-B");
+        assert_eq!(r.streams[0].src, "P");
+        assert_eq!(r.streams[0].dst, "B");
+    }
+
+    #[test]
+    fn report_before_warmup_window_is_empty() {
+        let mut net = one_cell().build();
+        net.set_warmup(SimTime::ZERO + SimDuration::from_secs(100));
+        let end = SimTime::ZERO + SimDuration::from_secs(10);
+        net.run_until(end);
+        let r = net.report(end);
+        assert_eq!(r.streams[0].delivered, 0);
+        assert_eq!(r.measured_secs, 0.0);
+        assert_eq!(r.streams[0].throughput_pps, 0.0, "no division by zero");
+    }
+
+    #[test]
+    fn mac_stats_surface_through_the_report() {
+        let mut net = one_cell().build();
+        let end = SimTime::ZERO + SimDuration::from_secs(5);
+        net.run_until(end);
+        let r = net.report(end);
+        let pad = r.mac_stats[1].expect("WMac exposes stats");
+        assert!(pad.rts_sent > 0);
+        assert!(pad.data_sent > 0);
+        let base = r.mac_stats[0].expect("base stats");
+        assert!(base.cts_sent > 0 && base.ack_sent > 0);
+    }
+}

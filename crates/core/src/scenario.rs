@@ -1,0 +1,582 @@
+//! The scenario builder: declarative construction of a simulated network.
+//!
+//! A [`Scenario`] collects stations, protocol choices, streams, noise and
+//! scheduled actions, then [`Scenario::build`]s a [`Network`] (or
+//! [`Scenario::run`]s it directly). Everything is derived deterministically
+//! from the scenario seed, so `(Scenario, seed)` fully determines a run.
+
+use macaw_mac::config::MacConfig;
+use macaw_mac::context::MacProtocol;
+use macaw_mac::csma::{Csma, CsmaConfig};
+use macaw_mac::frames::{Addr, StreamId, Timing};
+use macaw_mac::wmac::WMac;
+use macaw_phy::{Medium, Point, Propagation, PropagationConfig, StationId};
+use macaw_sim::{SimDuration, SimRng, SimTime};
+use macaw_traffic::{Cbr, Poisson, TrafficSource};
+use macaw_transport::{TcpConfig, TcpReceiver, TcpSender, Transport, UdpReceiver, UdpSender};
+
+use crate::network::{ActionKind, Network, ScheduledAction};
+use crate::stats::RunReport;
+
+/// Which MAC protocol a station runs.
+#[derive(Clone, Copy, Debug)]
+pub enum MacKind {
+    /// Appendix A MACA (RTS-CTS-DATA, BEB, no sharing, single FIFO).
+    Maca,
+    /// Appendix B MACAW (RTS-CTS-DS-DATA-ACK, RRTS, MILD, per-destination
+    /// backoff, per-stream queues).
+    Macaw,
+    /// Any point in the design space (ablations).
+    Custom(MacConfig),
+    /// The carrier-sense baseline of §2.2.
+    Csma(CsmaConfig),
+}
+
+impl MacKind {
+    fn build(self, addr: Addr, groups: &[u32]) -> Box<dyn MacProtocol> {
+        match self {
+            MacKind::Maca => {
+                let mut m = WMac::new(addr, MacConfig::maca());
+                for g in groups {
+                    m.join_group(*g);
+                }
+                Box::new(m)
+            }
+            MacKind::Macaw => {
+                let mut m = WMac::new(addr, MacConfig::macaw());
+                for g in groups {
+                    m.join_group(*g);
+                }
+                Box::new(m)
+            }
+            MacKind::Custom(cfg) => {
+                let mut m = WMac::new(addr, cfg);
+                for g in groups {
+                    m.join_group(*g);
+                }
+                Box::new(m)
+            }
+            MacKind::Csma(cfg) => Box::new(Csma::new(addr, cfg)),
+        }
+    }
+
+    fn timing(&self) -> Timing {
+        match self {
+            MacKind::Maca | MacKind::Macaw => Timing::default(),
+            MacKind::Custom(cfg) => cfg.timing,
+            MacKind::Csma(cfg) => cfg.timing,
+        }
+    }
+}
+
+/// Which transport a stream uses.
+#[derive(Clone, Copy, Debug)]
+pub enum TransportKind {
+    /// Fire-and-forget datagrams (most of the paper's experiments).
+    Udp,
+    /// The simplified TCP of §3.3.1 (Tables 4 and 11).
+    Tcp(TcpConfig),
+}
+
+/// The traffic model for a stream.
+#[derive(Clone, Copy, Debug)]
+pub enum SourceKind {
+    /// Constant bit rate at `pps` packets per second (the paper's model).
+    Cbr { pps: u64 },
+    /// Poisson arrivals with mean `pps` packets per second.
+    Poisson { pps: f64 },
+}
+
+/// Where a stream's packets go.
+#[derive(Clone, Debug)]
+pub enum Dest {
+    /// A single receiving station.
+    Station(usize),
+    /// A multicast group and its member stations (§3.3.4; UDP only).
+    Group { group: u32, members: Vec<usize> },
+}
+
+/// A declared traffic stream.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Label used in reports (the paper's "P1-B" style).
+    pub name: String,
+    /// Source station index.
+    pub src: usize,
+    /// Destination.
+    pub dst: Dest,
+    /// Transport protocol.
+    pub transport: TransportKind,
+    /// Traffic model.
+    pub source: SourceKind,
+    /// Application packet size in bytes (the paper uses 512).
+    pub bytes: u32,
+    /// Stream start time.
+    pub start: SimTime,
+    /// Stream stop time (None = runs to the end).
+    pub stop: Option<SimTime>,
+}
+
+struct StationSpec {
+    name: String,
+    pos: Point,
+    mac: MacKind,
+    groups: Vec<u32>,
+    rx_error_rate: f64,
+    tx_power: f64,
+}
+
+/// Declarative scenario description. See the crate docs for an example.
+pub struct Scenario {
+    seed: u64,
+    prop: PropagationConfig,
+    stations: Vec<StationSpec>,
+    streams: Vec<StreamSpec>,
+    noise: Vec<(Point, f64, bool)>,
+    actions: Vec<ScheduledAction>,
+}
+
+impl Scenario {
+    /// Start an empty scenario with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Scenario {
+            seed,
+            prop: PropagationConfig::default(),
+            stations: Vec::new(),
+            streams: Vec::new(),
+            noise: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Override the propagation model (default: the paper's near-field
+    /// model with a hard out-of-range cutoff).
+    pub fn propagation(&mut self, cfg: PropagationConfig) -> &mut Self {
+        self.prop = cfg;
+        self
+    }
+
+    /// Add a station; returns its index. Positions are in feet, with
+    /// base stations conventionally at z = 6 and pads at z = 0 (the paper's
+    /// "pads are 6 feet below the base station height").
+    pub fn add_station(&mut self, name: &str, pos: Point, mac: MacKind) -> usize {
+        self.stations.push(StationSpec {
+            name: name.to_string(),
+            pos,
+            mac,
+            groups: Vec::new(),
+            rx_error_rate: 0.0,
+            tx_power: 1.0,
+        });
+        self.stations.len() - 1
+    }
+
+    /// Subscribe a station to a multicast group.
+    pub fn join_group(&mut self, station: usize, group: u32) -> &mut Self {
+        self.stations[station].groups.push(group);
+        self
+    }
+
+    /// Set the per-packet noise corruption probability at a station
+    /// (§3.3.1's intermittent-noise model).
+    pub fn set_rx_error_rate(&mut self, station: usize, p: f64) -> &mut Self {
+        self.stations[station].rx_error_rate = p;
+        self
+    }
+
+    /// Set a station's transmit power multiplier (§4 extension; default
+    /// 1.0 — the paper's stations all transmit at the same strength, and
+    /// unequal powers break the symmetry the CTS mechanism relies on).
+    pub fn set_tx_power(&mut self, station: usize, power: f64) -> &mut Self {
+        self.stations[station].tx_power = power;
+        self
+    }
+
+    /// Add a spatial noise emitter; returns its index.
+    pub fn add_noise_source(&mut self, pos: Point, power: f64, active: bool) -> usize {
+        self.noise.push((pos, power, active));
+        self.noise.len() - 1
+    }
+
+    /// Declare a stream (full control). Returns the stream index.
+    pub fn add_stream(&mut self, spec: StreamSpec) -> usize {
+        self.validate_stream(&spec);
+        self.streams.push(spec);
+        self.streams.len() - 1
+    }
+
+    /// Sugar: a UDP CBR stream from `src` to `dst` starting at t = 0.
+    pub fn add_udp_stream(
+        &mut self,
+        name: &str,
+        src: usize,
+        dst: usize,
+        pps: u64,
+        bytes: u32,
+    ) -> usize {
+        self.add_stream(StreamSpec {
+            name: name.to_string(),
+            src,
+            dst: Dest::Station(dst),
+            transport: TransportKind::Udp,
+            source: SourceKind::Cbr { pps },
+            bytes,
+            start: SimTime::ZERO,
+            stop: None,
+        })
+    }
+
+    /// Sugar: a TCP CBR stream from `src` to `dst` starting at t = 0.
+    pub fn add_tcp_stream(
+        &mut self,
+        name: &str,
+        src: usize,
+        dst: usize,
+        pps: u64,
+        bytes: u32,
+    ) -> usize {
+        self.add_stream(StreamSpec {
+            name: name.to_string(),
+            src,
+            dst: Dest::Station(dst),
+            transport: TransportKind::Tcp(TcpConfig::default()),
+            source: SourceKind::Cbr { pps },
+            bytes,
+            start: SimTime::ZERO,
+            stop: None,
+        })
+    }
+
+    /// Schedule a station move (mobility) at time `at`.
+    pub fn move_station_at(&mut self, at: SimTime, station: usize, to: Point) -> &mut Self {
+        self.actions.push(ScheduledAction {
+            at,
+            kind: ActionKind::Move { station, to },
+        });
+        self
+    }
+
+    /// Schedule a station power-off at time `at` (the Figure-9 experiment).
+    pub fn power_off_at(&mut self, at: SimTime, station: usize) -> &mut Self {
+        self.actions.push(ScheduledAction {
+            at,
+            kind: ActionKind::PowerOff { station },
+        });
+        self
+    }
+
+    /// Schedule a station power-on at time `at`.
+    pub fn power_on_at(&mut self, at: SimTime, station: usize) -> &mut Self {
+        self.actions.push(ScheduledAction {
+            at,
+            kind: ActionKind::PowerOn { station },
+        });
+        self
+    }
+
+    /// Schedule a noise emitter toggle at time `at`.
+    pub fn set_noise_at(&mut self, at: SimTime, index: usize, active: bool) -> &mut Self {
+        self.actions.push(ScheduledAction {
+            at,
+            kind: ActionKind::SetNoise { index, active },
+        });
+        self
+    }
+
+    fn validate_stream(&self, spec: &StreamSpec) {
+        assert!(spec.src < self.stations.len(), "unknown source station");
+        match &spec.dst {
+            Dest::Station(d) => {
+                assert!(*d < self.stations.len(), "unknown destination station");
+                assert_ne!(spec.src, *d, "stream to self");
+            }
+            Dest::Group { members, .. } => {
+                assert!(
+                    matches!(spec.transport, TransportKind::Udp),
+                    "multicast streams are UDP only"
+                );
+                assert!(!members.is_empty(), "multicast stream without members");
+                for m in members {
+                    assert!(*m < self.stations.len(), "unknown group member");
+                }
+            }
+        }
+        assert!(spec.bytes > 0, "zero-byte packets");
+    }
+
+    /// Assemble the network.
+    pub fn build(mut self) -> Network {
+        let root = SimRng::new(self.seed);
+        // Multicast group membership comes from both explicit joins and
+        // stream declarations.
+        for si in 0..self.streams.len() {
+            if let Dest::Group { group, members } = &self.streams[si].dst {
+                let (g, ms) = (*group, members.clone());
+                for m in ms {
+                    if !self.stations[m].groups.contains(&g) {
+                        self.stations[m].groups.push(g);
+                    }
+                }
+            }
+        }
+
+        let timing = self
+            .stations
+            .first()
+            .map(|s| s.mac.timing())
+            .unwrap_or_default();
+        let mut medium = Medium::new(Propagation::new(self.prop), root.fork(0xA11CE));
+        for (i, s) in self.stations.iter().enumerate() {
+            let id = medium.add_station(s.pos);
+            debug_assert_eq!(id, StationId(i));
+            medium.set_rx_error_rate(id, s.rx_error_rate);
+            if s.tx_power != 1.0 {
+                medium.set_tx_power(id, s.tx_power);
+            }
+        }
+        for (pos, power, active) in &self.noise {
+            let idx = medium.add_noise_source(*pos, *power);
+            medium.set_noise_active(idx, *active);
+        }
+        let mut net = Network::new(medium, timing);
+
+        for (i, s) in self.stations.iter().enumerate() {
+            let mac = s.mac.build(Addr::Unicast(i), &s.groups);
+            net.add_station(s.name.clone(), mac, root.fork(0x57A7_0000 + i as u64));
+        }
+
+        for (i, spec) in self.streams.iter().enumerate() {
+            let id = StreamId(i as u32);
+            let source: Box<dyn TrafficSource> = match spec.source {
+                SourceKind::Cbr { pps } => Box::new(Cbr::pps(pps, spec.bytes)),
+                SourceKind::Poisson { pps } => Box::new(Poisson::pps(pps, spec.bytes)),
+            };
+            let rng = root.fork(0x5742_0000 + i as u64);
+            match &spec.dst {
+                Dest::Station(dst) => {
+                    let (sender, receiver): (Box<dyn Transport>, Box<dyn Transport>) =
+                        match spec.transport {
+                            TransportKind::Udp => {
+                                (Box::new(UdpSender::new()), Box::new(UdpReceiver::new()))
+                            }
+                            TransportKind::Tcp(cfg) => (
+                                Box::new(TcpSender::new(cfg, spec.bytes)),
+                                Box::new(TcpReceiver::new(cfg)),
+                            ),
+                        };
+                    net.add_unicast_stream(
+                        spec.name.clone(),
+                        id,
+                        spec.src,
+                        *dst,
+                        spec.bytes,
+                        source,
+                        rng,
+                        spec.start,
+                        spec.stop,
+                        sender,
+                        receiver,
+                    );
+                }
+                Dest::Group { group, members } => {
+                    net.add_multicast_stream(
+                        spec.name.clone(),
+                        id,
+                        spec.src,
+                        *group,
+                        members.clone(),
+                        spec.bytes,
+                        source,
+                        rng,
+                        spec.start,
+                        spec.stop,
+                        Box::new(UdpSender::new()),
+                    );
+                }
+            }
+        }
+
+        for a in self.actions.drain(..) {
+            net.schedule_action(a);
+        }
+        net.prime();
+        net
+    }
+
+    /// Build and run for `duration`, measuring after `warmup`.
+    pub fn run(self, duration: SimDuration, warmup: SimDuration) -> RunReport {
+        assert!(warmup < duration, "warmup must end before the run does");
+        let mut net = self.build();
+        let warmup_end = SimTime::ZERO + warmup;
+        let end = SimTime::ZERO + duration;
+        net.set_warmup(warmup_end);
+        net.run_until(end);
+        net.report(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macaw_sim::SimDuration;
+
+    fn two_station_scenario() -> (Scenario, usize, usize) {
+        let mut sc = Scenario::new(1);
+        let a = sc.add_station("A", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+        let b = sc.add_station("B", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+        (sc, a, b)
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn stream_to_unknown_station_panics() {
+        let (mut sc, a, _) = two_station_scenario();
+        sc.add_udp_stream("bad", a, 99, 32, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream to self")]
+    fn stream_to_self_panics() {
+        let (mut sc, a, _) = two_station_scenario();
+        sc.add_udp_stream("self", a, a, 32, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "multicast streams are UDP only")]
+    fn tcp_multicast_panics() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.add_stream(StreamSpec {
+            name: "mc".into(),
+            src: a,
+            dst: Dest::Group {
+                group: 1,
+                members: vec![b],
+            },
+            transport: TransportKind::Tcp(TcpConfig::default()),
+            source: SourceKind::Cbr { pps: 1 },
+            bytes: 512,
+            start: SimTime::ZERO,
+            stop: None,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must end before")]
+    fn warmup_longer_than_run_panics() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.add_udp_stream("s", a, b, 32, 512);
+        let _ = sc.run(SimDuration::from_secs(5), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn stream_stop_time_is_honored() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.add_stream(StreamSpec {
+            name: "short".into(),
+            src: a,
+            dst: Dest::Station(b),
+            transport: TransportKind::Udp,
+            source: SourceKind::Cbr { pps: 32 },
+            bytes: 512,
+            start: SimTime::ZERO,
+            stop: Some(SimTime::ZERO + SimDuration::from_secs(10)),
+        });
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO);
+        // ~10 s of a 32 pps stream, not 60 s worth.
+        assert!(r.stream("short").offered <= 10 * 32 + 2);
+        assert!(r.stream("short").offered >= 8 * 32);
+    }
+
+    #[test]
+    fn stream_start_offset_is_honored() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.add_stream(StreamSpec {
+            name: "late".into(),
+            src: a,
+            dst: Dest::Station(b),
+            transport: TransportKind::Udp,
+            source: SourceKind::Cbr { pps: 32 },
+            bytes: 512,
+            start: SimTime::ZERO + SimDuration::from_secs(30),
+            stop: None,
+        });
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO);
+        assert!(r.stream("late").offered <= 30 * 32 + 2);
+    }
+
+    #[test]
+    fn poisson_source_offers_approximately_its_rate() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.add_stream(StreamSpec {
+            name: "poisson".into(),
+            src: a,
+            dst: Dest::Station(b),
+            transport: TransportKind::Udp,
+            source: SourceKind::Poisson { pps: 20.0 },
+            bytes: 512,
+            start: SimTime::ZERO,
+            stop: None,
+        });
+        let r = sc.run(SimDuration::from_secs(120), SimDuration::ZERO);
+        let rate = r.stream("poisson").offered as f64 / 120.0;
+        assert!((rate - 20.0).abs() < 3.0, "offered rate = {rate}");
+    }
+
+    #[test]
+    fn mixed_protocols_in_one_cell_interoperate() {
+        // A CSMA station and a MACAW pair share a cell without panics; the
+        // MACAW exchange still completes.
+        let mut sc = Scenario::new(9);
+        let b = sc.add_station("B", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+        let p = sc.add_station("P", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+        let noisy = sc.add_station("N", Point::new(-3.0, 0.0, 0.0), MacKind::Csma(Default::default()));
+        sc.add_udp_stream("P-B", p, b, 16, 512);
+        sc.add_udp_stream("N-B", noisy, b, 16, 512);
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5));
+        assert!(r.throughput("P-B") > 5.0);
+    }
+
+    #[test]
+    fn asymmetric_power_starves_the_quiet_direction() {
+        // §4's concern, end to end: a loud base reaches a distant pad, but
+        // the pad's CTS/data cannot reach back, so the downlink exchange
+        // never completes under MACAW.
+        let mut sc = Scenario::new(6);
+        let b = sc.add_station("B", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+        let p = sc.add_station("P", Point::new(12.0, 0.0, 0.0), MacKind::Macaw);
+        sc.set_tx_power(b, 1000.0);
+        sc.add_udp_stream("B-P", b, p, 16, 512);
+        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2));
+        assert_eq!(
+            r.stream("B-P").delivered,
+            0,
+            "RTS arrives but the CTS cannot return: no exchange completes"
+        );
+    }
+
+    #[test]
+    fn group_members_are_auto_joined() {
+        let mut sc = Scenario::new(2);
+        let a = sc.add_station("A", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+        let b = sc.add_station("B", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+        let c = sc.add_station("C", Point::new(-3.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_stream(StreamSpec {
+            name: "mc".into(),
+            src: a,
+            dst: Dest::Group {
+                group: 7,
+                members: vec![b, c],
+            },
+            transport: TransportKind::Udp,
+            source: SourceKind::Cbr { pps: 8 },
+            bytes: 512,
+            start: SimTime::ZERO,
+            stop: None,
+        });
+        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2));
+        // Two members => up to 2 deliveries per generated packet.
+        let s = r.stream("mc");
+        assert!(s.delivered > s.offered, "multicast must fan out: {} vs {}", s.delivered, s.offered);
+        assert!(s.delivered <= 2 * s.offered);
+    }
+}

@@ -1,0 +1,213 @@
+//! Run statistics: per-stream throughput, fairness and utilization.
+//!
+//! Every table in the paper reports per-stream throughput in packets per
+//! second over the post-warm-up window ("Simulations are typically run
+//! between 500 and 2000 seconds, with a warmup period of 50 seconds").
+//! [`RunReport`] carries exactly those numbers, plus Jain's fairness index
+//! (the standard quantification of the paper's informal "fair allocation"
+//! criterion) and channel utilization.
+
+use macaw_mac::wmac::MacStats;
+
+/// Per-stream measurements over the post-warm-up window.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Stream label (e.g. "P1-B").
+    pub name: String,
+    /// Source station name.
+    pub src: String,
+    /// Destination station name (or `mcast:<group>`).
+    pub dst: String,
+    /// Application packets generated in the window.
+    pub offered: u64,
+    /// Application packets delivered at the sink in the window.
+    pub delivered: u64,
+    /// Offered load in packets per second.
+    pub offered_pps: f64,
+    /// Delivered throughput in packets per second — the paper's metric.
+    pub throughput_pps: f64,
+    /// Delivered payload bytes in the window.
+    pub delivered_bytes: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Length of the measurement window in seconds.
+    pub measured_secs: f64,
+    /// Per-stream results, in stream declaration order.
+    pub streams: Vec<StreamReport>,
+    /// Station names, by station index.
+    pub station_names: Vec<String>,
+    /// Per-station MAC counters (None for MACs without them).
+    pub mac_stats: Vec<Option<MacStats>>,
+    /// Seconds of post-warm-up air time occupied by DATA frames.
+    pub data_air_secs: f64,
+    /// Seconds of post-warm-up air time occupied by all frames.
+    pub total_air_secs: f64,
+}
+
+impl RunReport {
+    /// Throughput of the stream named `name`, in packets per second.
+    ///
+    /// # Panics
+    /// Panics if no stream has that name (a typo in an experiment is a bug
+    /// worth failing loudly on).
+    pub fn throughput(&self, name: &str) -> f64 {
+        self.stream(name).throughput_pps
+    }
+
+    /// The full report for the stream named `name`.
+    pub fn stream(&self, name: &str) -> &StreamReport {
+        self.streams
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no stream named {name:?}"))
+    }
+
+    /// Sum of all stream throughputs, in packets per second.
+    pub fn total_throughput(&self) -> f64 {
+        self.streams.iter().map(|s| s.throughput_pps).sum()
+    }
+
+    /// Jain's fairness index over all streams:
+    /// `(Σx)² / (n · Σx²)` — 1.0 is perfectly fair, 1/n is a single winner.
+    pub fn jain_fairness(&self) -> f64 {
+        jain(&self
+            .streams
+            .iter()
+            .map(|s| s.throughput_pps)
+            .collect::<Vec<_>>())
+    }
+
+    /// Jain's fairness index over a named subset of streams.
+    pub fn jain_fairness_of(&self, names: &[&str]) -> f64 {
+        jain(&names
+            .iter()
+            .map(|n| self.throughput(n))
+            .collect::<Vec<_>>())
+    }
+
+    /// Fraction of the measurement window occupied by DATA frames
+    /// (the paper's "channel capacity" percentages in §3.5).
+    pub fn data_utilization(&self) -> f64 {
+        if self.measured_secs > 0.0 {
+            self.data_air_secs / self.measured_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the per-stream table as aligned text (the format the benches
+    /// print next to the paper's numbers).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12}\n",
+            "stream", "offered/s", "delivered/s", "delivered"
+        ));
+        for s in &self.streams {
+            out.push_str(&format!(
+                "{:<12} {:>12.2} {:>12.2} {:>12}\n",
+                s.name, s.offered_pps, s.throughput_pps, s.delivered
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>12.2} {:>12.2}\n",
+            "TOTAL",
+            self.streams.iter().map(|s| s.offered_pps).sum::<f64>(),
+            self.total_throughput()
+        ));
+        out
+    }
+}
+
+/// Jain's fairness index of a throughput vector.
+pub fn jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        // All-zero allocation: degenerate but conventionally "fair".
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_of_equal_allocation_is_one() {
+        assert!((jain(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_of_single_winner_is_one_over_n() {
+        let j = jain(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_handles_edge_cases() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert!((jain(&[7.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain(&[1.0, 2.0, 3.0]);
+        let b = jain(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    fn report_with(tputs: &[(&str, f64)]) -> RunReport {
+        RunReport {
+            measured_secs: 10.0,
+            streams: tputs
+                .iter()
+                .map(|(n, t)| StreamReport {
+                    name: n.to_string(),
+                    src: "s".into(),
+                    dst: "d".into(),
+                    offered: 0,
+                    delivered: (t * 10.0) as u64,
+                    offered_pps: 64.0,
+                    throughput_pps: *t,
+                    delivered_bytes: 0,
+                })
+                .collect(),
+            station_names: vec![],
+            mac_stats: vec![],
+            data_air_secs: 4.0,
+            total_air_secs: 5.0,
+        }
+    }
+
+    #[test]
+    fn report_lookup_and_totals() {
+        let r = report_with(&[("a", 20.0), ("b", 30.0)]);
+        assert_eq!(r.throughput("a"), 20.0);
+        assert_eq!(r.total_throughput(), 50.0);
+        assert!((r.jain_fairness_of(&["a", "b"]) - jain(&[20.0, 30.0])).abs() < 1e-12);
+        assert!((r.data_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stream named")]
+    fn unknown_stream_name_panics() {
+        let r = report_with(&[("a", 20.0)]);
+        let _ = r.throughput("nope");
+    }
+
+    #[test]
+    fn table_renders_all_streams() {
+        let r = report_with(&[("a", 20.0), ("b", 30.0)]);
+        let t = r.table();
+        assert!(t.contains("a") && t.contains("b") && t.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,36 @@
+//! First end-to-end smoke checks of the assembled simulator.
+
+use macaw_core::prelude::*;
+
+fn single_stream(mac: MacKind) -> RunReport {
+    let mut sc = Scenario::new(7);
+    let base = sc.add_station("B", Point::new(0.0, 0.0, 6.0), mac);
+    let pad = sc.add_station("P", Point::new(3.0, 0.0, 0.0), mac);
+    sc.add_udp_stream("P-B", pad, base, 64, 512);
+    sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5))
+}
+
+#[test]
+fn maca_single_stream_throughput_matches_table_9_shape() {
+    let r = single_stream(MacKind::Maca);
+    let t = r.throughput("P-B");
+    // Paper Table 9: 53.04 pps. Accept a window around it.
+    assert!(t > 48.0 && t < 56.5, "MACA single stream = {t} pps");
+}
+
+#[test]
+fn macaw_single_stream_throughput_matches_table_9_shape() {
+    let r = single_stream(MacKind::Macaw);
+    let t = r.throughput("P-B");
+    // Paper Table 9: 49.07 pps; MACAW pays the DS+ACK overhead.
+    assert!(t > 44.0 && t < 52.0, "MACAW single stream = {t} pps");
+    let maca = single_stream(MacKind::Maca).throughput("P-B");
+    assert!(maca > t, "MACA ({maca}) must beat MACAW ({t}) on a clean single stream");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = single_stream(MacKind::Macaw);
+    let b = single_stream(MacKind::Macaw);
+    assert_eq!(a.stream("P-B").delivered, b.stream("P-B").delivered);
+}

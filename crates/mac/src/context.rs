@@ -1,0 +1,85 @@
+//! The interface between a MAC state machine and the simulation core.
+//!
+//! A MAC implementation is a passive state machine: the core calls into it
+//! (frame received, timer fired, own transmission ended, packet enqueued)
+//! and it reacts through the [`MacContext`] handle (transmit a frame, arm
+//! the timer, deliver a packet upward). This inversion keeps protocol logic
+//! free of any knowledge of the event loop or the radio, so each transition
+//! can be unit-tested against a scripted context.
+
+use macaw_sim::{SimDuration, SimRng, SimTime};
+
+use crate::frames::{Addr, Frame, MacSdu, StreamId};
+
+/// Upcalls a MAC can make into its environment.
+pub trait MacContext {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Arm the MAC timer to fire after `delay`, replacing any pending timer.
+    /// Each station has exactly one MAC timer, mirroring the appendix state
+    /// machines ("sets a timer value").
+    fn set_timer(&mut self, delay: SimDuration);
+
+    /// Disarm the MAC timer.
+    fn clear_timer(&mut self);
+
+    /// Key the radio up with `frame`. The environment computes the on-air
+    /// duration and will call [`MacProtocol::on_tx_end`] when it ends.
+    /// Must not be called while a transmission is already in progress.
+    fn transmit(&mut self, frame: Frame);
+
+    /// This station's deterministic RNG stream.
+    fn rng(&mut self) -> &mut SimRng;
+
+    /// Carrier sense at this station: `true` iff the summed power of other
+    /// stations' transmissions exceeds the sensing threshold. Used only by
+    /// carrier-sense protocols (the whole point of MACA/MACAW is not to
+    /// rely on it, §2.2).
+    fn carrier_busy(&self) -> bool;
+
+    /// Hand a received data packet to the transport layer.
+    fn deliver_up(&mut self, src: Addr, sdu: MacSdu);
+
+    /// Report a link-layer outcome (used by transports and statistics).
+    fn feedback(&mut self, event: MacFeedback);
+}
+
+/// Link-layer outcomes reported to the environment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MacFeedback {
+    /// A queued packet completed its exchange (ACK received, or transmission
+    /// finished when the protocol has no link ACK).
+    Sent { stream: StreamId, transport_seq: u64 },
+    /// A queued packet was discarded after exhausting its retries.
+    Dropped { stream: StreamId, transport_seq: u64 },
+    /// A packet was rejected at enqueue time (queue full).
+    Refused { stream: StreamId, transport_seq: u64 },
+}
+
+/// Downcalls the environment makes into a MAC.
+pub trait MacProtocol {
+    /// Queue `sdu` for transmission to `dst`.
+    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu);
+
+    /// A frame was received cleanly at this station (whether or not it is
+    /// addressed to it — overheard control traffic drives deferral).
+    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame);
+
+    /// The MAC timer fired.
+    fn on_timer(&mut self, ctx: &mut dyn MacContext);
+
+    /// This station's own transmission just ended (the channel is ours to
+    /// sequence: e.g. DS is followed back-to-back by DATA).
+    fn on_tx_end(&mut self, ctx: &mut dyn MacContext);
+
+    /// Packets currently queued (all streams).
+    fn queued_packets(&self) -> usize;
+
+    /// Protocol counters, for implementations that keep
+    /// [`MacStats`](crate::wmac::MacStats) (the MACA/MACAW family does;
+    /// CSMA has its own simpler counters).
+    fn mac_stats(&self) -> Option<&crate::wmac::MacStats> {
+        None
+    }
+}

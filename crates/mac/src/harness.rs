@@ -1,0 +1,139 @@
+//! A scripted [`MacContext`] for unit-testing MAC state machines in
+//! isolation — no radio, no event loop, just a controllable clock and a
+//! recording of everything the MAC asked for.
+//!
+//! Used heavily by this crate's own tests; exported because downstream
+//! users writing new protocol variants need exactly the same scaffolding.
+
+use macaw_sim::{SimDuration, SimRng, SimTime};
+
+use crate::context::{MacContext, MacFeedback};
+use crate::frames::{Addr, Frame, MacSdu};
+
+/// Everything a MAC did through its context, in order.
+#[derive(Debug, PartialEq)]
+pub enum Action {
+    /// `transmit(frame)` was called.
+    Transmit(Frame),
+    /// A packet was delivered upward.
+    DeliverUp { src: Addr, sdu: MacSdu },
+    /// A feedback event was reported.
+    Feedback(MacFeedback),
+}
+
+/// Scripted context: the test controls time, carrier state and the RNG seed,
+/// and inspects the recorded [`Action`]s and timer state afterwards.
+pub struct ScriptedContext {
+    now: SimTime,
+    rng: SimRng,
+    /// Pending timer deadline, if armed.
+    pub timer: Option<SimTime>,
+    /// What the carrier-sense query should report.
+    pub carrier: bool,
+    /// Everything the MAC did, in order.
+    pub actions: Vec<Action>,
+}
+
+impl ScriptedContext {
+    /// New context at t = 0 with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        ScriptedContext {
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            timer: None,
+            carrier: false,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Advance the clock (must move forward).
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock must not go backwards");
+        self.now = t;
+    }
+
+    /// Advance the clock to the pending timer deadline and clear it,
+    /// returning `true` if a timer was armed. The caller then invokes the
+    /// MAC's `on_timer`.
+    pub fn fire_timer(&mut self) -> bool {
+        match self.timer.take() {
+            Some(t) => {
+                self.advance_to(t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The frames transmitted so far.
+    pub fn transmitted(&self) -> Vec<&Frame> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Transmit(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last transmitted frame, if any.
+    pub fn last_tx(&self) -> Option<&Frame> {
+        self.transmitted().last().copied()
+    }
+
+    /// Packets delivered upward so far.
+    pub fn delivered(&self) -> Vec<(Addr, MacSdu)> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::DeliverUp { src, sdu } => Some((*src, *sdu)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Feedback events reported so far.
+    pub fn feedback_events(&self) -> Vec<MacFeedback> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Feedback(f) => Some(*f),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl MacContext for ScriptedContext {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn set_timer(&mut self, delay: SimDuration) {
+        self.timer = Some(self.now + delay);
+    }
+
+    fn clear_timer(&mut self) {
+        self.timer = None;
+    }
+
+    fn transmit(&mut self, frame: Frame) {
+        self.actions.push(Action::Transmit(frame));
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    fn carrier_busy(&self) -> bool {
+        self.carrier
+    }
+
+    fn deliver_up(&mut self, src: Addr, sdu: MacSdu) {
+        self.actions.push(Action::DeliverUp { src, sdu });
+    }
+
+    fn feedback(&mut self, event: MacFeedback) {
+        self.actions.push(Action::Feedback(event));
+    }
+}

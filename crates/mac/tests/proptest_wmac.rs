@@ -1,0 +1,175 @@
+//! Property tests for the MAC state machines: fuzz WMac with arbitrary
+//! event sequences and check it never panics, never double-transmits, and
+//! keeps its bookkeeping consistent.
+
+use macaw_mac::harness::{Action, ScriptedContext};
+use macaw_mac::{
+    Addr, BackoffHeader, Frame, FrameKind, MacConfig, MacProtocol, MacSdu, StreamId, WMac,
+};
+use proptest::prelude::*;
+
+/// A randomly generated stimulus for the MAC under test.
+#[derive(Clone, Debug)]
+enum Stimulus {
+    Enqueue { dst: usize, bytes: u32 },
+    Frame { kind: u8, src: usize, dst: usize, esn: u64, bytes: u32 },
+    FireTimer,
+    TxEnd,
+}
+
+fn arb_stimulus() -> impl Strategy<Value = Stimulus> {
+    prop_oneof![
+        (1usize..5, 64u32..1024).prop_map(|(dst, bytes)| Stimulus::Enqueue { dst, bytes }),
+        (0u8..6, 1usize..5, 0usize..5, 0u64..4, 64u32..1024)
+            .prop_map(|(kind, src, dst, esn, bytes)| Stimulus::Frame { kind, src, dst, esn, bytes }),
+        Just(Stimulus::FireTimer),
+        Just(Stimulus::TxEnd),
+    ]
+}
+
+fn kind_of(k: u8) -> FrameKind {
+    match k {
+        0 => FrameKind::Rts,
+        1 => FrameKind::Cts,
+        2 => FrameKind::Ds,
+        3 => FrameKind::Data,
+        4 => FrameKind::Ack,
+        _ => FrameKind::Rrts,
+    }
+}
+
+fn run_fuzz(cfg: MacConfig, stimuli: Vec<Stimulus>) -> Result<(), TestCaseError> {
+    let me = Addr::Unicast(0);
+    let mut mac = WMac::new(me, cfg);
+    let mut ctx = ScriptedContext::new(7);
+    // Track the radio discipline: the MAC may not start a second
+    // transmission before the first TxEnd arrives.
+    let mut transmitting = false;
+    let mut tx_seen = 0usize;
+    for s in stimuli {
+        match s {
+            Stimulus::Enqueue { dst, bytes } => {
+                mac.enqueue(
+                    &mut ctx,
+                    Addr::Unicast(dst),
+                    MacSdu {
+                        stream: StreamId(dst as u32),
+                        transport_seq: 1,
+                        bytes,
+                    },
+                );
+            }
+            Stimulus::Frame { kind, src, dst, esn, bytes } => {
+                if src == 0 || transmitting {
+                    continue; // cannot receive own frame or while keyed up
+                }
+                let kind = kind_of(kind);
+                let frame = Frame {
+                    kind,
+                    src: Addr::Unicast(src),
+                    dst: Addr::Unicast(dst),
+                    data_bytes: bytes,
+                    backoff: BackoffHeader {
+                        local: 2,
+                        remote: None,
+                        esn,
+                    },
+                    payload: (kind == FrameKind::Data).then_some(MacSdu {
+                        stream: StreamId(9),
+                        transport_seq: esn,
+                        bytes,
+                    }),
+                };
+                mac.on_receive(&mut ctx, &frame);
+            }
+            Stimulus::FireTimer => {
+                if !transmitting && ctx.fire_timer() {
+                    mac.on_timer(&mut ctx);
+                }
+            }
+            Stimulus::TxEnd => {
+                if transmitting {
+                    transmitting = false;
+                    mac.on_tx_end(&mut ctx);
+                }
+            }
+        }
+        // Account for any new transmissions, enforcing the discipline.
+        let txs = ctx
+            .actions
+            .iter()
+            .filter(|a| matches!(a, Action::Transmit(_)))
+            .count();
+        prop_assert!(
+            txs <= tx_seen + 1,
+            "MAC started two transmissions in one step"
+        );
+        if txs > tx_seen {
+            prop_assert!(!transmitting, "MAC keyed up while already transmitting");
+            transmitting = true;
+            tx_seen = txs;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Full MACAW survives arbitrary stimulus without panicking or
+    /// violating the single-radio discipline.
+    #[test]
+    fn macaw_survives_fuzz(stimuli in proptest::collection::vec(arb_stimulus(), 0..200)) {
+        run_fuzz(MacConfig::macaw(), stimuli)?;
+    }
+
+    /// MACA likewise.
+    #[test]
+    fn maca_survives_fuzz(stimuli in proptest::collection::vec(arb_stimulus(), 0..200)) {
+        run_fuzz(MacConfig::maca(), stimuli)?;
+    }
+
+    /// Backoff counters stay within bounds under arbitrary event mixes.
+    #[test]
+    fn backoff_counter_stays_bounded(stimuli in proptest::collection::vec(arb_stimulus(), 0..200)) {
+        let me = Addr::Unicast(0);
+        let cfg = MacConfig::macaw();
+        let mut mac = WMac::new(me, cfg);
+        let mut ctx = ScriptedContext::new(11);
+        for s in stimuli {
+            match s {
+                Stimulus::Enqueue { dst, bytes } => mac.enqueue(
+                    &mut ctx,
+                    Addr::Unicast(dst),
+                    MacSdu { stream: StreamId(dst as u32), transport_seq: 1, bytes },
+                ),
+                Stimulus::Frame { kind, src, dst, esn, bytes } => {
+                    if src != 0 {
+                        let kind = kind_of(kind);
+                        mac.on_receive(&mut ctx, &Frame {
+                            kind,
+                            src: Addr::Unicast(src),
+                            dst: Addr::Unicast(dst),
+                            data_bytes: bytes,
+                            backoff: BackoffHeader { local: 97, remote: Some(150), esn },
+                            payload: (kind == FrameKind::Data).then_some(MacSdu {
+                                stream: StreamId(9), transport_seq: esn, bytes,
+                            }),
+                        });
+                    }
+                }
+                Stimulus::FireTimer => {
+                    if ctx.fire_timer() {
+                        mac.on_timer(&mut ctx);
+                    }
+                }
+                Stimulus::TxEnd => {}
+            }
+            prop_assert!(
+                (cfg.bo_min..=cfg.bo_max).contains(&mac.backoff_counter()),
+                "my_backoff escaped its bounds: {}",
+                mac.backoff_counter()
+            );
+        }
+    }
+}

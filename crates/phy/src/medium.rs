@@ -1,0 +1,708 @@
+//! The shared radio medium.
+//!
+//! [`Medium`] tracks every in-flight transmission and decides, per receiver,
+//! whether each packet is received cleanly under the paper's rule:
+//!
+//! > "the designated receiving station can correctly receive the packet if
+//! > the signal strength is greater than some threshold (the signal strength
+//! > at 10 feet) and is greater than the sum of the other signals by at least
+//! > 10 dB during the entire packet transmission time."
+//!
+//! We apply the same rule to *every* in-range station, not just the
+//! designated receiver, because overhearing control packets (RTS/CTS/DS/RRTS)
+//! is what drives deferral in MACA and MACAW.
+//!
+//! # Mechanics
+//!
+//! Interference is piecewise-constant between transmission start/end events,
+//! so the "entire packet time" condition is enforced incrementally: every
+//! in-flight `(transmission, receiver)` pair carries a `clean` flag that is
+//! knocked false the moment any overlapping event (a new transmission, the
+//! receiver keying up, the receiver moving) violates the capture margin.
+//! Interference *decreasing* (a transmission ending) can never un-violate the
+//! condition, so no re-check is needed on end events.
+//!
+//! The medium owns no event queue. The caller keys a station up with
+//! [`Medium::start_tx`], schedules the end-of-frame event itself, and calls
+//! [`Medium::end_tx`] when that event fires, receiving the delivery verdicts.
+
+use macaw_sim::{SimRng, SimTime};
+
+use crate::geometry::{cube_center, Point};
+use crate::propagation::Propagation;
+
+/// Index of a station registered with the medium.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StationId(pub usize);
+
+/// Handle to an in-flight transmission.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxId(u64);
+
+/// Verdict for one station at the end of a transmission.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Delivery {
+    /// The station that (potentially) heard the packet.
+    pub station: StationId,
+    /// `true` iff the packet was received cleanly (threshold + capture
+    /// margin held for the whole flight, station never keyed up, and the
+    /// per-packet noise draw passed).
+    pub clean: bool,
+    /// Received signal power (normalized units), for diagnostics.
+    pub signal: f64,
+}
+
+struct StationEntry {
+    pos: Point,
+    transmitting: Option<TxId>,
+    /// Per-packet probability that a packet arriving at this station is
+    /// corrupted by intermittent noise (§3.3.1's model).
+    rx_error_rate: f64,
+    /// Transmit power multiplier. The paper's stations all transmit at the
+    /// same strength (1.0); §4 discusses — and declines — power variation
+    /// because it breaks the symmetry the CTS mechanism depends on. The
+    /// knob exists so that consequence can be demonstrated.
+    tx_power: f64,
+}
+
+struct ActiveTx {
+    id: TxId,
+    source: StationId,
+    start: SimTime,
+}
+
+struct Reception {
+    tx: TxId,
+    rx: StationId,
+    signal: f64,
+    clean: bool,
+}
+
+/// A fixed continuous noise emitter (e.g. the paper's electronic whiteboard,
+/// when modelled spatially rather than as a packet error rate).
+struct NoiseSource {
+    pos: Point,
+    power: f64,
+    active: bool,
+}
+
+/// The shared single-channel radio medium.
+pub struct Medium {
+    prop: Propagation,
+    stations: Vec<StationEntry>,
+    active: Vec<ActiveTx>,
+    receptions: Vec<Reception>,
+    noise: Vec<NoiseSource>,
+    rng: SimRng,
+    next_tx: u64,
+}
+
+impl Medium {
+    /// Create a medium with the given propagation model and RNG stream
+    /// (used only for per-packet noise draws).
+    pub fn new(prop: Propagation, rng: SimRng) -> Self {
+        Medium {
+            prop,
+            stations: Vec::new(),
+            active: Vec::new(),
+            receptions: Vec::new(),
+            noise: Vec::new(),
+            rng,
+            next_tx: 0,
+        }
+    }
+
+    /// The propagation model in use.
+    pub fn propagation(&self) -> &Propagation {
+        &self.prop
+    }
+
+    /// Register a station; its position is snapped to the nearest cube
+    /// center (stations "reside at the center of a cube").
+    pub fn add_station(&mut self, pos: Point) -> StationId {
+        let id = StationId(self.stations.len());
+        self.stations.push(StationEntry {
+            pos: cube_center(pos),
+            transmitting: None,
+            rx_error_rate: 0.0,
+            tx_power: 1.0,
+        });
+        id
+    }
+
+    /// Number of registered stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Current (cube-snapped) position of a station.
+    pub fn position(&self, id: StationId) -> Point {
+        self.stations[id.0].pos
+    }
+
+    /// Set the per-packet noise corruption probability for packets received
+    /// at `id`.
+    pub fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "error rate must be in [0,1]");
+        self.stations[id.0].rx_error_rate = p;
+    }
+
+    /// Set a station's transmit power multiplier (default 1.0). §4 declines
+    /// power variation because it breaks radio symmetry — with unequal
+    /// powers, "A hears B" no longer implies "B hears A" and the CTS can no
+    /// longer silence every potential collider.
+    pub fn set_tx_power(&mut self, id: StationId, power: f64) {
+        assert!(power > 0.0 && power.is_finite(), "power must be positive");
+        self.stations[id.0].tx_power = power;
+    }
+
+    /// `true` iff a transmission by `from` is receivable at `to`
+    /// (directional once transmit powers differ).
+    pub fn hears(&self, to: StationId, from: StationId) -> bool {
+        let d = self.stations[from.0].pos.distance(self.stations[to.0].pos);
+        self.stations[from.0].tx_power * self.prop.power_at_distance(d)
+            >= self.prop.threshold_power()
+    }
+
+    /// Add a continuous spatial noise emitter. Returns an index usable with
+    /// [`Medium::set_noise_active`].
+    pub fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        self.noise.push(NoiseSource {
+            pos: cube_center(pos),
+            power,
+            active: true,
+        });
+        self.noise.len() - 1
+    }
+
+    /// Enable or disable a spatial noise emitter. Turning one **on**
+    /// invalidates any in-flight reception it now drowns out.
+    pub fn set_noise_active(&mut self, index: usize, active: bool) {
+        self.noise[index].active = active;
+        if active {
+            self.recheck_all_receptions();
+        }
+    }
+
+    /// Move a station (mobility). Any packet in flight to or from a moving
+    /// station is corrupted (the paper's pads move between packets; this is
+    /// a conservative rule for the general case), and all other in-flight
+    /// receptions are re-checked against the new interference geometry.
+    pub fn set_position(&mut self, id: StationId, pos: Point) {
+        self.stations[id.0].pos = cube_center(pos);
+        let moving_tx = self.stations[id.0].transmitting;
+        for r in &mut self.receptions {
+            if r.rx == id || Some(r.tx) == moving_tx {
+                r.clean = false;
+            }
+        }
+        self.recheck_all_receptions();
+    }
+
+    /// `true` iff stations `a` and `b` are within reception range.
+    pub fn in_range(&self, a: StationId, b: StationId) -> bool {
+        let d = self.stations[a.0].pos.distance(self.stations[b.0].pos);
+        self.prop.in_range(d)
+    }
+
+    /// `true` iff station `id` is currently transmitting.
+    pub fn is_transmitting(&self, id: StationId) -> bool {
+        self.stations[id.0].transmitting.is_some()
+    }
+
+    /// Carrier sense at station `id`: `true` iff the summed power of all
+    /// other active transmissions (plus spatial noise) at `id` exceeds the
+    /// reception threshold.
+    pub fn carrier_busy(&self, id: StationId) -> bool {
+        let here = self.stations[id.0].pos;
+        let mut power = self.ambient_noise_at(here);
+        for tx in &self.active {
+            if tx.source == id {
+                continue;
+            }
+            power += self.stations[tx.source.0].tx_power
+                * self
+                    .prop
+                    .interference_power(self.stations[tx.source.0].pos.distance(here));
+        }
+        power >= self.prop.threshold_power()
+    }
+
+    /// Number of transmissions currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Key station `source` up at time `now`. The caller must schedule the
+    /// end-of-frame event and call [`Medium::end_tx`] when it fires.
+    ///
+    /// # Panics
+    /// Panics if the station is already transmitting (the MAC layer must
+    /// serialize its own transmissions).
+    pub fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        assert!(
+            self.stations[source.0].transmitting.is_none(),
+            "station {source:?} is already transmitting"
+        );
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.stations[source.0].transmitting = Some(id);
+
+        // Half-duplex: anything in flight *to* the new transmitter is lost.
+        for r in &mut self.receptions {
+            if r.rx == source {
+                r.clean = false;
+            }
+        }
+
+        self.active.push(ActiveTx {
+            id,
+            source,
+            start: now,
+        });
+
+        // The new signal may drown existing receptions elsewhere. The new
+        // transmission is already in `active`, so `interference_at` sees it.
+        let src_pos = self.stations[source.0].pos;
+        let tx_power = self.stations[source.0].tx_power;
+        for i in 0..self.receptions.len() {
+            let rx = self.receptions[i].rx;
+            if !self.receptions[i].clean || rx == source {
+                continue;
+            }
+            let added =
+                tx_power * self.prop.interference_power(src_pos.distance(self.stations[rx.0].pos));
+            if added > 0.0 {
+                let interference = self.interference_at(rx, self.receptions[i].tx);
+                let signal = self.receptions[i].signal;
+                if !self.prop.clean(signal, interference) {
+                    self.receptions[i].clean = false;
+                }
+            }
+        }
+
+        // Open a reception record at every in-range station.
+        for (idx, st) in self.stations.iter().enumerate() {
+            let rx = StationId(idx);
+            if rx == source {
+                continue;
+            }
+            let signal = tx_power * self.prop.power_at_distance(src_pos.distance(st.pos));
+            if signal < self.prop.threshold_power() {
+                continue; // out of range: hears nothing at all
+            }
+            let clean = st.transmitting.is_none() && {
+                let interference = self.interference_at(rx, id);
+                self.prop.clean(signal, interference)
+            };
+            self.receptions.push(Reception {
+                tx: id,
+                rx,
+                signal,
+                clean,
+            });
+        }
+        id
+    }
+
+    /// Finish transmission `tx` at time `now`, returning one delivery per
+    /// in-range station (in station order, for determinism).
+    ///
+    /// # Panics
+    /// Panics if `tx` is not in flight.
+    pub fn end_tx(&mut self, tx: TxId, _now: SimTime) -> Vec<Delivery> {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx)
+            .expect("end_tx: transmission not in flight");
+        let source = self.active[idx].source;
+        self.active.swap_remove(idx);
+        debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
+        self.stations[source.0].transmitting = None;
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut kept = Vec::with_capacity(self.receptions.len());
+        for r in self.receptions.drain(..) {
+            if r.tx == tx {
+                deliveries.push(Delivery {
+                    station: r.rx,
+                    clean: r.clean,
+                    signal: r.signal,
+                });
+            } else {
+                kept.push(r);
+            }
+        }
+        self.receptions = kept;
+        deliveries.sort_by_key(|d| d.station);
+
+        // Per-packet intermittent noise (§3.3.1): each packet is corrupted
+        // at a receiving station with that station's error probability.
+        for d in &mut deliveries {
+            let rate = self.stations[d.station.0].rx_error_rate;
+            if d.clean && rate > 0.0 && self.rng.chance(rate) {
+                d.clean = false;
+            }
+        }
+        deliveries
+    }
+
+    /// Time at which transmission `tx` started, if still in flight.
+    pub fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+    }
+
+    /// Summed interference power at station `rx` from all active
+    /// transmissions except `except`, plus spatial noise.
+    fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
+        let here = self.stations[rx.0].pos;
+        let mut power = self.ambient_noise_at(here);
+        for t in &self.active {
+            if t.id == except || t.source == rx {
+                continue;
+            }
+            power += self.stations[t.source.0].tx_power
+                * self
+                    .prop
+                    .interference_power(self.stations[t.source.0].pos.distance(here));
+        }
+        power
+    }
+
+    fn ambient_noise_at(&self, here: Point) -> f64 {
+        self.noise
+            .iter()
+            .filter(|n| n.active)
+            .map(|n| n.power * self.prop.interference_power(n.pos.distance(here)))
+            .sum()
+    }
+
+    /// Re-validate every in-flight reception against the current geometry
+    /// and interference (used after mobility / noise changes).
+    fn recheck_all_receptions(&mut self) {
+        for i in 0..self.receptions.len() {
+            if !self.receptions[i].clean {
+                continue;
+            }
+            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
+            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+                continue;
+            };
+            let signal = self.stations[src.0].tx_power
+                * self
+                    .prop
+                    .power_at_distance(self.stations[src.0].pos.distance(self.stations[rx.0].pos));
+            self.receptions[i].signal = signal;
+            let interference = self.interference_at(rx, tx);
+            if !self.prop.clean(signal, interference) {
+                self.receptions[i].clean = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::PropagationConfig;
+    use macaw_sim::{SimDuration, SimRng};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    /// Classic Figure-1 line: A — B — C with A/B and B/C in range but A/C
+    /// out of range.
+    fn line_medium() -> (Medium, StationId, StationId, StationId) {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(1),
+        );
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+        let c = m.add_station(Point::new(16.0, 0.0, 0.0));
+        assert!(m.in_range(a, b) && m.in_range(b, c) && !m.in_range(a, c));
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn lone_transmission_is_received_cleanly_in_range_only() {
+        let (mut m, a, b, c) = line_medium();
+        let tx = m.start_tx(a, t(0));
+        let deliveries = m.end_tx(tx, t(1000));
+        assert_eq!(deliveries.len(), 1, "only B is in range of A");
+        assert_eq!(deliveries[0].station, b);
+        assert!(deliveries[0].clean);
+        let _ = c;
+    }
+
+    #[test]
+    fn hidden_terminal_collision_at_middle_station() {
+        // A and C transmit simultaneously; B hears both and receives neither.
+        let (mut m, a, _b, c) = line_medium();
+        let ta = m.start_tx(a, t(0));
+        let tc = m.start_tx(c, t(100));
+        let da = m.end_tx(ta, t(1000));
+        let dc = m.end_tx(tc, t(1100));
+        assert!(!da[0].clean, "A's packet collides at B");
+        assert!(!dc[0].clean, "C's packet collides at B");
+    }
+
+    #[test]
+    fn exposed_terminal_does_not_corrupt() {
+        // B transmits to A while C transmits "outward": C is in range of B
+        // only, so C's signal never reaches A and B's packet at A is clean.
+        let (mut m, a, b, c) = line_medium();
+        let tb = m.start_tx(b, t(0));
+        let tc = m.start_tx(c, t(50));
+        let db = m.end_tx(tb, t(1000));
+        let a_delivery = db.iter().find(|d| d.station == a).unwrap();
+        assert!(a_delivery.clean, "C is out of range of A; no interference");
+        let _ = m.end_tx(tc, t(1050));
+    }
+
+    #[test]
+    fn collision_condition_holds_for_entire_packet() {
+        // Interference that starts mid-packet and even *ends* before the
+        // packet does must still corrupt it.
+        let (mut m, a, _b, c) = line_medium();
+        let ta = m.start_tx(a, t(0));
+        let tc = m.start_tx(c, t(200));
+        let _ = m.end_tx(tc, t(400)); // interferer ends early
+        let da = m.end_tx(ta, t(1000));
+        assert!(!da[0].clean, "margin was violated during [200,400]us");
+    }
+
+    #[test]
+    fn interference_arriving_after_packet_end_is_harmless() {
+        let (mut m, _a, b, c) = line_medium();
+        let tb = m.start_tx(b, t(0));
+        let db = m.end_tx(tb, t(1000));
+        assert!(db.iter().all(|d| d.clean));
+        let tc = m.start_tx(c, t(1000));
+        let _ = m.end_tx(tc, t(2000));
+    }
+
+    #[test]
+    fn half_duplex_receiver_keying_up_loses_packet() {
+        let (mut m, a, b, _c) = line_medium();
+        let ta = m.start_tx(a, t(0));
+        let tb = m.start_tx(b, t(500)); // B keys up mid-reception
+        let da = m.end_tx(ta, t(1000));
+        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+        let _ = m.end_tx(tb, t(1500));
+    }
+
+    #[test]
+    fn receiver_already_transmitting_never_hears() {
+        let (mut m, a, b, _c) = line_medium();
+        let tb = m.start_tx(b, t(0));
+        let ta = m.start_tx(a, t(100));
+        let da = m.end_tx(ta, t(600));
+        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+        let _ = m.end_tx(tb, t(1000));
+    }
+
+    #[test]
+    fn capture_lets_much_closer_station_win() {
+        // Receiver 2 ft from near transmitter, 9 ft from far one: distance
+        // ratio 4.5 ≫ 10^(1/γ), so the near signal captures.
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(2),
+        );
+        let near = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
+        let far = m.add_station(Point::new(11.0, 0.0, 0.0));
+        assert!(m.in_range(rx, far));
+        let tn = m.start_tx(near, t(0));
+        let tf = m.start_tx(far, t(10));
+        let dn = m.end_tx(tn, t(1000));
+        assert!(dn.iter().find(|d| d.station == rx).unwrap().clean);
+        let df = m.end_tx(tf, t(1010));
+        assert!(!df.iter().find(|d| d.station == rx).unwrap().clean);
+    }
+
+    #[test]
+    fn symmetry_in_range_is_reflexive_pairwise() {
+        let (m, a, b, c) = line_medium();
+        assert_eq!(m.in_range(a, b), m.in_range(b, a));
+        assert_eq!(m.in_range(a, c), m.in_range(c, a));
+    }
+
+    #[test]
+    fn carrier_sense_sees_in_range_transmitters_only() {
+        let (mut m, a, b, c) = line_medium();
+        assert!(!m.carrier_busy(b));
+        let ta = m.start_tx(a, t(0));
+        assert!(m.carrier_busy(b), "B hears A");
+        assert!(!m.carrier_busy(c), "C does not hear A");
+        assert!(!m.carrier_busy(a), "own transmission is not carrier");
+        let _ = m.end_tx(ta, t(100));
+        assert!(!m.carrier_busy(b));
+    }
+
+    #[test]
+    fn rx_error_rate_corrupts_that_fraction_of_packets() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(3),
+        );
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(5.0, 0.0, 0.0));
+        m.set_rx_error_rate(b, 0.1);
+        let mut lost = 0;
+        let mut clock = 0u64;
+        for _ in 0..5_000 {
+            let tx = m.start_tx(a, t(clock));
+            clock += 100;
+            let d = m.end_tx(tx, t(clock));
+            if !d[0].clean {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / 5_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn spatial_noise_source_blocks_nearby_receiver() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(4),
+        );
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+        let n = m.add_noise_source(Point::new(9.0, 0.0, 0.0), 1.0);
+        let tx = m.start_tx(a, t(0));
+        let d = m.end_tx(tx, t(1000));
+        assert!(!d[0].clean, "noise adjacent to B drowns A's signal");
+        m.set_noise_active(n, false);
+        let tx = m.start_tx(a, t(2000));
+        let d = m.end_tx(tx, t(3000));
+        assert!(d[0].clean, "noise off: clean again");
+        let _ = b;
+    }
+
+    #[test]
+    fn mobility_moves_station_between_cells() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(5),
+        );
+        let base1 = m.add_station(Point::new(0.0, 0.0, 6.0));
+        let base2 = m.add_station(Point::new(40.0, 0.0, 6.0));
+        let pad = m.add_station(Point::new(3.0, 0.0, 0.0));
+        assert!(m.in_range(pad, base1) && !m.in_range(pad, base2));
+        m.set_position(pad, Point::new(37.0, 0.0, 0.0));
+        assert!(!m.in_range(pad, base1) && m.in_range(pad, base2));
+    }
+
+    #[test]
+    fn moving_receiver_mid_packet_loses_it() {
+        let (mut m, a, b, _c) = line_medium();
+        let ta = m.start_tx(a, t(0));
+        m.set_position(b, Point::new(9.0, 0.0, 0.0));
+        let da = m.end_tx(ta, t(1000));
+        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn double_start_panics() {
+        let (mut m, a, _b, _c) = line_medium();
+        let _ = m.start_tx(a, t(0));
+        let _ = m.start_tx(a, t(1));
+    }
+
+    #[test]
+    fn deliveries_are_sorted_by_station_for_determinism() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(6),
+        );
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(m.add_station(Point::new(i as f64, 0.0, 0.0)));
+        }
+        let tx = m.start_tx(ids[2], t(0));
+        let d = m.end_tx(tx, t(100));
+        let stations: Vec<_> = d.iter().map(|x| x.station).collect();
+        let mut sorted = stations.clone();
+        sorted.sort();
+        assert_eq!(stations, sorted);
+        assert_eq!(stations.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod power_tests {
+    use super::*;
+    use crate::propagation::PropagationConfig;
+    use macaw_sim::{SimDuration, SimRng};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    /// §4's reason for declining power variation, demonstrated: with unequal
+    /// transmit powers the radio is no longer symmetric, so "A hears B" no
+    /// longer implies "B hears A" — the property the CTS mechanism needs.
+    #[test]
+    fn unequal_power_breaks_symmetry() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(1),
+        );
+        let loud = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let quiet = m.add_station(Point::new(12.0, 0.0, 0.0));
+        assert!(!m.hears(quiet, loud) && !m.hears(loud, quiet), "baseline: both out of range");
+        // Boost the loud station ~3x in range terms.
+        m.set_tx_power(loud, 1000.0);
+        assert!(m.hears(quiet, loud), "the loud station now reaches further");
+        assert!(!m.hears(loud, quiet), "...but cannot hear the reply");
+        // And its packets actually arrive.
+        let tx = m.start_tx(loud, t(0));
+        let d = m.end_tx(tx, t(1000));
+        assert!(d.iter().any(|x| x.station == quiet && x.clean));
+        // While the quiet station's never do.
+        let tx = m.start_tx(quiet, t(2000));
+        let d = m.end_tx(tx, t(3000));
+        assert!(!d.iter().any(|x| x.station == loud));
+    }
+
+    /// A louder interferer needs proportionally more distance to be
+    /// captured over.
+    #[test]
+    fn loud_interferer_defeats_capture() {
+        let mk = |interferer_power: f64| {
+            let mut m = Medium::new(
+                Propagation::new(PropagationConfig::default()),
+                SimRng::new(2),
+            );
+            let near = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
+            let far = m.add_station(Point::new(9.0, 0.0, 0.0));
+            m.set_tx_power(far, interferer_power);
+            let tn = m.start_tx(near, t(0));
+            let _tf = m.start_tx(far, t(10));
+            let dn = m.end_tx(tn, t(1000));
+            dn.iter().find(|d| d.station == rx).unwrap().clean
+        };
+        assert!(mk(1.0), "at equal power the near signal captures");
+        assert!(!mk(1000.0), "a 30 dB louder interferer defeats capture");
+    }
+
+    #[test]
+    fn equal_powers_keep_hears_symmetric() {
+        let mut m = Medium::new(
+            Propagation::new(PropagationConfig::default()),
+            SimRng::new(3),
+        );
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+        assert_eq!(m.hears(a, b), m.hears(b, a));
+        assert!(m.hears(a, b));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the radio medium: symmetry, monotonicity and the
+//! collision rule hold for arbitrary geometries.
+
+use macaw_phy::{Medium, Point, Propagation, PropagationConfig, StationId};
+use macaw_sim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-30.0f64..30.0, -30.0f64..30.0, 0.0f64..7.0).prop_map(|(x, y, z)| Point::new(x, y, z))
+}
+
+proptest! {
+    /// Radio symmetry (§2.1): if A hears B then B hears A.
+    #[test]
+    fn in_range_is_symmetric(points in proptest::collection::vec(arb_point(), 2..12)) {
+        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(1));
+        let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(m.in_range(a, b), m.in_range(b, a));
+            }
+        }
+    }
+
+    /// A lone transmission is received cleanly by exactly the in-range
+    /// stations.
+    #[test]
+    fn lone_transmission_reaches_exactly_in_range(
+        points in proptest::collection::vec(arb_point(), 2..12)
+    ) {
+        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(2));
+        let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
+        let src = ids[0];
+        let in_range: Vec<_> = ids[1..].iter().filter(|&&s| m.in_range(src, s)).copied().collect();
+        let tx = m.start_tx(src, t(0));
+        let deliveries = m.end_tx(tx, t(1000));
+        prop_assert_eq!(deliveries.len(), in_range.len());
+        for d in deliveries {
+            prop_assert!(d.clean, "no interference: every in-range station hears cleanly");
+            prop_assert!(in_range.contains(&d.station));
+        }
+    }
+
+    /// With two simultaneous transmitters, a receiver in range of both can
+    /// receive at most one of them cleanly (and only by capture).
+    #[test]
+    fn at_most_one_clean_reception_under_overlap(
+        points in proptest::collection::vec(arb_point(), 3..10)
+    ) {
+        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(3));
+        let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
+        let (a, b) = (ids[0], ids[1]);
+        let ta = m.start_tx(a, t(0));
+        let tb = m.start_tx(b, t(1));
+        let da = m.end_tx(ta, t(1000));
+        let db = m.end_tx(tb, t(1001));
+        for &rx in &ids[2..] {
+            let clean_a = da.iter().any(|d| d.station == rx && d.clean);
+            let clean_b = db.iter().any(|d| d.station == rx && d.clean);
+            if m.in_range(a, rx) && m.in_range(b, rx) {
+                prop_assert!(!(clean_a && clean_b),
+                    "a receiver cannot cleanly hear two overlapping in-range signals");
+            }
+        }
+    }
+
+    /// The propagation curve is monotone and the interference power never
+    /// exceeds the signal power at the same distance.
+    #[test]
+    fn propagation_is_monotone(d1 in 0.5f64..50.0, d2 in 0.5f64..50.0) {
+        let p = Propagation::new(PropagationConfig::default());
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(p.power_at_distance(near) >= p.power_at_distance(far));
+        prop_assert!(p.interference_power(d1) <= p.power_at_distance(d1));
+    }
+
+    /// Per-packet noise: an error rate of 0 never corrupts, 1 always does.
+    #[test]
+    fn noise_extremes_behave(seed in 0u64..1000) {
+        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(seed));
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(5.0, 0.0, 0.0));
+        let _ = a;
+        m.set_rx_error_rate(b, 0.0);
+        let tx = m.start_tx(StationId(0), t(0));
+        prop_assert!(m.end_tx(tx, t(100))[0].clean);
+        m.set_rx_error_rate(b, 1.0);
+        let tx = m.start_tx(StationId(0), t(200));
+        prop_assert!(!m.end_tx(tx, t(300))[0].clean);
+    }
+}

@@ -1,0 +1,267 @@
+//! Totally-ordered, cancellable event queue.
+//!
+//! Determinism requirement: when two events are scheduled for the same
+//! instant, they are delivered in the order they were scheduled. The queue
+//! therefore keys on `(time, insertion sequence)` — a total order — rather
+//! than on time alone, which would leave same-time ordering to the heap's
+//! whim and break replayability.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    priority: u8,
+    seq: u64,
+    payload: E,
+}
+
+// Order by (time, priority, seq). Payload never participates in ordering.
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `pop` yields events in nondecreasing time order; ties are broken by
+/// insertion order. Events can be cancelled by [`EventId`]; cancelled events
+/// are skipped lazily at pop time, so cancellation is O(1).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Time of the most recently popped event; used to reject scheduling in
+    /// the past, which would silently corrupt causality.
+    watermark: SimTime,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Priority assigned by [`EventQueue::schedule`].
+    pub const DEFAULT_PRIORITY: u8 = 128;
+
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` for delivery at `time` with default priority.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the most recently popped event: scheduling
+    /// into the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        self.schedule_with_priority(time, Self::DEFAULT_PRIORITY, payload)
+    }
+
+    /// Schedule with an explicit same-instant priority: among events at the
+    /// same time, lower `priority` fires first (ties still break by
+    /// insertion order).
+    ///
+    /// The radio simulation uses this to process end-of-transmission
+    /// (frame delivery) before timers at the same instant: a station whose
+    /// contention slot lands exactly at the end of an overheard RTS must
+    /// hear that RTS — and defer — before its own timer lets it transmit,
+    /// mirroring hardware that finishes decoding a frame before acting on a
+    /// slot boundary.
+    pub fn schedule_with_priority(&mut self, time: SimTime, priority: u8, payload: E) -> EventId {
+        assert!(
+            time >= self.watermark,
+            "scheduled event at {time:?} before current time {:?}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            priority,
+            seq,
+            payload,
+        }));
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Remove and return the next live event, or `None` if the queue is
+    /// drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.watermark = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads eagerly so peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` iff no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        q.cancel(a); // must not panic or affect later events
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn lower_priority_value_fires_first_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_with_priority(t(5), 100, "timer");
+        q.schedule_with_priority(t(5), 0, "delivery");
+        assert_eq!(q.pop(), Some((t(5), "delivery")));
+        assert_eq!(q.pop(), Some((t(5), "timer")));
+    }
+
+    #[test]
+    fn priority_does_not_override_time() {
+        let mut q = EventQueue::new();
+        q.schedule_with_priority(t(10), 0, "late-but-urgent");
+        q.schedule_with_priority(t(5), 255, "early-but-lazy");
+        assert_eq!(q.pop(), Some((t(5), "early-but-lazy")));
+        assert_eq!(q.pop(), Some((t(10), "late-but-urgent")));
+    }
+
+    #[test]
+    fn same_time_as_now_is_allowed() {
+        // Zero-delay self-scheduling is legal (e.g. null turnaround).
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "x");
+        q.pop();
+        q.schedule(t(10), "y");
+        assert_eq!(q.pop(), Some((t(10), "y")));
+    }
+}

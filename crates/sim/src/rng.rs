@@ -1,0 +1,177 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic choice in the simulator (contention timers, traffic
+//! jitter, noise draws) flows through a [`SimRng`] derived from the scenario
+//! seed, so a scenario is fully reproducible from `(topology, seed)`.
+//!
+//! Independent subsystems get *streams* split off the root seed with
+//! [`SimRng::fork`]; forking uses SplitMix64 on `(seed, label)` so adding a
+//! new consumer never perturbs the draws seen by existing ones (the classic
+//! "shared RNG" reproducibility trap).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded deterministic RNG stream.
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create the root stream for a scenario.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derive an independent child stream labelled `label`.
+    ///
+    /// Children with distinct labels are statistically independent; the same
+    /// `(seed, label)` always yields the same stream.
+    pub fn fork(&self, label: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(label.wrapping_add(0x9E37_79B9_7F4A_7C15))))
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_inclusive: empty range {lo}..={hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// `p <= 0` always yields `false`; `p >= 1` always yields `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_f64() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times). Mean must be positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "exponential: bad mean {mean}");
+        // Inverse-CDF sampling; guard the log argument away from zero.
+        let u = 1.0 - self.uniform_f64();
+        -mean * u.ln()
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixer used only for seed derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.uniform_inclusive(0, 1000), b.uniform_inclusive(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100)
+            .filter(|_| a.uniform_inclusive(0, u64::MAX) == b.uniform_inclusive(0, u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        // Forking must depend only on (seed, label), not on how many draws
+        // the parent has made: otherwise adding a draw anywhere reshuffles
+        // the whole simulation.
+        let mut a = SimRng::new(7);
+        let b = SimRng::new(7);
+        let _ = a.uniform_f64();
+        let mut fa = a.fork(3);
+        let mut fb = b.fork(3);
+        for _ in 0..100 {
+            assert_eq!(fa.uniform_inclusive(0, 1 << 40), fb.uniform_inclusive(0, 1 << 40));
+        }
+    }
+
+    #[test]
+    fn distinct_fork_labels_are_distinct_streams() {
+        let root = SimRng::new(9);
+        let mut x = root.fork(1);
+        let mut y = root.fork(2);
+        let same = (0..100)
+            .filter(|_| x.uniform_inclusive(0, u64::MAX) == y.uniform_inclusive(0, u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_endpoints() {
+        let mut r = SimRng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match r.uniform_inclusive(1, 4) {
+                1 => saw_lo = true,
+                4 => saw_hi = true,
+                2 | 3 => {}
+                other => panic!("out of range draw {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(11);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(13);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn exponential_has_requested_mean() {
+        let mut r = SimRng::new(17);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the event queue: the total order and cancellation
+//! semantics hold for arbitrary schedules.
+
+use macaw_sim::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn t(ns: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(ns)
+}
+
+proptest! {
+    /// Popping yields nondecreasing times, and same-time events keep their
+    /// insertion order (per priority class).
+    #[test]
+    fn pop_order_is_total_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &tm) in times.iter().enumerate() {
+            q.schedule(t(tm), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((tm, idx)) = q.pop() {
+            popped += 1;
+            prop_assert_eq!(t(times[idx]), tm, "event fired at its scheduled time");
+            if let Some((lt, lidx)) = last {
+                prop_assert!(tm >= lt, "time order violated");
+                if tm == lt {
+                    prop_assert!(idx > lidx, "insertion order violated at equal times");
+                }
+            }
+            last = Some((tm, idx));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelled events never fire; everything else does, exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate().map(|(i, &tm)| q.schedule(t(tm), i)).collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*id);
+                cancelled.insert(i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        let mut fired = std::collections::HashSet::new();
+        while let Some((_, idx)) = q.pop() {
+            prop_assert!(!cancelled.contains(&idx), "cancelled event fired");
+            prop_assert!(fired.insert(idx), "event fired twice");
+        }
+        prop_assert_eq!(fired.len(), times.len() - cancelled.len());
+    }
+
+    /// Priorities order within an instant but never across instants.
+    #[test]
+    fn priority_orders_within_instant_only(
+        events in proptest::collection::vec((0u64..50, 0u8..4), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(tm, prio)) in events.iter().enumerate() {
+            q.schedule_with_priority(t(tm), prio, i);
+        }
+        let mut last: Option<(SimTime, u8)> = None;
+        while let Some((tm, idx)) = q.pop() {
+            let prio = events[idx].1;
+            if let Some((lt, lp)) = last {
+                prop_assert!(tm >= lt);
+                if tm == lt {
+                    prop_assert!(prio >= lp, "priority order violated within instant");
+                }
+            }
+            last = Some((tm, prio));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Mobility: a pad walks between two cells mid-run.
+//!
+//! ```sh
+//! cargo run --release --example mobility
+//! ```
+//!
+//! The pad starts in cell 1, walks to cell 2 at t = 60 s, and back at
+//! t = 120 s. Its stream is addressed to base 1, so while it is away its
+//! packets cannot be delivered (the paper's radios have no inter-cell
+//! handoff at the MAC layer; §3.4 discusses how per-destination backoff
+//! keeps a base station's other streams healthy while one pad is absent —
+//! which this example also demonstrates).
+
+use macaw::prelude::*;
+
+fn main() {
+    let mut sc = Scenario::new(5);
+    let b1 = sc.add_station("B1", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+    let _b2 = sc.add_station("B2", Point::new(40.0, 0.0, 6.0), MacKind::Macaw);
+    let walker = sc.add_station("walker", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
+    let resident = sc.add_station("resident", Point::new(-3.0, 0.0, 0.0), MacKind::Macaw);
+
+    // The walker talks to B1 both ways; the resident keeps B1 honest.
+    sc.add_udp_stream("walk-up", walker, b1, 16, 512);
+    sc.add_udp_stream("walk-down", b1, walker, 16, 512);
+    sc.add_udp_stream("resident-up", resident, b1, 16, 512);
+
+    // Walk away at 60 s, come home at 120 s.
+    sc.move_station_at(
+        SimTime::ZERO + SimDuration::from_secs(60),
+        walker,
+        Point::new(37.0, 0.0, 0.0),
+    );
+    sc.move_station_at(
+        SimTime::ZERO + SimDuration::from_secs(120),
+        walker,
+        Point::new(3.0, 0.0, 0.0),
+    );
+
+    // Sample deliveries in 30-second windows by running incrementally.
+    let mut net = sc.build();
+    let mut last = vec![0u64; 3];
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "window", "walk-up", "walk-down", "resident-up"
+    );
+    for w in 0..6u64 {
+        let end = SimTime::ZERO + SimDuration::from_secs(30 * (w + 1));
+        net.run_until(end);
+        let r = net.report(end);
+        let now: Vec<u64> = r.streams.iter().map(|s| s.delivered).collect();
+        println!(
+            "{:>7}s-{:<3} {:>10} {:>10} {:>12}",
+            30 * w,
+            format!("{}s", 30 * (w + 1)),
+            now[0] - last[0],
+            now[1] - last[1],
+            now[2] - last[2],
+        );
+        last = now;
+    }
+    println!(
+        "\nWhile the walker is away (60-120 s) its streams fall to zero, but\n\
+         the resident's stream keeps its full rate: per-destination backoff\n\
+         isolates the unreachable pad (the paper's Figure 9 / Table 8 point)."
+    );
+}

@@ -1,0 +1,58 @@
+//! The four-cell PARC office slice of Figure 11 / Table 11: an open area
+//! with a noisy whiteboard, two offices, a coffee room, TCP transport, and
+//! a pad that walks in 300 seconds into the run.
+//!
+//! ```sh
+//! cargo run --release --example parc_office
+//! ```
+
+use macaw::prelude::*;
+
+fn main() {
+    let arrive = SimTime::ZERO + SimDuration::from_secs(300);
+    let dur = SimDuration::from_secs(2000);
+    let warm = SimDuration::from_secs(50);
+
+    println!("four-cell PARC office (Figure 11), 2000 simulated seconds");
+    println!("noise: 1% packet error in the open area; P7 arrives at t=300 s\n");
+
+    let mut results = Vec::new();
+    for (name, mac) in [("MACA", MacKind::Maca), ("MACAW", MacKind::Macaw)] {
+        let r = figures::figure11(mac, 11, arrive).run(dur, warm);
+        results.push((name, r));
+    }
+
+    println!(
+        "{:<8} {:>10} {:>10}",
+        "stream",
+        results[0].0,
+        results[1].0
+    );
+    let names: Vec<String> = results[0].1.streams.iter().map(|s| s.name.clone()).collect();
+    for n in &names {
+        println!(
+            "{:<8} {:>10.2} {:>10.2}",
+            n,
+            results[0].1.throughput(n),
+            results[1].1.throughput(n)
+        );
+    }
+    for (name, r) in &results {
+        let top = r
+            .streams
+            .iter()
+            .map(|s| s.throughput_pps)
+            .fold(0.0, f64::max);
+        println!(
+            "\n{name}: total {:.2} pps, top stream share {:.0}%, Jain {:.3}",
+            r.total_throughput(),
+            100.0 * top / r.total_throughput(),
+            r.jain_fairness()
+        );
+    }
+    println!(
+        "\nThe paper's claim: MACAW distributes throughput more fairly —\n\
+         the dominant streams' share shrinks while the open-area pads,\n\
+         fighting both contention and noise, stop starving."
+    );
+}

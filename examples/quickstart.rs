@@ -1,0 +1,41 @@
+//! Quickstart: build a one-cell network, run MACAW, read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use macaw::prelude::*;
+
+fn main() {
+    // A nanocell: one ceiling-mounted base station and three pads.
+    // Coordinates are in feet; the paper's pads sit 6 ft below the base.
+    let mut sc = Scenario::new(42);
+    let base = sc.add_station("base", Point::new(0.0, 0.0, 6.0), MacKind::Macaw);
+    let p1 = sc.add_station("pad-1", Point::new(4.0, 0.0, 0.0), MacKind::Macaw);
+    let p2 = sc.add_station("pad-2", Point::new(-2.0, 3.5, 0.0), MacKind::Macaw);
+    let p3 = sc.add_station("pad-3", Point::new(-2.0, -3.5, 0.0), MacKind::Macaw);
+
+    // Three saturating uplinks, all 512-byte UDP packets (the paper's
+    // workload: constant bit rate, 32 packets per second per stream).
+    sc.add_udp_stream("up-1", p1, base, 32, 512);
+    sc.add_udp_stream("up-2", p2, base, 32, 512);
+    sc.add_udp_stream("up-3", p3, base, 32, 512);
+
+    // Run 120 simulated seconds, measuring after a 10 s warm-up.
+    let report = sc.run(SimDuration::from_secs(120), SimDuration::from_secs(10));
+
+    println!("{}", report.table());
+    println!(
+        "channel utilization (data): {:.1}%   Jain fairness: {:.3}",
+        100.0 * report.data_utilization(),
+        report.jain_fairness()
+    );
+
+    // The MACAW protocol counters are available per station:
+    if let Some(stats) = &report.mac_stats[base] {
+        println!(
+            "base station: {} RTS sent, {} CTS sent, {} data delivered up",
+            stats.rts_sent, stats.cts_sent, stats.data_delivered
+        );
+    }
+}

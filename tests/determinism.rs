@@ -1,0 +1,73 @@
+//! Determinism: a scenario is a pure function of `(topology, seed)`.
+//! Replayability is what makes the paper tables reproducible at all.
+
+use macaw::prelude::*;
+
+const DUR: SimDuration = SimDuration::from_secs(60);
+const WARM: SimDuration = SimDuration::from_secs(5);
+
+fn fingerprint(r: &RunReport) -> Vec<(String, u64, u64)> {
+    r.streams
+        .iter()
+        .map(|s| (s.name.clone(), s.offered, s.delivered))
+        .collect()
+}
+
+#[test]
+fn every_figure_replays_identically() {
+    let arrive = SimTime::ZERO + SimDuration::from_secs(20);
+    let off = SimTime::ZERO + SimDuration::from_secs(20);
+    type Builder = Box<dyn Fn(u64) -> Scenario>;
+    let builders: Vec<(&str, Builder)> = vec![
+        ("fig1h", Box::new(|s| figures::figure1_hidden(MacKind::Macaw, s))),
+        ("fig1e", Box::new(|s| figures::figure1_exposed(MacKind::Macaw, s))),
+        ("fig2", Box::new(|s| figures::figure2(MacKind::Maca, s))),
+        ("fig3", Box::new(|s| figures::figure3(MacKind::Macaw, s))),
+        ("fig4", Box::new(|s| figures::figure4(MacKind::Macaw, s))),
+        ("fig5", Box::new(|s| figures::figure5(MacKind::Macaw, s))),
+        ("fig6", Box::new(|s| figures::figure6(MacKind::Macaw, s))),
+        ("fig7", Box::new(|s| figures::figure7(MacKind::Macaw, s))),
+        ("fig8", Box::new(|s| figures::figure8(MacKind::Macaw, s))),
+        ("fig9", Box::new(move |s| figures::figure9(MacKind::Macaw, s, off))),
+        ("fig10", Box::new(|s| figures::figure10(MacKind::Macaw, s))),
+        ("fig11", Box::new(move |s| figures::figure11(MacKind::Macaw, s, arrive))),
+        ("tbl4", Box::new(|s| figures::table4(MacKind::Macaw, s, 0.05))),
+    ];
+    for (name, build) in &builders {
+        let a = build(99).run(DUR, WARM);
+        let b = build(99).run(DUR, WARM);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{name}: same seed must replay identically"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    // Stochastic contention means two seeds almost surely differ in
+    // delivered counts somewhere.
+    let a = figures::figure3(MacKind::Macaw, 1).run(DUR, WARM);
+    let b = figures::figure3(MacKind::Macaw, 2).run(DUR, WARM);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn incremental_and_one_shot_runs_agree() {
+    // Driving the network in small steps must produce exactly the same
+    // trajectory as one big run_until.
+    let end = SimTime::ZERO + DUR;
+    let mut stepped = figures::figure4(MacKind::Macaw, 5).build();
+    let mut t = SimTime::ZERO;
+    while t < end {
+        t += SimDuration::from_secs(7);
+        stepped.run_until(t.min(end));
+    }
+    let mut oneshot = figures::figure4(MacKind::Macaw, 5).build();
+    oneshot.run_until(end);
+    assert_eq!(
+        fingerprint(&stepped.report(end)),
+        fingerprint(&oneshot.report(end))
+    );
+}

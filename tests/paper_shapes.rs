@@ -1,0 +1,241 @@
+//! Integration tests asserting the qualitative *shape* of every table in
+//! the paper, at durations short enough for CI (the full-length numbers
+//! live in `cargo run -p macaw-bench --bin tables` and EXPERIMENTS.md).
+
+use macaw::mac::BackoffSharing;
+use macaw::prelude::*;
+
+const DUR: SimDuration = SimDuration::from_secs(200);
+const WARM: SimDuration = SimDuration::from_secs(20);
+
+fn custom(f: impl Fn(&mut MacConfig)) -> MacKind {
+    let mut c = MacConfig::maca();
+    f(&mut c);
+    MacKind::Custom(c)
+}
+
+fn era_331(ack: bool, ds: bool, rrts: bool) -> MacKind {
+    custom(|c| {
+        c.backoff_algo = BackoffAlgo::Mild;
+        c.backoff_sharing = BackoffSharing::Copy;
+        c.queues = QueueMode::PerStream;
+        c.use_ack = ack;
+        c.use_ds = ds;
+        c.use_rrts = rrts;
+    })
+}
+
+#[test]
+fn figure1_csma_collapses_at_hidden_terminal_and_macaw_recovers() {
+    let csma = figures::figure1_hidden(MacKind::Csma(Default::default()), 7).run(DUR, WARM);
+    assert!(
+        csma.total_throughput() < 1.0,
+        "CSMA hidden-terminal total must collapse, got {}",
+        csma.total_throughput()
+    );
+    let macaw = figures::figure1_hidden(MacKind::Macaw, 7).run(DUR, WARM);
+    assert!(macaw.total_throughput() > 25.0);
+    assert!(macaw.jain_fairness() > 0.9, "MACAW must also be fair");
+}
+
+#[test]
+fn table1_beb_captures_and_copying_restores_fairness() {
+    let beb = figures::figure2(custom(|_| ()), 11).run(DUR, WARM);
+    assert!(
+        beb.jain_fairness() < 0.6,
+        "BEB must show capture, Jain = {}",
+        beb.jain_fairness()
+    );
+    let copy = figures::figure2(custom(|c| c.backoff_sharing = BackoffSharing::Copy), 11)
+        .run(DUR, WARM);
+    assert!(
+        copy.jain_fairness() > 0.95,
+        "copying must be fair, Jain = {}",
+        copy.jain_fairness()
+    );
+    assert!(copy.total_throughput() > 35.0);
+}
+
+#[test]
+fn table2_mild_beats_beb_under_copying() {
+    let mk = |algo| {
+        custom(|c| {
+            c.backoff_algo = algo;
+            c.backoff_sharing = BackoffSharing::Copy;
+        })
+    };
+    let beb = figures::figure3(mk(BackoffAlgo::Beb), 11).run(DUR, WARM);
+    let mild = figures::figure3(mk(BackoffAlgo::Mild), 11).run(DUR, WARM);
+    assert!(beb.jain_fairness() > 0.95 && mild.jain_fairness() > 0.95);
+    assert!(
+        mild.total_throughput() > beb.total_throughput(),
+        "MILD ({:.1}) must beat BEB ({:.1})",
+        mild.total_throughput(),
+        beb.total_throughput()
+    );
+}
+
+#[test]
+fn table3_queue_model_sets_the_allocation_unit() {
+    let mk = |q| {
+        custom(|c| {
+            c.backoff_algo = BackoffAlgo::Mild;
+            c.backoff_sharing = BackoffSharing::Copy;
+            c.queues = q;
+        })
+    };
+    // Single FIFO: bandwidth per station, so P3's stream gets ~2x each of
+    // the base station's two streams.
+    let single = figures::figure4(mk(QueueMode::SingleFifo), 3).run(DUR, WARM);
+    let p3 = single.throughput("P3-B");
+    let b_each = (single.throughput("B-P1") + single.throughput("B-P2")) / 2.0;
+    assert!(
+        p3 > 1.5 * b_each,
+        "single queue: P3 ({p3:.1}) must get ~2x the base's streams ({b_each:.1})"
+    );
+    // Per-stream queues: roughly even thirds.
+    let multi = figures::figure4(mk(QueueMode::PerStream), 3).run(DUR, WARM);
+    assert!(
+        multi.jain_fairness() > 0.9,
+        "per-stream queues must be fair, Jain = {}",
+        multi.jain_fairness()
+    );
+}
+
+#[test]
+fn table4_link_ack_wins_under_heavy_noise() {
+    let noack = figures::table4(era_331(false, false, false), 4, 0.1).run(DUR, WARM);
+    let ack = figures::table4(era_331(true, false, false), 4, 0.1).run(DUR, WARM);
+    let clean = figures::table4(era_331(false, false, false), 4, 0.0).run(DUR, WARM);
+    assert!(
+        noack.throughput("P-B") < clean.throughput("P-B") / 4.0,
+        "10% noise must collapse TCP without link recovery"
+    );
+    assert!(
+        ack.throughput("P-B") > 1.5 * noack.throughput("P-B"),
+        "link ACK ({:.1}) must beat transport-only recovery ({:.1}) at 10% noise",
+        ack.throughput("P-B"),
+        noack.throughput("P-B")
+    );
+}
+
+#[test]
+fn table5_ds_fixes_the_exposed_terminal_configuration() {
+    let nods = figures::figure5(era_331(true, false, false), 5).run(DUR, WARM);
+    let ds = figures::figure5(era_331(true, true, false), 5).run(DUR, WARM);
+    assert!(
+        ds.total_throughput() > nods.total_throughput() * 1.3,
+        "DS must recover most of the lost capacity: {:.1} vs {:.1}",
+        ds.total_throughput(),
+        nods.total_throughput()
+    );
+    assert!(ds.jain_fairness() > 0.95, "with DS both streams share evenly");
+    // The paper's with-DS operating point: ~23 pps per stream.
+    assert!(ds.throughput("P1-B1") > 17.0 && ds.throughput("P2-B2") > 17.0);
+}
+
+#[test]
+fn table6_rrts_improves_the_blocked_receiver() {
+    let norrts = figures::figure6(era_331(true, true, false), 6).run(DUR, WARM);
+    let rrts = figures::figure6(era_331(true, true, true), 6).run(DUR, WARM);
+    assert!(rrts.jain_fairness() > 0.95);
+    assert!(
+        rrts.total_throughput() >= norrts.total_throughput() * 0.95,
+        "RRTS must not cost meaningful capacity"
+    );
+    assert!(rrts.throughput("B1-P1") > 12.0 && rrts.throughput("B2-P2") > 12.0);
+}
+
+#[test]
+fn table7_unsolved_configuration_denies_b1() {
+    let r = figures::figure7(MacKind::Macaw, 7).run(DUR, WARM);
+    assert!(
+        r.throughput("B1-P1") < r.throughput("P2-B2") / 5.0,
+        "B1-P1 ({:.1}) must be starved relative to P2-B2 ({:.1})",
+        r.throughput("B1-P1"),
+        r.throughput("P2-B2")
+    );
+    assert!(r.throughput("P2-B2") > 35.0, "P2-B2 runs near capacity");
+}
+
+#[test]
+fn table8_per_destination_backoff_isolates_a_dead_pad() {
+    let off = SimTime::ZERO + SimDuration::from_secs(50);
+    let single = {
+        let mut c = MacConfig::macaw();
+        c.backoff_sharing = BackoffSharing::Copy;
+        figures::figure9(MacKind::Custom(c), 8, off).run(DUR, WARM)
+    };
+    let perdst = figures::figure9(MacKind::Macaw, 8, off).run(DUR, WARM);
+    let survivors = ["B1-P2", "P2-B1", "B1-P3", "P3-B1"];
+    let total = |r: &RunReport| survivors.iter().map(|s| r.throughput(s)).sum::<f64>();
+    assert!(
+        total(&perdst) > total(&single) * 1.2,
+        "per-destination ({:.1}) must beat the single shared counter ({:.1})",
+        total(&perdst),
+        total(&single)
+    );
+}
+
+#[test]
+fn table9_overhead_ordering_holds() {
+    let mk = |mac| {
+        let mut sc = Scenario::new(7);
+        let b = sc.add_station("B", Point::new(0.0, 0.0, 6.0), mac);
+        let p = sc.add_station("P", Point::new(3.0, 0.0, 0.0), mac);
+        sc.add_udp_stream("P-B", p, b, 64, 512);
+        sc.run(DUR, WARM)
+    };
+    let maca = mk(MacKind::Maca).throughput("P-B");
+    let macaw = mk(MacKind::Macaw).throughput("P-B");
+    assert!(maca > 50.0 && maca < 57.0, "MACA single stream = {maca:.2}");
+    assert!(macaw > 43.0 && macaw < 51.0, "MACAW single stream = {macaw:.2}");
+    assert!(maca > macaw, "MACA must beat MACAW on a clean channel");
+    let overhead = (maca - macaw) / maca;
+    assert!(
+        overhead > 0.04 && overhead < 0.2,
+        "DS+ACK overhead should be roughly the paper's ~8%, got {:.0}%",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn table10_macaw_is_fair_within_the_congested_cell() {
+    let macaw = figures::figure10(MacKind::Macaw, 10).run(DUR, WARM);
+    let c1 = [
+        "P1-B1", "P2-B1", "P3-B1", "P4-B1", "B1-P1", "B1-P2", "B1-P3", "B1-P4",
+    ];
+    let j = macaw.jain_fairness_of(&c1);
+    assert!(j > 0.9, "C1 streams must share fairly under MACAW, Jain = {j:.3}");
+    // C2 must not be starved by the straddler, and the straddler itself
+    // keeps most of its offered 32 pps.
+    assert!(macaw.throughput("P5-B2") + macaw.throughput("B2-P5") > 3.0);
+    assert!(macaw.throughput("P6-B3") > 20.0);
+    let maca = figures::figure10(MacKind::Maca, 10).run(DUR, WARM);
+    assert!(
+        maca.jain_fairness() < macaw.jain_fairness(),
+        "MACA must be less fair than MACAW"
+    );
+}
+
+#[test]
+fn table11_macaw_shrinks_the_top_streams_share() {
+    let arrive = SimTime::ZERO + SimDuration::from_secs(60);
+    let share = |r: &RunReport| {
+        let top = r
+            .streams
+            .iter()
+            .map(|s| s.throughput_pps)
+            .fold(0.0, f64::max);
+        top / r.total_throughput()
+    };
+    let maca = figures::figure11(MacKind::Maca, 11, arrive).run(DUR * 2, WARM);
+    let macaw = figures::figure11(MacKind::Macaw, 11, arrive).run(DUR * 2, WARM);
+    assert!(
+        share(&macaw) < share(&maca),
+        "MACAW top-stream share ({:.2}) must be below MACA's ({:.2})",
+        share(&macaw),
+        share(&maca)
+    );
+    assert!(macaw.jain_fairness() > maca.jain_fairness());
+}
