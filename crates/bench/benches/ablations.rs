@@ -9,13 +9,16 @@
 //! * `fig8_leakage` — the backoff-leakage configuration of §3.4 (Figure 8):
 //!   single shared counter vs per-destination backoff across two cells with
 //!   different congestion levels.
+//! * `recovery_ladder` — transport-only vs link NACK vs link ACK recovery
+//!   over a noisy channel (Table-4 setup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use macaw_bench::stopwatch;
 use macaw_core::prelude::*;
 use macaw_mac::BackoffSharing;
 
 const SECS: u64 = 30;
 const WARM: u64 = 5;
+const ITERS: u32 = 5;
 
 fn run(sc: Scenario) -> RunReport {
     sc.run(
@@ -24,7 +27,7 @@ fn run(sc: Scenario) -> RunReport {
     )
 }
 
-fn backoff_grid(c: &mut Criterion) {
+fn backoff_grid() {
     println!("== ablation: backoff algorithm x sharing (Figure 3, 6 pads) ==");
     for algo in [BackoffAlgo::Beb, BackoffAlgo::Mild] {
         for sharing in [
@@ -46,12 +49,12 @@ fn backoff_grid(c: &mut Criterion) {
     let mut cfg = MacConfig::maca();
     cfg.backoff_algo = BackoffAlgo::Mild;
     cfg.backoff_sharing = BackoffSharing::Copy;
-    c.bench_function("ablation_backoff_mild_copy_fig3", |b| {
-        b.iter(|| std::hint::black_box(run(figures::figure3(MacKind::Custom(cfg), 1))))
+    stopwatch::bench("ablation_backoff_mild_copy_fig3", ITERS, || {
+        run(figures::figure3(MacKind::Custom(cfg), 1))
     });
 }
 
-fn exchange_ladder(c: &mut Criterion) {
+fn exchange_ladder() {
     println!("== ablation: message-exchange ladder ==");
     let steps: [(&str, bool, bool, bool, bool); 5] = [
         ("RTS-CTS-DATA", false, false, false, false),
@@ -81,12 +84,12 @@ fn exchange_ladder(c: &mut Criterion) {
             f6.jain_fairness()
         );
     }
-    c.bench_function("ablation_exchange_full_fig6", |b| {
-        b.iter(|| std::hint::black_box(run(figures::figure6(MacKind::Macaw, 1))))
+    stopwatch::bench("ablation_exchange_full_fig6", ITERS, || {
+        run(figures::figure6(MacKind::Macaw, 1))
     });
 }
 
-fn gamma_sensitivity(c: &mut Criterion) {
+fn gamma_sensitivity() {
     println!("== ablation: near-field decay exponent (Figure 10) ==");
     for gamma in [3.0, 4.0, 5.0, 6.0, 8.0] {
         for cutoff in [CutoffMode::Hard, CutoffMode::Physical] {
@@ -104,12 +107,12 @@ fn gamma_sensitivity(c: &mut Criterion) {
             );
         }
     }
-    c.bench_function("ablation_gamma6_fig10", |b| {
-        b.iter(|| std::hint::black_box(run(figures::figure10(MacKind::Macaw, 1))))
+    stopwatch::bench("ablation_gamma6_fig10", ITERS, || {
+        run(figures::figure10(MacKind::Macaw, 1))
     });
 }
 
-fn fig8_leakage(c: &mut Criterion) {
+fn fig8_leakage() {
     println!("== ablation: backoff leakage across cells (Figure 8) ==");
     for sharing in [BackoffSharing::Copy, BackoffSharing::PerDestination] {
         let mut cfg = MacConfig::macaw();
@@ -122,12 +125,12 @@ fn fig8_leakage(c: &mut Criterion) {
             c1, c2
         );
     }
-    c.bench_function("ablation_fig8_perdest", |b| {
-        b.iter(|| std::hint::black_box(run(figures::figure8(MacKind::Macaw, 1))))
+    stopwatch::bench("ablation_fig8_perdest", ITERS, || {
+        run(figures::figure8(MacKind::Macaw, 1))
     });
 }
 
-fn recovery_ladder(c: &mut Criterion) {
+fn recovery_ladder() {
     println!("== ablation: loss recovery (TCP over 5% noise, Table-4 setup) ==");
     let variants: [(&str, bool, bool); 3] = [
         ("transport-only", false, false),
@@ -144,17 +147,17 @@ fn recovery_ladder(c: &mut Criterion) {
         let r = run(figures::table4(MacKind::Custom(cfg), 1, 0.05));
         println!("  {name:<15}: {:6.2} pps", r.throughput("P-B"));
     }
-    c.bench_function("ablation_recovery_nack", |b| {
+    stopwatch::bench("ablation_recovery_nack", ITERS, || {
         let mut cfg = MacConfig::maca();
         cfg.use_nack = true;
-        b.iter(|| std::hint::black_box(run(figures::table4(MacKind::Custom(cfg), 1, 0.05))))
+        run(figures::table4(MacKind::Custom(cfg), 1, 0.05))
     });
 }
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = backoff_grid, exchange_ladder, gamma_sensitivity, fig8_leakage,
-        recovery_ladder
+fn main() {
+    backoff_grid();
+    exchange_ladder();
+    gamma_sensitivity();
+    fig8_leakage();
+    recovery_ladder();
 }
-criterion_main!(ablations);

@@ -3,63 +3,40 @@
 //! Measures simulated-seconds-per-wallclock-second on representative
 //! scenarios, and the scaling of the radio medium with station count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macaw_bench::stopwatch;
 use macaw_core::prelude::*;
 
-fn sim_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn main() {
     // One saturated cell, 60 simulated seconds.
-    g.bench_function("single_cell_60s", |b| {
-        b.iter(|| {
-            std::hint::black_box(figures::figure3(MacKind::Macaw, 1).run(
-                SimDuration::from_secs(60),
-                SimDuration::from_secs(5),
-            ))
-        })
+    stopwatch::bench("engine/single_cell_60s", 5, || {
+        figures::figure3(MacKind::Macaw, 1).run(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+        )
     });
     // The big four-cell TCP scenario, 60 simulated seconds.
-    g.bench_function("parc_office_60s", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                figures::figure11(
-                    MacKind::Macaw,
-                    1,
-                    SimTime::ZERO + SimDuration::from_secs(10),
-                )
-                .run(SimDuration::from_secs(60), SimDuration::from_secs(5)),
-            )
-        })
+    stopwatch::bench("engine/parc_office_60s", 5, || {
+        figures::figure11(
+            MacKind::Macaw,
+            1,
+            SimTime::ZERO + SimDuration::from_secs(10),
+        )
+        .run(SimDuration::from_secs(60), SimDuration::from_secs(5))
     });
-    g.finish();
-}
-
-fn medium_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("medium_scaling");
+    // Radio-medium scaling with station count: n/2 pad->base pairs in
+    // isolated cells, 20 simulated seconds.
     for n in [4usize, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                // n/2 pad->base pairs in isolated cells, 20 simulated secs.
-                let mut sc = Scenario::new(7);
-                for i in 0..n / 2 {
-                    let x = i as f64 * 40.0;
-                    let base =
-                        sc.add_station(&format!("B{i}"), Point::new(x, 0.0, 6.0), MacKind::Macaw);
-                    let pad =
-                        sc.add_station(&format!("P{i}"), Point::new(x + 3.0, 0.0, 0.0), MacKind::Macaw);
-                    sc.add_udp_stream(&format!("S{i}"), pad, base, 32, 512);
-                }
-                std::hint::black_box(
-                    sc.run(SimDuration::from_secs(20), SimDuration::from_secs(2)),
-                )
-            })
+        stopwatch::bench(&format!("medium_scaling/{n}"), 5, || {
+            let mut sc = Scenario::new(7);
+            for i in 0..n / 2 {
+                let x = i as f64 * 40.0;
+                let base =
+                    sc.add_station(&format!("B{i}"), Point::new(x, 0.0, 6.0), MacKind::Macaw);
+                let pad =
+                    sc.add_station(&format!("P{i}"), Point::new(x + 3.0, 0.0, 0.0), MacKind::Macaw);
+                sc.add_udp_stream(&format!("S{i}"), pad, base, 32, 512);
+            }
+            sc.run(SimDuration::from_secs(20), SimDuration::from_secs(2))
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = engine;
-    config = Criterion::default().sample_size(10);
-    targets = sim_throughput, medium_scaling
-}
-criterion_main!(engine);

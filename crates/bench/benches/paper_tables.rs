@@ -1,4 +1,5 @@
-//! Criterion benches regenerating every table of the paper.
+//! Benches regenerating every table of the paper (no external harness;
+//! see `macaw_bench::stopwatch`).
 //!
 //! Each bench measures the wall-clock cost of the table's experiment at a
 //! short simulated duration (the full-length run is the `tables` binary:
@@ -6,43 +7,32 @@
 //! table's measured rows are printed once next to the paper's, so `cargo
 //! bench` output doubles as a reproduction report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use macaw_bench as exp;
+use macaw_bench::{self as exp, stopwatch};
 use macaw_core::prelude::SimDuration;
 
 const BENCH_SECS: u64 = 30;
+const ITERS: u32 = 5;
 
 macro_rules! table_bench {
-    ($fn_name:ident, $table:ident) => {
-        fn $fn_name(c: &mut Criterion) {
-            let dur = SimDuration::from_secs(BENCH_SECS);
-            let result = exp::$table(1, dur);
-            println!("{}", result.render());
-            c.bench_function(stringify!($table), |b| {
-                b.iter(|| std::hint::black_box(exp::$table(1, dur)))
-            });
-        }
-    };
+    ($table:ident) => {{
+        let dur = SimDuration::from_secs(BENCH_SECS);
+        let result = exp::$table(1, dur);
+        println!("{}", result.render());
+        stopwatch::bench(stringify!($table), ITERS, || exp::$table(1, dur));
+    }};
 }
 
-table_bench!(bench_figure1, figure1);
-table_bench!(bench_table1, table1);
-table_bench!(bench_table2, table2);
-table_bench!(bench_table3, table3);
-table_bench!(bench_table4, table4);
-table_bench!(bench_table5, table5);
-table_bench!(bench_table6, table6);
-table_bench!(bench_table7, table7);
-table_bench!(bench_table8, table8);
-table_bench!(bench_table9, table9);
-table_bench!(bench_table10, table10);
-table_bench!(bench_table11, table11);
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figure1, bench_table1, bench_table2, bench_table3,
-        bench_table4, bench_table5, bench_table6, bench_table7,
-        bench_table8, bench_table9, bench_table10, bench_table11
+fn main() {
+    table_bench!(figure1);
+    table_bench!(table1);
+    table_bench!(table2);
+    table_bench!(table3);
+    table_bench!(table4);
+    table_bench!(table5);
+    table_bench!(table6);
+    table_bench!(table7);
+    table_bench!(table8);
+    table_bench!(table9);
+    table_bench!(table10);
+    table_bench!(table11);
 }
-criterion_main!(tables);

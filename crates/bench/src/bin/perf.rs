@@ -1,0 +1,180 @@
+//! Engine performance harness: wall time for the table workload plus
+//! simulator events/sec on representative scenarios, written to
+//! `BENCH_medium.json`.
+//!
+//! Usage:
+//!   perf [--quick] [--iters N] [--seed N] [--out PATH]
+//!
+//! Two measurements:
+//!
+//! 1. **Table workload** — `all_tables(seed, 100 s)`, the same work as
+//!    `tables --quick`, timed with [`macaw_bench::stopwatch`]. This is the
+//!    number the optimization work is judged on (see `BENCH_medium.json`'s
+//!    `baseline` block for the pre-optimization reference).
+//! 2. **Engine probe** — the three heaviest scenarios (Figure 10 under
+//!    MACA and MACAW, Figure 11 under MACAW at 4x duration) run once
+//!    each, reporting processed simulator events per wall-clock second.
+//!
+//! `--quick` is a smoke mode for CI (`scripts/verify.sh`): one short
+//! iteration, no JSON output, non-zero exit if anything panics or any
+//! throughput comes out non-finite or non-positive.
+//!
+//! Uses `std::time::Instant` only — the workspace builds offline, so
+//! Criterion is unavailable (see `crates/proptest` for the same story).
+
+use macaw_bench::stopwatch::{bench, time_once};
+use macaw_bench::{all_tables, warm_for, TABLES};
+use macaw_core::figures;
+use macaw_core::prelude::{MacKind, SimDuration, SimTime};
+
+/// Pre-optimization reference for the table workload, in milliseconds:
+/// minimum of 5 interleaved runs of the pre-change build (commit 2b361a0
+/// plus only the offline-build fixes) on the same host as the optimized
+/// numbers recorded in `BENCH_medium.json`. See DESIGN.md "Performance"
+/// for the measurement protocol.
+const BASELINE_TABLES_QUICK_MS: f64 = 1060.0;
+
+struct Probe {
+    name: &'static str,
+    events: u64,
+    secs: f64,
+}
+
+fn engine_probe(seed: u64) -> Vec<Probe> {
+    let dur = SimDuration::from_secs(100);
+    let warm = warm_for(dur);
+    let mut out = Vec::new();
+    let mut go = |name: &'static str, sc: macaw_core::scenario::Scenario, d: SimDuration| {
+        let (report, secs) = time_once(|| sc.run(d, warm));
+        assert!(
+            report.total_throughput().is_finite() && report.total_throughput() > 0.0,
+            "{name}: non-finite or zero throughput"
+        );
+        out.push(Probe {
+            name,
+            events: report.events_processed,
+            secs,
+        });
+    };
+    go("figure10-maca", figures::figure10(MacKind::Maca, seed), dur);
+    go("figure10-macaw", figures::figure10(MacKind::Macaw, seed), dur);
+    go(
+        "figure11-macaw",
+        figures::figure11(MacKind::Macaw, seed, SimTime::ZERO + SimDuration::from_secs(300)),
+        dur * 4,
+    );
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut iters = 5u32;
+    let mut seed = 1u64;
+    let mut out_path = "BENCH_medium.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--iters" => {
+                i += 1;
+                iters = args[i].parse().expect("--iters takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if quick {
+        // Smoke mode: short run, sanity checks only, no JSON.
+        let dur = SimDuration::from_secs(20);
+        let (tables, secs) = time_once(|| all_tables(seed, dur));
+        for t in &tables {
+            for total in t.totals() {
+                assert!(
+                    total.is_finite() && total >= 0.0,
+                    "{}: non-finite total throughput",
+                    t.id
+                );
+            }
+        }
+        println!("perf --quick: {} tables in {:.1} ms, all totals finite", tables.len(), secs * 1e3);
+        return;
+    }
+
+    let dur = SimDuration::from_secs(100);
+    println!("table workload: all_tables(seed={seed}, 100 s), {iters} iters");
+    let m = bench("all_tables-quick", iters, || all_tables(seed, dur));
+
+    println!("\nper-table wall time (single runs):");
+    let mut table_json = String::new();
+    for (id, f) in TABLES {
+        let (t, secs) = time_once(|| f(seed, dur));
+        debug_assert_eq!(t.id, *id);
+        println!("  {:<10} {:>8.1} ms", t.id, secs * 1e3);
+        table_json.push_str(&format!(
+            "    {{ \"table\": \"{}\", \"wall_ms\": {:.1} }},\n",
+            t.id,
+            secs * 1e3
+        ));
+    }
+    table_json.pop();
+    table_json.pop(); // drop trailing ",\n"
+    table_json.push('\n');
+
+    println!("\nengine probe (single runs):");
+    let probes = engine_probe(seed);
+    let mut probe_json = String::new();
+    let (mut tot_ev, mut tot_secs) = (0u64, 0.0f64);
+    for p in &probes {
+        let evps = p.events as f64 / p.secs;
+        println!("  {:<16} {:>9} events in {:>7.1} ms = {:.2} Mev/s", p.name, p.events, p.secs * 1e3, evps / 1e6);
+        tot_ev += p.events;
+        tot_secs += p.secs;
+        probe_json.push_str(&format!(
+            "    {{ \"scenario\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0} }},\n",
+            p.name, p.events, p.secs, evps
+        ));
+    }
+    let total_evps = tot_ev as f64 / tot_secs;
+    println!("  total: {} events in {:.1} ms = {:.2} Mev/s", tot_ev, tot_secs * 1e3, total_evps / 1e6);
+
+    let speedup = BASELINE_TABLES_QUICK_MS / (m.min_secs * 1e3);
+    println!(
+        "\nspeedup vs pre-optimization baseline ({BASELINE_TABLES_QUICK_MS:.0} ms): {speedup:.2}x"
+    );
+    assert!(
+        m.min_secs.is_finite() && m.min_secs > 0.0 && total_evps.is_finite(),
+        "non-finite measurement"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"all_tables(seed={seed}, 100s) — same work as `tables --quick`\",\n  \
+           \"iters\": {iters},\n  \
+           \"tables_quick_ms\": {{ \"min\": {:.1}, \"mean\": {:.1}, \"max\": {:.1} }},\n  \
+           \"baseline\": {{\n    \
+             \"tables_quick_ms\": {BASELINE_TABLES_QUICK_MS:.1},\n    \
+             \"note\": \"pre-optimization build (seed + offline-build fixes only), min of 5 interleaved runs on the same host\"\n  }},\n  \
+           \"speedup_vs_baseline\": {speedup:.2},\n  \
+           \"per_table\": [\n{table_json}  ],\n  \
+           \"engine_probe\": [\n{}    {{ \"scenario\": \"total\", \"events\": {tot_ev}, \"wall_secs\": {tot_secs:.6}, \"events_per_sec\": {total_evps:.0} }}\n  ]\n}}\n",
+        m.min_secs * 1e3,
+        m.mean_secs * 1e3,
+        m.max_secs * 1e3,
+        probe_json,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_medium.json");
+    println!("wrote {out_path}");
+}

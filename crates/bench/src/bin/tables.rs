@@ -1,13 +1,15 @@
 //! Regenerate every table of the MACAW paper and print paper-vs-measured.
 //!
 //! Usage:
-//!   tables [--quick] [--seed N] [--table ID]
+//!   tables [--quick] [--seed N] [--table ID] [--serial]
 //!
 //! `--quick` runs 100-second simulations instead of the paper's 500 s
 //! (2000 s for Table 11); `--table 5` runs only Table 5 (and `--table 1`
-//! also matches Figure 1).
+//! also matches Figure 1). Tables run on scoped threads by default —
+//! each is an independent deterministic simulation, so output is
+//! identical to `--serial` — and are printed in paper order.
 
-use macaw_bench::{all_tables, default_duration};
+use macaw_bench::{default_duration, run_tables_parallel, TableResult, TABLES};
 use macaw_core::prelude::SimDuration;
 
 fn main() {
@@ -15,10 +17,12 @@ fn main() {
     let mut dur = default_duration();
     let mut seed = 1u64;
     let mut only: Option<String> = None;
+    let mut serial = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => dur = SimDuration::from_secs(100),
+            "--serial" => serial = true,
             "--seed" => {
                 i += 1;
                 seed = args[i].parse().expect("--seed takes an integer");
@@ -29,24 +33,39 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: tables [--quick] [--seed N] [--table <n>]");
+                eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial]");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
-    for t in all_tables(seed, dur) {
-        if let Some(want) = &only {
-            // Accept "5", "table 5", "Figure 1" — but never by substring
-            // ("1" must not also select Tables 10 and 11).
-            let id = t.id.to_lowercase();
-            let want = want.to_lowercase();
-            let matches = id == want || t.id.split_whitespace().last() == Some(want.as_str());
-            if !matches {
-                continue;
+    // Select before running, so `--table 5` costs one table, not twelve.
+    let selected: Vec<_> = TABLES
+        .iter()
+        .filter(|(id, _)| match &only {
+            None => true,
+            Some(want) => {
+                // Accept "5", "table 5", "Figure 1" — but never by substring
+                // ("1" must not also select Tables 10 and 11).
+                let want = want.to_lowercase();
+                id.to_lowercase() == want || id.split_whitespace().last() == Some(want.as_str())
             }
-        }
+        })
+        .copied()
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no table matches {:?}", only.unwrap_or_default());
+        std::process::exit(2);
+    }
+
+    let results: Vec<TableResult> = if serial {
+        selected.iter().map(|(_, f)| f(seed, dur)).collect()
+    } else {
+        run_tables_parallel(&selected, seed, dur)
+    };
+
+    for t in results {
         println!("{}", t.render());
         let paper = t.paper_totals();
         let meas = t.totals();

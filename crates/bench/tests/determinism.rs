@@ -1,0 +1,74 @@
+//! Determinism regression tests.
+//!
+//! The simulator must be a pure function of (topology, seed): two runs of
+//! the same scenario produce identical `RunReport`s down to the f64 bit
+//! patterns, and the parallel table runner must render exactly what the
+//! serial one does. These locked in the engine-optimization work (cached
+//! geometry, incremental interference sums, out-of-heap timers): any
+//! change that perturbs event order or floating-point folds shows up here
+//! before it can silently move the paper tables.
+
+use macaw_bench::{all_tables, all_tables_parallel};
+use macaw_core::figures;
+use macaw_core::prelude::{MacKind, SimDuration, SimTime};
+
+/// Same topology + seed → byte-identical report. `Debug` for f64 prints
+/// the shortest round-trippable decimal, so string equality here is bit
+/// equality (and the `PartialEq` check catches it structurally first).
+#[test]
+fn same_seed_same_report_bitwise() {
+    let dur = SimDuration::from_secs(20);
+    let warm = SimDuration::from_secs(4);
+    for seed in [1, 7] {
+        let a = figures::figure10(MacKind::Macaw, seed).run(dur, warm);
+        let b = figures::figure10(MacKind::Macaw, seed).run(dur, warm);
+        assert_eq!(a, b, "figure10 seed {seed}: reports differ structurally");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "figure10 seed {seed}: reports differ in f64 bit patterns"
+        );
+    }
+}
+
+/// Different seeds must actually change the trajectory — otherwise the
+/// test above would pass vacuously on a seed-blind engine.
+#[test]
+fn different_seed_different_report() {
+    let dur = SimDuration::from_secs(20);
+    let warm = SimDuration::from_secs(4);
+    let a = figures::figure10(MacKind::Macaw, 1).run(dur, warm);
+    let b = figures::figure10(MacKind::Macaw, 2).run(dur, warm);
+    assert_ne!(a, b, "seeds 1 and 2 produced identical reports");
+}
+
+/// Mobility/noise scenario (Figure 11) is deterministic too — it exercises
+/// position invalidation and the noise model.
+#[test]
+fn mobility_scenario_deterministic() {
+    let dur = SimDuration::from_secs(30);
+    let warm = SimDuration::from_secs(5);
+    let arrive = SimTime::ZERO + SimDuration::from_secs(10);
+    let a = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm);
+    let b = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// The scoped-thread table runner must be observationally identical to the
+/// serial one: same tables, same renders, byte for byte.
+#[test]
+fn parallel_tables_match_serial() {
+    let dur = SimDuration::from_secs(10);
+    let serial = all_tables(1, dur);
+    let parallel = all_tables_parallel(1, dur);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.id, p.id);
+        assert_eq!(
+            s.render(),
+            p.render(),
+            "{}: parallel render differs from serial",
+            s.id
+        );
+    }
+}

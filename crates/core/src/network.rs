@@ -3,13 +3,23 @@
 //!
 //! # Event model
 //!
-//! Four event families flow through a single totally-ordered queue:
-//! end-of-transmission (frame delivery), MAC timers, transport timers, and
-//! application packet arrivals, plus scheduled scenario actions (mobility,
-//! power, noise). End-of-transmission events carry a lower same-instant
-//! priority value than timers, so a station whose contention slot lands
-//! exactly where an overheard frame ends processes the frame — and defers —
-//! before its own timer would let it transmit.
+//! End-of-transmission (frame delivery), application packet arrivals and
+//! scheduled scenario actions (mobility, power, noise) flow through one
+//! totally-ordered event queue. MAC and transport timers do *not*: each
+//! station (and each transport endpoint) has at most one live timer, and a
+//! busy MAC re-arms its defer timer on nearly every overheard frame — so
+//! queueing timers would fill the heap with superseded entries (measured at
+//! ~37% of all pops). Instead each timer lives in its owner's slot as a
+//! `(deadline, sort key)` pair, with the sort key drawn from the queue's own
+//! insertion counter ([`EventQueue::alloc_key`]); the run loop fires
+//! whichever of the queue head and the earliest timer sorts first, which
+//! interleaves them exactly as if every timer had been queued. Re-arming a
+//! timer is then an O(1) overwrite instead of a heap push plus a stale pop.
+//!
+//! End-of-transmission events carry a lower same-instant priority value
+//! than timers, so a station whose contention slot lands exactly where an
+//! overheard frame ends processes the frame — and defers — before its own
+//! timer would let it transmit.
 //!
 //! # Re-entrancy
 //!
@@ -23,8 +33,8 @@ use std::collections::VecDeque;
 
 use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
-use macaw_phy::{Medium, Point, StationId, TxId};
-use macaw_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
+use macaw_phy::{Delivery, Medium, Point, StationId, TxId};
+use macaw_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
 
@@ -61,15 +71,60 @@ pub(crate) enum Side {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Event {
     /// A station's transmission ends; deliver to everyone in range.
-    TxEnd { station: usize },
-    /// A MAC timer fires (stale generations are ignored).
-    MacTimer { station: usize, gen: u64 },
-    /// A transport endpoint timer fires.
-    TransportTimer { stream: usize, side: Side, gen: u64 },
+    TxEnd { station: u32 },
     /// The application on a stream produces its next packet.
-    AppArrival { stream: usize },
+    AppArrival { stream: u32 },
     /// A scheduled scenario action (mobility / power / noise) fires.
-    Action { index: usize },
+    Action { index: u32 },
+}
+
+/// A pending timer held outside the event queue: fire time plus the sort
+/// key ([`EventQueue::alloc_key`]) that orders it against queued events.
+/// "No timer" is the [`NO_TIMER`] sentinel rather than an `Option` so the
+/// per-event min scan over all timer slots stays branch-light: the sentinel
+/// compares greater than every real timer (real sort keys fit in 8+56 bits,
+/// so they never reach `u64::MAX`).
+type PendingTimer = (SimTime, u64);
+
+/// Sentinel for an idle timer slot; loses every `<` comparison.
+const NO_TIMER: PendingTimer = (SimTime::from_nanos(u64::MAX), u64::MAX);
+
+/// Identifies which slot the earliest pending timer lives in.
+#[derive(Clone, Copy)]
+enum TimerOwner {
+    Mac(usize),
+    Transport(usize, Side),
+}
+
+/// Bit marking a [`TimerCache`] slot index as a transport (not MAC) slot.
+const TP_SLOT: u32 = 1 << 31;
+
+/// Memo of the earliest pending timer, so the per-event min scan only
+/// reruns when a write could have changed the answer.
+#[derive(Clone, Copy)]
+enum TimerCache {
+    /// A timer write may have changed the minimum; rescan before use.
+    Stale,
+    /// The current minimum (`NO_TIMER` if every slot is idle) and the slot
+    /// it lives in (MAC slot index, or `TP_SLOT | transport slot index`).
+    Known(PendingTimer, u32),
+}
+
+impl TimerCache {
+    /// Account for `slot` being overwritten with `tk` (possibly
+    /// [`NO_TIMER`]). An earlier-than-cached write moves the minimum to
+    /// `slot`; any other write *to the cached minimum's own slot* leaves
+    /// the new minimum unknown; writes elsewhere cannot affect it.
+    #[inline]
+    fn note_write(&mut self, slot: u32, tk: PendingTimer) {
+        if let TimerCache::Known(best, best_slot) = *self {
+            if tk < best {
+                *self = TimerCache::Known(tk, slot);
+            } else if slot == best_slot {
+                *self = TimerCache::Stale;
+            }
+        }
+    }
 }
 
 /// Deferred upcalls, drained after each event handler returns.
@@ -120,8 +175,6 @@ struct StationSlot {
     name: String,
     mac: Option<Box<dyn MacProtocol>>,
     rng: SimRng,
-    mac_timer: Option<EventId>,
-    mac_timer_gen: u64,
     /// The in-flight own transmission, if any.
     tx: Option<(TxId, Frame)>,
     on: bool,
@@ -135,8 +188,6 @@ enum StreamDst {
     Unicast {
         station: usize,
         endpoint: Option<Box<dyn Transport>>,
-        timer: Option<EventId>,
-        timer_gen: u64,
     },
     /// A multicast group (§3.3.4): members just count deliveries.
     Multicast { group: u32, members: Vec<usize> },
@@ -153,8 +204,6 @@ struct StreamState {
     start: SimTime,
     stop: Option<SimTime>,
     sender: Option<Box<dyn Transport>>,
-    sender_timer: Option<EventId>,
-    sender_timer_gen: u64,
     offered: u64,
     delivered: u64,
     offered_measured: u64,
@@ -170,6 +219,13 @@ pub struct Network {
     timing: Timing,
     stations: Vec<StationSlot>,
     streams: Vec<StreamState>,
+    /// MAC timer slot per station (dense, scanned every event).
+    mac_timers: Vec<PendingTimer>,
+    /// Transport timer slots, two per stream (`2*stream + side`, sender
+    /// first). Multicast streams' receiver slots simply stay idle.
+    tp_timers: Vec<PendingTimer>,
+    /// Earliest-pending-timer memo over `mac_timers` + `tp_timers`.
+    timer_cache: TimerCache,
     actions: Vec<ScheduledAction>,
     effects: VecDeque<Effect>,
     warmup_end: SimTime,
@@ -177,6 +233,11 @@ pub struct Network {
     data_air_ns: u64,
     /// Total on-air time of all frames after warm-up.
     air_ns: u64,
+    /// Events popped from the queue so far (perf accounting).
+    events_processed: u64,
+    /// Reusable delivery buffer for [`Medium::end_tx_into`], so frame
+    /// delivery allocates nothing in steady state.
+    delivery_buf: Vec<Delivery>,
     tracer: Option<Box<dyn FnMut(TraceEvent)>>,
 }
 
@@ -188,11 +249,16 @@ impl Network {
             timing,
             stations: Vec::new(),
             streams: Vec::new(),
+            mac_timers: Vec::new(),
+            tp_timers: Vec::new(),
+            timer_cache: TimerCache::Stale,
             actions: Vec::new(),
             effects: VecDeque::new(),
             warmup_end: SimTime::ZERO,
             data_air_ns: 0,
             air_ns: 0,
+            events_processed: 0,
+            delivery_buf: Vec::new(),
             tracer: None,
         }
     }
@@ -212,12 +278,11 @@ impl Network {
             name,
             mac: Some(mac),
             rng,
-            mac_timer: None,
-            mac_timer_gen: 0,
             tx: None,
             on: true,
             mac_drops: 0,
         });
+        self.mac_timers.push(NO_TIMER);
         self.stations.len() - 1
     }
 
@@ -243,8 +308,6 @@ impl Network {
             dst: StreamDst::Unicast {
                 station: dst,
                 endpoint: Some(receiver),
-                timer: None,
-                timer_gen: 0,
             },
             bytes,
             source,
@@ -252,14 +315,14 @@ impl Network {
             start,
             stop,
             sender: Some(sender),
-            sender_timer: None,
-            sender_timer_gen: 0,
             offered: 0,
             delivered: 0,
             offered_measured: 0,
             delivered_measured: 0,
             delivered_bytes_measured: 0,
         });
+        self.tp_timers.push(NO_TIMER);
+        self.tp_timers.push(NO_TIMER);
         self.streams.len() - 1
     }
 
@@ -289,14 +352,14 @@ impl Network {
             start,
             stop,
             sender: Some(sender),
-            sender_timer: None,
-            sender_timer_gen: 0,
             offered: 0,
             delivered: 0,
             offered_measured: 0,
             delivered_measured: 0,
             delivered_bytes_measured: 0,
         });
+        self.tp_timers.push(NO_TIMER);
+        self.tp_timers.push(NO_TIMER);
         self.streams.len() - 1
     }
 
@@ -316,10 +379,10 @@ impl Network {
             let phase =
                 SimDuration::from_nanos(st.rng.uniform_inclusive(0, gap.as_nanos().max(1) - 1));
             self.queue
-                .schedule(st.start + phase, Event::AppArrival { stream: i });
+                .schedule(st.start + phase, Event::AppArrival { stream: i as u32 });
         }
         for (i, a) in self.actions.iter().enumerate() {
-            self.queue.schedule(a.at, Event::Action { index: i });
+            self.queue.schedule(a.at, Event::Action { index: i as u32 });
         }
     }
 
@@ -335,27 +398,105 @@ impl Network {
 
     /// Run until `end`, then stop (events beyond `end` stay queued).
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > end {
-                break;
+        loop {
+            let queued = self.queue.peek_key();
+            let timer = self.peek_timer();
+            // Fire whichever of the queue head and the earliest pending
+            // timer sorts first; `(time, key)` tuples from both sides share
+            // one insertion-sequence space, so this interleaving is
+            // identical to having queued the timers.
+            let fire_timer = match (queued, &timer) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(qk), Some((tt, tk, _))) => (*tt, *tk) < qk,
+            };
+            if fire_timer {
+                let (t, _, owner) = timer.expect("timer vanished");
+                if t > end {
+                    break;
+                }
+                self.queue.advance_to(t);
+                self.events_processed += 1;
+                self.fire_timer(owner);
+            } else {
+                let (t, _) = queued.expect("queued event vanished");
+                if t > end {
+                    break;
+                }
+                let (_, ev) = self.queue.pop().expect("peeked event vanished");
+                self.events_processed += 1;
+                self.handle(ev);
             }
-            let (_, ev) = self.queue.pop().expect("peeked event vanished");
-            self.handle(ev);
             self.drain_effects();
         }
     }
 
-    fn handle(&mut self, ev: Event) {
-        match ev {
-            Event::TxEnd { station } => self.handle_tx_end(station),
-            Event::MacTimer { station, gen } => {
-                if self.stations[station].mac_timer_gen != gen {
-                    return; // stale
-                }
-                self.stations[station].mac_timer = None;
-                if !self.stations[station].on {
-                    return;
-                }
+    /// The earliest pending timer across all stations and transport
+    /// endpoints: a linear min over two dense arrays of `(time, key)`
+    /// pairs — a handful of contiguous cache lines — far cheaper than
+    /// routing the MAC's constantly re-armed defer timers through the heap.
+    /// The scan itself only runs when a timer write since the last call
+    /// could have changed the answer (see [`TimerCache`]).
+    fn peek_timer(&mut self) -> Option<(SimTime, u64, TimerOwner)> {
+        let (best, slot) = match self.timer_cache {
+            TimerCache::Known(best, slot) => {
+                debug_assert!(
+                    (best, slot) == self.scan_timers(),
+                    "timer-min cache diverged from a full scan"
+                );
+                (best, slot)
+            }
+            TimerCache::Stale => {
+                let (best, slot) = self.scan_timers();
+                self.timer_cache = TimerCache::Known(best, slot);
+                (best, slot)
+            }
+        };
+        if best == NO_TIMER {
+            return None;
+        }
+        let owner = if slot & TP_SLOT != 0 {
+            let i = (slot & !TP_SLOT) as usize;
+            let side = if i % 2 == 0 {
+                Side::Sender
+            } else {
+                Side::Receiver
+            };
+            TimerOwner::Transport(i / 2, side)
+        } else {
+            TimerOwner::Mac(slot as usize)
+        };
+        Some((best.0, best.1, owner))
+    }
+
+    fn scan_timers(&self) -> (PendingTimer, u32) {
+        let mut best = NO_TIMER;
+        let mut slot = 0u32;
+        for (i, &tk) in self.mac_timers.iter().enumerate() {
+            if tk < best {
+                best = tk;
+                slot = i as u32;
+            }
+        }
+        for (i, &tk) in self.tp_timers.iter().enumerate() {
+            if tk < best {
+                best = tk;
+                slot = TP_SLOT | i as u32;
+            }
+        }
+        (best, slot)
+    }
+
+    fn fire_timer(&mut self, owner: TimerOwner) {
+        match owner {
+            TimerOwner::Mac(station) => {
+                self.mac_timers[station] = NO_TIMER;
+                self.timer_cache.note_write(station as u32, NO_TIMER);
+                debug_assert!(
+                    self.stations[station].on,
+                    "powered-off stations have their timer cleared"
+                );
                 if let Some(t) = self.tracer.as_mut() {
                     t(TraceEvent::MacTimer {
                         at: self.queue.now(),
@@ -364,21 +505,26 @@ impl Network {
                 }
                 self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
             }
-            Event::TransportTimer { stream, side, gen } => {
-                let current = match side {
-                    Side::Sender => self.streams[stream].sender_timer_gen,
-                    Side::Receiver => match &self.streams[stream].dst {
-                        StreamDst::Unicast { timer_gen, .. } => *timer_gen,
-                        StreamDst::Multicast { .. } => return,
-                    },
-                };
-                if current != gen {
-                    return; // stale
-                }
+            TimerOwner::Transport(stream, side) => {
+                let slot = 2 * stream + (side == Side::Receiver) as usize;
+                self.tp_timers[slot] = NO_TIMER;
+                self.timer_cache.note_write(TP_SLOT | slot as u32, NO_TIMER);
                 self.with_transport(stream, side, |tp, ctx| tp.on_timer(ctx));
             }
-            Event::AppArrival { stream } => self.handle_app_arrival(stream),
-            Event::Action { index } => self.handle_action(self.actions[index].kind),
+        }
+    }
+
+    /// Total number of events processed since construction (the natural
+    /// unit for engine throughput: events per wall-clock second).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::TxEnd { station } => self.handle_tx_end(station as usize),
+            Event::AppArrival { stream } => self.handle_app_arrival(stream as usize),
+            Event::Action { index } => self.handle_action(self.actions[index as usize].kind),
         }
     }
 
@@ -388,7 +534,8 @@ impl Network {
             .take()
             .expect("TxEnd without in-flight transmission");
         let now = self.queue.now();
-        let deliveries = self.medium.end_tx(tx, now);
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        self.medium.end_tx_into(tx, now, &mut deliveries);
 
         // Utilization accounting.
         if now >= self.warmup_end {
@@ -417,12 +564,14 @@ impl Network {
         }
         // Receivers first (reception completes as the carrier drops), then
         // the transmitter's own continuation.
-        for d in deliveries {
+        for i in 0..deliveries.len() {
+            let d = deliveries[i];
             let rx = d.station.0;
             if d.clean && self.stations[rx].on {
                 self.with_mac(rx, |mac, ctx| mac.on_receive(ctx, &frame));
             }
         }
+        self.delivery_buf = deliveries;
         if self.stations[station].on {
             self.with_mac(station, |mac, ctx| mac.on_tx_end(ctx));
         }
@@ -440,7 +589,8 @@ impl Network {
         // itself; `stop` gates it above).
         let gap = st.source.next_gap(&mut st.rng);
         let bytes = st.bytes;
-        self.queue.schedule(now + gap, Event::AppArrival { stream });
+        self.queue
+            .schedule(now + gap, Event::AppArrival { stream: stream as u32 });
 
         let st = &mut self.streams[stream];
         st.offered += 1;
@@ -459,11 +609,9 @@ impl Network {
                 self.medium.set_position(StationId(station), to);
             }
             ActionKind::PowerOff { station } => {
-                let slot = &mut self.stations[station];
-                slot.on = false;
-                if let Some(_id) = slot.mac_timer.take() {
-                    slot.mac_timer_gen += 1;
-                }
+                self.stations[station].on = false;
+                self.mac_timers[station] = NO_TIMER;
+                self.timer_cache.note_write(station as u32, NO_TIMER);
             }
             ActionKind::PowerOn { station } => {
                 self.stations[station].on = true;
@@ -494,8 +642,8 @@ impl Network {
                 queue: &mut self.queue,
                 medium: &mut self.medium,
                 rng: &mut slot.rng,
-                mac_timer: &mut slot.mac_timer,
-                mac_timer_gen: &mut slot.mac_timer_gen,
+                mac_timer: &mut self.mac_timers[station],
+                timer_cache: &mut self.timer_cache,
                 tx: &mut slot.tx,
                 effects: &mut self.effects,
             };
@@ -512,23 +660,12 @@ impl Network {
     ) {
         let now = self.queue.now();
         let st = &mut self.streams[stream];
-        let (mut tp, timer, gen) = match side {
-            Side::Sender => (
-                st.sender.take().expect("sender endpoint re-entered"),
-                &mut st.sender_timer,
-                &mut st.sender_timer_gen,
-            ),
+        let mut tp = match side {
+            Side::Sender => st.sender.take().expect("sender endpoint re-entered"),
             Side::Receiver => match &mut st.dst {
-                StreamDst::Unicast {
-                    endpoint,
-                    timer,
-                    timer_gen,
-                    ..
-                } => (
-                    endpoint.take().expect("receiver endpoint re-entered"),
-                    timer,
-                    timer_gen,
-                ),
+                StreamDst::Unicast { endpoint, .. } => {
+                    endpoint.take().expect("receiver endpoint re-entered")
+                }
                 StreamDst::Multicast { .. } => {
                     panic!("multicast streams have no receiver endpoint")
                 }
@@ -537,12 +674,12 @@ impl Network {
         {
             let mut ctx = CoreTransportCtx {
                 now,
+                queue: &mut self.queue,
+                timer: &mut self.tp_timers[2 * stream + (side == Side::Receiver) as usize],
+                timer_cache: &mut self.timer_cache,
+                effects: &mut self.effects,
                 stream,
                 side,
-                queue: &mut self.queue,
-                timer,
-                timer_gen: gen,
-                effects: &mut self.effects,
             };
             f(tp.as_mut(), &mut ctx);
         }
@@ -617,7 +754,14 @@ impl Network {
 
     /// Route a MAC-delivered SDU to the right transport endpoint.
     fn route_up(&mut self, station: usize, sdu: MacSdu) {
-        let Some(stream) = self.streams.iter().position(|s| s.id == sdu.stream) else {
+        // Scenario-built networks use the stream's index as its id, so try a
+        // direct index before falling back to a scan.
+        let direct = sdu.stream.0 as usize;
+        let stream = if self.streams.get(direct).is_some_and(|s| s.id == sdu.stream) {
+            direct
+        } else if let Some(i) = self.streams.iter().position(|s| s.id == sdu.stream) {
+            i
+        } else {
             debug_assert!(false, "SDU for unknown stream {:?}", sdu.stream);
             return;
         };
@@ -718,6 +862,7 @@ impl Network {
             mac_stats,
             data_air_secs: self.data_air_ns as f64 / 1e9,
             total_air_secs: self.air_ns as f64 / 1e9,
+            events_processed: self.events_processed,
         }
     }
 
@@ -743,8 +888,8 @@ struct CoreMacCtx<'a> {
     queue: &'a mut EventQueue<Event>,
     medium: &'a mut Medium,
     rng: &'a mut SimRng,
-    mac_timer: &'a mut Option<EventId>,
-    mac_timer_gen: &'a mut u64,
+    mac_timer: &'a mut PendingTimer,
+    timer_cache: &'a mut TimerCache,
     tx: &'a mut Option<(TxId, Frame)>,
     effects: &'a mut VecDeque<Effect>,
 }
@@ -754,27 +899,19 @@ impl MacContext for CoreMacCtx<'_> {
         self.now
     }
 
+    // The timer never touches the event queue: re-arming overwrites the
+    // station's single slot, and the sort key (drawn from the queue's
+    // insertion counter) keeps the fire order identical to a queued event's.
+
     fn set_timer(&mut self, delay: SimDuration) {
-        if let Some(id) = self.mac_timer.take() {
-            self.queue.cancel(id);
-        }
-        *self.mac_timer_gen += 1;
-        let id = self.queue.schedule_with_priority(
-            self.now + delay,
-            PRIO_TIMER,
-            Event::MacTimer {
-                station: self.station,
-                gen: *self.mac_timer_gen,
-            },
-        );
-        *self.mac_timer = Some(id);
+        *self.mac_timer = (self.now + delay, self.queue.alloc_key(PRIO_TIMER));
+        self.timer_cache
+            .note_write(self.station as u32, *self.mac_timer);
     }
 
     fn clear_timer(&mut self) {
-        if let Some(id) = self.mac_timer.take() {
-            self.queue.cancel(id);
-        }
-        *self.mac_timer_gen += 1;
+        *self.mac_timer = NO_TIMER;
+        self.timer_cache.note_write(self.station as u32, NO_TIMER);
     }
 
     fn transmit(&mut self, frame: Frame) {
@@ -785,7 +922,7 @@ impl MacContext for CoreMacCtx<'_> {
             self.now + dur,
             PRIO_TX_END,
             Event::TxEnd {
-                station: self.station,
+                station: self.station as u32,
             },
         );
         *self.tx = Some((tx, frame));
@@ -816,12 +953,12 @@ impl MacContext for CoreMacCtx<'_> {
 
 struct CoreTransportCtx<'a> {
     now: SimTime,
+    queue: &'a mut EventQueue<Event>,
+    timer: &'a mut PendingTimer,
+    timer_cache: &'a mut TimerCache,
+    effects: &'a mut VecDeque<Effect>,
     stream: usize,
     side: Side,
-    queue: &'a mut EventQueue<Event>,
-    timer: &'a mut Option<EventId>,
-    timer_gen: &'a mut u64,
-    effects: &'a mut VecDeque<Effect>,
 }
 
 impl TransportContext for CoreTransportCtx<'_> {
@@ -829,28 +966,19 @@ impl TransportContext for CoreTransportCtx<'_> {
         self.now
     }
 
+    // As for MAC timers: the single pending timer lives in the endpoint's
+    // slot, not the event queue.
+
     fn set_timer(&mut self, delay: SimDuration) {
-        if let Some(id) = self.timer.take() {
-            self.queue.cancel(id);
-        }
-        *self.timer_gen += 1;
-        let id = self.queue.schedule_with_priority(
-            self.now + delay,
-            PRIO_TIMER,
-            Event::TransportTimer {
-                stream: self.stream,
-                side: self.side,
-                gen: *self.timer_gen,
-            },
-        );
-        *self.timer = Some(id);
+        *self.timer = (self.now + delay, self.queue.alloc_key(PRIO_TIMER));
+        let slot = TP_SLOT | (2 * self.stream + (self.side == Side::Receiver) as usize) as u32;
+        self.timer_cache.note_write(slot, *self.timer);
     }
 
     fn clear_timer(&mut self) {
-        if let Some(id) = self.timer.take() {
-            self.queue.cancel(id);
-        }
-        *self.timer_gen += 1;
+        *self.timer = NO_TIMER;
+        let slot = TP_SLOT | (2 * self.stream + (self.side == Side::Receiver) as usize) as u32;
+        self.timer_cache.note_write(slot, NO_TIMER);
     }
 
     fn send_segment(&mut self, seg: Segment) {

@@ -10,7 +10,7 @@
 use macaw_mac::wmac::MacStats;
 
 /// Per-stream measurements over the post-warm-up window.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StreamReport {
     /// Stream label (e.g. "P1-B").
     pub name: String,
@@ -31,7 +31,7 @@ pub struct StreamReport {
 }
 
 /// The result of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Length of the measurement window in seconds.
     pub measured_secs: f64,
@@ -45,6 +45,9 @@ pub struct RunReport {
     pub data_air_secs: f64,
     /// Seconds of post-warm-up air time occupied by all frames.
     pub total_air_secs: f64,
+    /// Total simulation events processed over the whole run (including
+    /// warm-up) — the numerator of engine events-per-second throughput.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -185,6 +188,7 @@ mod tests {
             mac_stats: vec![],
             data_air_secs: 4.0,
             total_air_secs: 5.0,
+            events_processed: 0,
         }
     }
 

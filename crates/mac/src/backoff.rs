@@ -18,8 +18,6 @@
 //! [`Backoff`] packages one choice per axis behind a single interface the
 //! MAC state machine drives.
 
-use std::collections::HashMap;
-
 use crate::frames::{Addr, BackoffHeader};
 
 /// The backoff-counter adjustment algorithm.
@@ -95,7 +93,10 @@ pub struct Backoff {
     /// `my_backoff`: the station-wide counter (the only counter in the
     /// `None`/`Copy` schemes).
     my: u32,
-    peers: HashMap<usize, Peer>,
+    /// Per-peer state, directly indexed by the peer's station index.
+    /// Station indices are small and dense, so a vector beats any hash map
+    /// on this per-frame path; absent peers are `None`.
+    peers: Vec<Option<Peer>>,
 }
 
 impl Backoff {
@@ -109,7 +110,7 @@ impl Backoff {
             max,
             alpha,
             my: min,
-            peers: HashMap::new(),
+            peers: Vec::new(),
         }
     }
 
@@ -118,7 +119,10 @@ impl Backoff {
             panic!("per-destination backoff is undefined for multicast")
         };
         let (min, my) = (self.min, self.my);
-        self.peers.entry(idx).or_insert(Peer {
+        if idx >= self.peers.len() {
+            self.peers.resize_with(idx + 1, || None);
+        }
+        self.peers[idx].get_or_insert_with(|| Peer {
             remote: None,
             local: my.max(min),
             esn_out: 0,
@@ -129,7 +133,7 @@ impl Backoff {
 
     fn peer_ro(&self, addr: Addr) -> Option<&Peer> {
         match addr {
-            Addr::Unicast(idx) => self.peers.get(&idx),
+            Addr::Unicast(idx) => self.peers.get(idx).and_then(|p| p.as_ref()),
             Addr::Multicast(_) => None,
         }
     }
@@ -357,7 +361,7 @@ impl std::fmt::Debug for Backoff {
             .field("algo", &self.algo)
             .field("sharing", &self.sharing)
             .field("my", &self.my)
-            .field("peers", &self.peers.len())
+            .field("peers", &self.peers.iter().flatten().count())
             .finish()
     }
 }

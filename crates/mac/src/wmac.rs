@@ -35,7 +35,6 @@
 //! explicit finding that the DS packet is what fixes the Figure-5 exposed
 //! terminal configuration.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use macaw_sim::SimTime;
@@ -157,7 +156,9 @@ pub struct WMac {
     /// exchanges from two streams to the same peer interleave, and a
     /// retransmission of the older exchange must still be recognized as a
     /// duplicate or the packet is delivered twice.
-    acked: HashMap<usize, VecDeque<u64>>,
+    /// Directly indexed by the peer's station index (small and dense);
+    /// stations we have never ACKed hold an empty deque.
+    acked: Vec<VecDeque<u64>>,
     /// In NACK mode (no link ACK): the most recent packet presumed
     /// delivered, kept so a returning NACK can resurrect it.
     nack_cache: Option<Packet>,
@@ -190,7 +191,7 @@ impl WMac {
             current: None,
             rrts_pending: None,
             nack_cache: None,
-            acked: HashMap::new(),
+            acked: Vec::new(),
             groups: Vec::new(),
             stats: MacStats::default(),
         }
@@ -538,7 +539,7 @@ impl WMac {
             if let Addr::Unicast(src_idx) = peer {
                 if self
                     .acked
-                    .get(&src_idx)
+                    .get(src_idx)
                     .is_some_and(|recent| recent.contains(&esn))
                     && matches!(self.state, State::Idle | State::Contend { .. })
                 {
@@ -636,7 +637,10 @@ impl WMac {
         ctx.deliver_up(frame.src, sdu);
         if self.cfg.use_ack {
             if let Addr::Unicast(src_idx) = frame.src {
-                let recent = self.acked.entry(src_idx).or_default();
+                if src_idx >= self.acked.len() {
+                    self.acked.resize_with(src_idx + 1, VecDeque::new);
+                }
+                let recent = &mut self.acked[src_idx];
                 recent.push_back(frame.backoff.esn);
                 // Bound the memory: interleaving depth is limited by the
                 // retry budget, so a short window suffices.

@@ -24,6 +24,8 @@
 pub mod geometry;
 pub mod medium;
 pub mod propagation;
+#[doc(hidden)]
+pub mod reference;
 
 pub use geometry::{cube_center, Point};
 pub use medium::{Delivery, Medium, StationId, TxId};

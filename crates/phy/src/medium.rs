@@ -25,6 +25,50 @@
 //! The medium owns no event queue. The caller keys a station up with
 //! [`Medium::start_tx`], schedules the end-of-frame event itself, and calls
 //! [`Medium::end_tx`] when that event fires, receiving the delivery verdicts.
+//!
+//! # Signal caches
+//!
+//! Station geometry changes rarely (registration, mobility, power changes)
+//! while signal queries happen on every carrier-sense poll and every
+//! transmission start/end, so all pairwise signal quantities are precomputed
+//! and kept incrementally up to date:
+//!
+//! * `gain[a][b]` — path gain `power_at_distance(d(a,b))`; `int_gain[a][b]`
+//!   — the same with the interference cutoff applied; `range[a][b]` — the
+//!   in-range predicate. All symmetric, rebuilt only for the affected rows
+//!   on [`Medium::set_position`] / [`Medium::add_station`].
+//! * `audible[src]` — ascending list of stations that can receive `src`'s
+//!   transmissions at its current power (`tx_power · gain ≥ threshold`);
+//!   rebuilt on position and power changes. [`Medium::start_tx`] opens
+//!   receptions by walking this list instead of scanning every station.
+//! * `ambient[b]` — summed spatial-noise power at each station, rebuilt when
+//!   noise sources are added or toggled; `incident[b]` — `ambient[b]` plus
+//!   the summed interference power of *all* active transmissions at `b`,
+//!   maintained by appending on `start_tx` and rebuilt on `end_tx` and
+//!   geometry changes.
+//!
+//! Every cached value is produced by the *same* floating-point operations on
+//! the same inputs as the naive implementation
+//! ([`ReferenceMedium`](crate::reference::ReferenceMedium)), so results are
+//! bit-identical, not merely approximately equal. Two details matter for
+//! that guarantee:
+//!
+//! * **Fold order.** IEEE-754 addition is not associative, so `incident[b]`
+//!   must be the exact left-to-right fold `ambient + c₁ + c₂ + …` in
+//!   active-list order that the reference computes per query. Appending a
+//!   new transmission's contribution preserves that fold; *removing* one
+//!   would not (`(a+b)−b ≠ a` in general), so `end_tx` rebuilds the sums
+//!   from scratch in the post-removal list order instead of subtracting.
+//! * **Exclusions.** Queries that exclude a specific transmission
+//!   (`interference_at`) cannot be answered from the running sum exactly,
+//!   and fall back to an O(active) fold over cached gains. The running sum
+//!   answers the common exclusion-free cases: carrier sense at an idle
+//!   station, and the interference seen by a not-currently-transmitting
+//!   receiver when a new transmission opens (the new transmission is the
+//!   *last* active entry, so "all but it" is exactly the pre-append sum).
+//!
+//! Debug builds re-derive each fast-path answer the slow way and assert
+//! bit-equality, so the unit suite exercises the equivalence on every query.
 
 use macaw_sim::{SimRng, SimTime};
 
@@ -37,7 +81,13 @@ pub struct StationId(pub usize);
 
 /// Handle to an in-flight transmission.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct TxId(u64);
+pub struct TxId(pub(crate) u64);
+
+impl TxId {
+    pub(crate) fn from_raw(raw: u64) -> TxId {
+        TxId(raw)
+    }
+}
 
 /// Verdict for one station at the end of a transmission.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -95,6 +145,22 @@ pub struct Medium {
     noise: Vec<NoiseSource>,
     rng: SimRng,
     next_tx: u64,
+    /// `gain[a][b]` = `power_at_distance(d(a,b))` (symmetric).
+    gain: Vec<Vec<f64>>,
+    /// `int_gain[a][b]` = `interference_power(d(a,b))` (symmetric).
+    int_gain: Vec<Vec<f64>>,
+    /// `range[a][b]` = `prop.in_range(d(a,b))` (symmetric).
+    range: Vec<Vec<bool>>,
+    /// Ascending station indices with `tx_power[src] * gain[src][b]` at or
+    /// above the reception threshold — who hears `src` transmit.
+    audible: Vec<Vec<usize>>,
+    /// `noise_gain[n][b]` = `interference_power(d(noise n, station b))`.
+    noise_gain: Vec<Vec<f64>>,
+    /// Summed active spatial-noise power at each station, in noise order.
+    ambient: Vec<f64>,
+    /// `ambient[b]` plus every active transmission's interference power at
+    /// `b`, folded in active-list order (see module docs).
+    incident: Vec<f64>,
 }
 
 impl Medium {
@@ -109,6 +175,13 @@ impl Medium {
             noise: Vec::new(),
             rng,
             next_tx: 0,
+            gain: Vec::new(),
+            int_gain: Vec::new(),
+            range: Vec::new(),
+            audible: Vec::new(),
+            noise_gain: Vec::new(),
+            ambient: Vec::new(),
+            incident: Vec::new(),
         }
     }
 
@@ -120,13 +193,54 @@ impl Medium {
     /// Register a station; its position is snapped to the nearest cube
     /// center (stations "reside at the center of a cube").
     pub fn add_station(&mut self, pos: Point) -> StationId {
-        let id = StationId(self.stations.len());
+        let idx = self.stations.len();
+        let id = StationId(idx);
         self.stations.push(StationEntry {
             pos: cube_center(pos),
             transmitting: None,
             rx_error_rate: 0.0,
             tx_power: 1.0,
         });
+        let pos = self.stations[idx].pos;
+
+        // Grow the pairwise matrices by one row and one column.
+        let mut gain_row = Vec::with_capacity(idx + 1);
+        let mut int_row = Vec::with_capacity(idx + 1);
+        let mut range_row = Vec::with_capacity(idx + 1);
+        for (other_idx, other) in self.stations.iter().enumerate() {
+            let d = pos.distance(other.pos);
+            let g = self.prop.power_at_distance(d);
+            let ig = self.prop.interference_power(d);
+            let r = self.prop.in_range(d);
+            if other_idx < idx {
+                self.gain[other_idx].push(g);
+                self.int_gain[other_idx].push(ig);
+                self.range[other_idx].push(r);
+            }
+            gain_row.push(g);
+            int_row.push(ig);
+            range_row.push(r);
+        }
+        self.gain.push(gain_row);
+        self.int_gain.push(int_row);
+        self.range.push(range_row);
+
+        // Audibility: the new station may hear others and be heard by them.
+        for src in 0..idx {
+            if self.stations[src].tx_power * self.gain[src][idx] >= self.prop.threshold_power() {
+                self.audible[src].push(idx); // largest index: stays ascending
+            }
+        }
+        self.audible.push(Vec::new());
+        self.rebuild_audible(idx);
+
+        for (n, src) in self.noise.iter().enumerate() {
+            self.noise_gain[n].push(self.prop.interference_power(src.pos.distance(pos)));
+        }
+        self.ambient.push(0.0);
+        self.rebuild_ambient_of(idx);
+        self.incident.push(0.0);
+        self.rebuild_incident_of(idx);
         id
     }
 
@@ -154,24 +268,36 @@ impl Medium {
     pub fn set_tx_power(&mut self, id: StationId, power: f64) {
         assert!(power > 0.0 && power.is_finite(), "power must be positive");
         self.stations[id.0].tx_power = power;
+        self.rebuild_audible(id.0);
+        // If `id` is mid-transmission its interference contribution changed.
+        if self.stations[id.0].transmitting.is_some() {
+            self.rebuild_incident();
+        }
     }
 
     /// `true` iff a transmission by `from` is receivable at `to`
     /// (directional once transmit powers differ).
     pub fn hears(&self, to: StationId, from: StationId) -> bool {
-        let d = self.stations[from.0].pos.distance(self.stations[to.0].pos);
-        self.stations[from.0].tx_power * self.prop.power_at_distance(d)
-            >= self.prop.threshold_power()
+        self.stations[from.0].tx_power * self.gain[from.0][to.0] >= self.prop.threshold_power()
     }
 
     /// Add a continuous spatial noise emitter. Returns an index usable with
     /// [`Medium::set_noise_active`].
     pub fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        let pos = cube_center(pos);
         self.noise.push(NoiseSource {
-            pos: cube_center(pos),
+            pos,
             power,
             active: true,
         });
+        self.noise_gain.push(
+            self.stations
+                .iter()
+                .map(|st| self.prop.interference_power(pos.distance(st.pos)))
+                .collect(),
+        );
+        self.rebuild_ambient();
+        self.rebuild_incident();
         self.noise.len() - 1
     }
 
@@ -179,6 +305,8 @@ impl Medium {
     /// invalidates any in-flight reception it now drowns out.
     pub fn set_noise_active(&mut self, index: usize, active: bool) {
         self.noise[index].active = active;
+        self.rebuild_ambient();
+        self.rebuild_incident();
         if active {
             self.recheck_all_receptions();
         }
@@ -196,13 +324,54 @@ impl Medium {
                 r.clean = false;
             }
         }
+
+        // Refresh every cache touching the moved station.
+        let moved = id.0;
+        let pos = self.stations[moved].pos;
+        for other in 0..self.stations.len() {
+            let d = pos.distance(self.stations[other].pos);
+            let g = self.prop.power_at_distance(d);
+            let ig = self.prop.interference_power(d);
+            let r = self.prop.in_range(d);
+            self.gain[moved][other] = g;
+            self.gain[other][moved] = g;
+            self.int_gain[moved][other] = ig;
+            self.int_gain[other][moved] = ig;
+            self.range[moved][other] = r;
+            self.range[other][moved] = r;
+        }
+        for (n, src) in self.noise.iter().enumerate() {
+            self.noise_gain[n][moved] = self.prop.interference_power(src.pos.distance(pos));
+        }
+        self.rebuild_audible(moved);
+        for src in 0..self.stations.len() {
+            if src == moved {
+                continue;
+            }
+            // Membership of the moved station in everyone else's audible
+            // list may have flipped; the cheap fix beats a full rebuild.
+            let qualifies = self.stations[src].tx_power * self.gain[src][moved]
+                >= self.prop.threshold_power();
+            let list = &mut self.audible[src];
+            match list.binary_search(&moved) {
+                Ok(at) if !qualifies => {
+                    list.remove(at);
+                }
+                Err(at) if qualifies => {
+                    list.insert(at, moved);
+                }
+                _ => {}
+            }
+        }
+        self.rebuild_ambient_of(moved);
+        self.rebuild_incident();
+
         self.recheck_all_receptions();
     }
 
     /// `true` iff stations `a` and `b` are within reception range.
     pub fn in_range(&self, a: StationId, b: StationId) -> bool {
-        let d = self.stations[a.0].pos.distance(self.stations[b.0].pos);
-        self.prop.in_range(d)
+        self.range[a.0][b.0]
     }
 
     /// `true` iff station `id` is currently transmitting.
@@ -214,16 +383,21 @@ impl Medium {
     /// other active transmissions (plus spatial noise) at `id` exceeds the
     /// reception threshold.
     pub fn carrier_busy(&self, id: StationId) -> bool {
-        let here = self.stations[id.0].pos;
-        let mut power = self.ambient_noise_at(here);
+        if self.stations[id.0].transmitting.is_none() {
+            // No exclusions apply, so the running sum answers in O(1).
+            debug_assert_eq!(
+                self.incident[id.0].to_bits(),
+                self.fold_incident(id.0).to_bits(),
+                "running incident sum diverged from the reference fold"
+            );
+            return self.incident[id.0] >= self.prop.threshold_power();
+        }
+        let mut power = self.ambient[id.0];
         for tx in &self.active {
             if tx.source == id {
                 continue;
             }
-            power += self.stations[tx.source.0].tx_power
-                * self
-                    .prop
-                    .interference_power(self.stations[tx.source.0].pos.distance(here));
+            power += self.stations[tx.source.0].tx_power * self.int_gain[tx.source.0][id.0];
         }
         power >= self.prop.threshold_power()
     }
@@ -263,15 +437,13 @@ impl Medium {
 
         // The new signal may drown existing receptions elsewhere. The new
         // transmission is already in `active`, so `interference_at` sees it.
-        let src_pos = self.stations[source.0].pos;
         let tx_power = self.stations[source.0].tx_power;
         for i in 0..self.receptions.len() {
             let rx = self.receptions[i].rx;
             if !self.receptions[i].clean || rx == source {
                 continue;
             }
-            let added =
-                tx_power * self.prop.interference_power(src_pos.distance(self.stations[rx.0].pos));
+            let added = tx_power * self.int_gain[source.0][rx.0];
             if added > 0.0 {
                 let interference = self.interference_at(rx, self.receptions[i].tx);
                 let signal = self.receptions[i].signal;
@@ -281,18 +453,23 @@ impl Medium {
             }
         }
 
-        // Open a reception record at every in-range station.
-        for (idx, st) in self.stations.iter().enumerate() {
+        // Open a reception record at every station that can hear `source`.
+        // `audible[source]` is exactly the set passing the reference's
+        // signal-threshold check, in the same ascending-index order.
+        for li in 0..self.audible[source.0].len() {
+            let idx = self.audible[source.0][li];
             let rx = StationId(idx);
-            if rx == source {
-                continue;
-            }
-            let signal = tx_power * self.prop.power_at_distance(src_pos.distance(st.pos));
-            if signal < self.prop.threshold_power() {
-                continue; // out of range: hears nothing at all
-            }
-            let clean = st.transmitting.is_none() && {
-                let interference = self.interference_at(rx, id);
+            let signal = tx_power * self.gain[source.0][idx];
+            debug_assert!(signal >= self.prop.threshold_power());
+            let clean = self.stations[idx].transmitting.is_none() && {
+                // The new transmission is the last active entry, so the
+                // interference excluding it is the pre-append running sum.
+                debug_assert_eq!(
+                    self.incident[idx].to_bits(),
+                    self.interference_at(rx, id).to_bits(),
+                    "running incident sum diverged from the reference fold"
+                );
+                let interference = self.incident[idx];
                 self.prop.clean(signal, interference)
             };
             self.receptions.push(Reception {
@@ -302,15 +479,38 @@ impl Medium {
                 clean,
             });
         }
+
+        // Append the new transmission's contribution to the running sums
+        // (kept for *all* stations: the cutoff set can be wider or narrower
+        // than the audible set once transmit powers differ from 1).
+        for b in 0..self.stations.len() {
+            self.incident[b] += tx_power * self.int_gain[source.0][b];
+        }
         id
     }
 
     /// Finish transmission `tx` at time `now`, returning one delivery per
     /// in-range station (in station order, for determinism).
     ///
+    /// Allocates a fresh `Vec` per call; event loops should prefer
+    /// [`Medium::end_tx_into`] and reuse one buffer.
+    ///
     /// # Panics
     /// Panics if `tx` is not in flight.
-    pub fn end_tx(&mut self, tx: TxId, _now: SimTime) -> Vec<Delivery> {
+    pub fn end_tx(&mut self, tx: TxId, now: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.end_tx_into(tx, now, &mut out);
+        out
+    }
+
+    /// Finish transmission `tx` at time `now`, writing one delivery per
+    /// in-range station (in station order) into `out`, which is cleared
+    /// first. Reuses `out`'s capacity and compacts the internal reception
+    /// list in place, so steady-state event processing allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `tx` is not in flight.
+    pub fn end_tx_into(&mut self, tx: TxId, _now: SimTime, out: &mut Vec<Delivery>) {
         let idx = self
             .active
             .iter()
@@ -321,31 +521,42 @@ impl Medium {
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
 
-        let mut deliveries: Vec<Delivery> = Vec::new();
-        let mut kept = Vec::with_capacity(self.receptions.len());
-        for r in self.receptions.drain(..) {
+        // Extract this transmission's receptions and compact the rest in
+        // place, preserving their relative order.
+        out.clear();
+        let mut write = 0;
+        for read in 0..self.receptions.len() {
+            let r = &self.receptions[read];
             if r.tx == tx {
-                deliveries.push(Delivery {
+                out.push(Delivery {
                     station: r.rx,
                     clean: r.clean,
                     signal: r.signal,
                 });
             } else {
-                kept.push(r);
+                self.receptions.swap(write, read);
+                write += 1;
             }
         }
-        self.receptions = kept;
-        deliveries.sort_by_key(|d| d.station);
+        self.receptions.truncate(write);
+        // Already in ascending station order: `start_tx` opens this
+        // transmission's receptions by walking the ascending `audible` list,
+        // and the in-place compaction above preserves relative order.
+        debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
+
+        // The swap-remove above reordered the active list, so the running
+        // sums are rebuilt in the new fold order rather than subtracted
+        // (subtraction would drift from the reference; see module docs).
+        self.rebuild_incident();
 
         // Per-packet intermittent noise (§3.3.1): each packet is corrupted
         // at a receiving station with that station's error probability.
-        for d in &mut deliveries {
+        for d in out.iter_mut() {
             let rate = self.stations[d.station.0].rx_error_rate;
             if d.clean && rate > 0.0 && self.rng.chance(rate) {
                 d.clean = false;
             }
         }
-        deliveries
     }
 
     /// Time at which transmission `tx` started, if still in flight.
@@ -356,26 +567,64 @@ impl Medium {
     /// Summed interference power at station `rx` from all active
     /// transmissions except `except`, plus spatial noise.
     fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
-        let here = self.stations[rx.0].pos;
-        let mut power = self.ambient_noise_at(here);
+        let mut power = self.ambient[rx.0];
         for t in &self.active {
             if t.id == except || t.source == rx {
                 continue;
             }
-            power += self.stations[t.source.0].tx_power
-                * self
-                    .prop
-                    .interference_power(self.stations[t.source.0].pos.distance(here));
+            power += self.stations[t.source.0].tx_power * self.int_gain[t.source.0][rx.0];
         }
         power
     }
 
-    fn ambient_noise_at(&self, here: Point) -> f64 {
-        self.noise
+    /// The reference fold for `incident[b]`: ambient noise plus every active
+    /// transmission in list order. Used to (re)build the running sums and,
+    /// in debug builds, to check them.
+    fn fold_incident(&self, b: usize) -> f64 {
+        let mut power = self.ambient[b];
+        for t in &self.active {
+            power += self.stations[t.source.0].tx_power * self.int_gain[t.source.0][b];
+        }
+        power
+    }
+
+    fn rebuild_incident(&mut self) {
+        for b in 0..self.stations.len() {
+            self.incident[b] = self.fold_incident(b);
+        }
+    }
+
+    fn rebuild_incident_of(&mut self, b: usize) {
+        self.incident[b] = self.fold_incident(b);
+    }
+
+    /// Recompute `ambient[b]` with the same filtered fold (noise-list order,
+    /// inactive sources skipped) the reference uses per query.
+    fn rebuild_ambient_of(&mut self, b: usize) {
+        self.ambient[b] = self
+            .noise
             .iter()
-            .filter(|n| n.active)
-            .map(|n| n.power * self.prop.interference_power(n.pos.distance(here)))
-            .sum()
+            .enumerate()
+            .filter(|(_, n)| n.active)
+            .map(|(ni, n)| n.power * self.noise_gain[ni][b])
+            .sum();
+    }
+
+    fn rebuild_ambient(&mut self) {
+        for b in 0..self.stations.len() {
+            self.rebuild_ambient_of(b);
+        }
+    }
+
+    fn rebuild_audible(&mut self, src: usize) {
+        let power = self.stations[src].tx_power;
+        let threshold = self.prop.threshold_power();
+        let gain = &self.gain[src];
+        let list = &mut self.audible[src];
+        list.clear();
+        list.extend(
+            (0..self.stations.len()).filter(|&b| b != src && power * gain[b] >= threshold),
+        );
     }
 
     /// Re-validate every in-flight reception against the current geometry
@@ -389,10 +638,7 @@ impl Medium {
             let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
                 continue;
             };
-            let signal = self.stations[src.0].tx_power
-                * self
-                    .prop
-                    .power_at_distance(self.stations[src.0].pos.distance(self.stations[rx.0].pos));
+            let signal = self.stations[src.0].tx_power * self.gain[src.0][rx.0];
             self.receptions[i].signal = signal;
             let interference = self.interference_at(rx, tx);
             if !self.prop.clean(signal, interference) {
@@ -633,6 +879,65 @@ mod tests {
         sorted.sort();
         assert_eq!(stations, sorted);
         assert_eq!(stations.len(), 4);
+    }
+
+    #[test]
+    fn end_tx_into_reuses_buffer_and_matches_end_tx() {
+        let (mut m, a, b, _c) = line_medium();
+        let mut buf = Vec::new();
+        let tx = m.start_tx(a, t(0));
+        m.end_tx_into(tx, t(1000), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].station, b);
+        assert!(buf[0].clean);
+        let cap = buf.capacity();
+        let tx = m.start_tx(a, t(2000));
+        m.end_tx_into(tx, t(3000), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap, "the buffer must be reused, not reallocated");
+    }
+
+    #[test]
+    fn power_change_refreshes_audibility_cache() {
+        let (mut m, a, _b, c) = line_medium();
+        assert!(!m.hears(c, a));
+        m.set_tx_power(a, 1000.0);
+        assert!(m.hears(c, a), "louder A now reaches C");
+        let tx = m.start_tx(a, t(0));
+        let d = m.end_tx(tx, t(1000));
+        assert!(
+            d.iter().any(|x| x.station == c && x.clean),
+            "the cached audible list must include C after the power change"
+        );
+        m.set_tx_power(a, 1.0);
+        let tx = m.start_tx(a, t(2000));
+        let d = m.end_tx(tx, t(3000));
+        assert!(!d.iter().any(|x| x.station == c));
+    }
+
+    #[test]
+    fn mobility_refreshes_audibility_and_carrier_sense() {
+        let (mut m, a, b, c) = line_medium();
+        // Move A to the far side of C: C now hears A's carrier, B no longer does.
+        m.set_position(a, Point::new(24.0, 0.0, 0.0));
+        let ta = m.start_tx(a, t(0));
+        assert!(m.carrier_busy(c), "C hears the moved A");
+        assert!(!m.carrier_busy(b), "B is now out of range of A");
+        let d = m.end_tx(ta, t(1000));
+        assert!(d.iter().any(|x| x.station == c && x.clean));
+        assert!(!d.iter().any(|x| x.station == b));
+    }
+
+    #[test]
+    fn station_added_mid_flight_sees_consistent_interference() {
+        let (mut m, a, _b, _c) = line_medium();
+        let ta = m.start_tx(a, t(0));
+        // Registering a new station while a transmission is in flight must
+        // fold the active interference into the newcomer's running sums.
+        let d = m.add_station(Point::new(4.0, 0.0, 0.0));
+        assert!(m.carrier_busy(d), "the newcomer hears the in-flight carrier");
+        let _ = m.end_tx(ta, t(1000));
+        assert!(!m.carrier_busy(d));
     }
 }
 

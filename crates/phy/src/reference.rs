@@ -1,0 +1,336 @@
+//! The naive O(N) reference radio medium.
+//!
+//! [`ReferenceMedium`] is the original, direct implementation of the medium:
+//! every query recomputes distances and `r^-γ` powers from station positions,
+//! and every interference sum is a fresh fold over the active-transmission
+//! list. It is retained verbatim as the *behavioral oracle* for the cached
+//! [`Medium`](crate::medium::Medium): the two must produce bit-identical
+//! results — every [`Delivery`] verdict and signal value, every
+//! `carrier_busy` / `hears` / `in_range` answer, and the same RNG draw
+//! sequence — on any schedule of operations. The oracle property tests in
+//! `tests/oracle_medium.rs` drive both side by side.
+//!
+//! This module is `#[doc(hidden)]`: it is public only so integration tests
+//! and the perf harness can reach it, and is not part of the supported API.
+//!
+//! Do not "optimize" or otherwise clean this file up; its value is precisely
+//! that it stays the simplest possible statement of the medium's semantics.
+
+use macaw_sim::{SimRng, SimTime};
+
+use crate::geometry::{cube_center, Point};
+use crate::medium::{Delivery, StationId, TxId};
+use crate::propagation::Propagation;
+
+struct StationEntry {
+    pos: Point,
+    transmitting: Option<TxId>,
+    rx_error_rate: f64,
+    tx_power: f64,
+}
+
+struct ActiveTx {
+    id: TxId,
+    source: StationId,
+    start: SimTime,
+}
+
+struct Reception {
+    tx: TxId,
+    rx: StationId,
+    signal: f64,
+    clean: bool,
+}
+
+struct NoiseSource {
+    pos: Point,
+    power: f64,
+    active: bool,
+}
+
+/// The naive reference implementation of the shared radio medium. Same
+/// public surface as [`Medium`](crate::medium::Medium), no caches.
+pub struct ReferenceMedium {
+    prop: Propagation,
+    stations: Vec<StationEntry>,
+    active: Vec<ActiveTx>,
+    receptions: Vec<Reception>,
+    noise: Vec<NoiseSource>,
+    rng: SimRng,
+    next_tx: u64,
+}
+
+impl ReferenceMedium {
+    /// Create a medium with the given propagation model and RNG stream.
+    pub fn new(prop: Propagation, rng: SimRng) -> Self {
+        ReferenceMedium {
+            prop,
+            stations: Vec::new(),
+            active: Vec::new(),
+            receptions: Vec::new(),
+            noise: Vec::new(),
+            rng,
+            next_tx: 0,
+        }
+    }
+
+    /// The propagation model in use.
+    pub fn propagation(&self) -> &Propagation {
+        &self.prop
+    }
+
+    /// Register a station at the nearest cube center.
+    pub fn add_station(&mut self, pos: Point) -> StationId {
+        let id = StationId(self.stations.len());
+        self.stations.push(StationEntry {
+            pos: cube_center(pos),
+            transmitting: None,
+            rx_error_rate: 0.0,
+            tx_power: 1.0,
+        });
+        id
+    }
+
+    /// Number of registered stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Current (cube-snapped) position of a station.
+    pub fn position(&self, id: StationId) -> Point {
+        self.stations[id.0].pos
+    }
+
+    /// Set the per-packet noise corruption probability at `id`.
+    pub fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "error rate must be in [0,1]");
+        self.stations[id.0].rx_error_rate = p;
+    }
+
+    /// Set a station's transmit power multiplier (default 1.0).
+    pub fn set_tx_power(&mut self, id: StationId, power: f64) {
+        assert!(power > 0.0 && power.is_finite(), "power must be positive");
+        self.stations[id.0].tx_power = power;
+    }
+
+    /// `true` iff a transmission by `from` is receivable at `to`.
+    pub fn hears(&self, to: StationId, from: StationId) -> bool {
+        let d = self.stations[from.0].pos.distance(self.stations[to.0].pos);
+        self.stations[from.0].tx_power * self.prop.power_at_distance(d)
+            >= self.prop.threshold_power()
+    }
+
+    /// Add a continuous spatial noise emitter.
+    pub fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        self.noise.push(NoiseSource {
+            pos: cube_center(pos),
+            power,
+            active: true,
+        });
+        self.noise.len() - 1
+    }
+
+    /// Enable or disable a spatial noise emitter.
+    pub fn set_noise_active(&mut self, index: usize, active: bool) {
+        self.noise[index].active = active;
+        if active {
+            self.recheck_all_receptions();
+        }
+    }
+
+    /// Move a station (mobility).
+    pub fn set_position(&mut self, id: StationId, pos: Point) {
+        self.stations[id.0].pos = cube_center(pos);
+        let moving_tx = self.stations[id.0].transmitting;
+        for r in &mut self.receptions {
+            if r.rx == id || Some(r.tx) == moving_tx {
+                r.clean = false;
+            }
+        }
+        self.recheck_all_receptions();
+    }
+
+    /// `true` iff stations `a` and `b` are within reception range.
+    pub fn in_range(&self, a: StationId, b: StationId) -> bool {
+        let d = self.stations[a.0].pos.distance(self.stations[b.0].pos);
+        self.prop.in_range(d)
+    }
+
+    /// `true` iff station `id` is currently transmitting.
+    pub fn is_transmitting(&self, id: StationId) -> bool {
+        self.stations[id.0].transmitting.is_some()
+    }
+
+    /// Carrier sense at station `id`.
+    pub fn carrier_busy(&self, id: StationId) -> bool {
+        let here = self.stations[id.0].pos;
+        let mut power = self.ambient_noise_at(here);
+        for tx in &self.active {
+            if tx.source == id {
+                continue;
+            }
+            power += self.stations[tx.source.0].tx_power
+                * self
+                    .prop
+                    .interference_power(self.stations[tx.source.0].pos.distance(here));
+        }
+        power >= self.prop.threshold_power()
+    }
+
+    /// Number of transmissions currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Key station `source` up at time `now`.
+    pub fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        assert!(
+            self.stations[source.0].transmitting.is_none(),
+            "station {source:?} is already transmitting"
+        );
+        let id = TxId::from_raw(self.next_tx);
+        self.next_tx += 1;
+        self.stations[source.0].transmitting = Some(id);
+
+        // Half-duplex: anything in flight *to* the new transmitter is lost.
+        for r in &mut self.receptions {
+            if r.rx == source {
+                r.clean = false;
+            }
+        }
+
+        self.active.push(ActiveTx {
+            id,
+            source,
+            start: now,
+        });
+
+        // The new signal may drown existing receptions elsewhere.
+        let src_pos = self.stations[source.0].pos;
+        let tx_power = self.stations[source.0].tx_power;
+        for i in 0..self.receptions.len() {
+            let rx = self.receptions[i].rx;
+            if !self.receptions[i].clean || rx == source {
+                continue;
+            }
+            let added =
+                tx_power * self.prop.interference_power(src_pos.distance(self.stations[rx.0].pos));
+            if added > 0.0 {
+                let interference = self.interference_at(rx, self.receptions[i].tx);
+                let signal = self.receptions[i].signal;
+                if !self.prop.clean(signal, interference) {
+                    self.receptions[i].clean = false;
+                }
+            }
+        }
+
+        // Open a reception record at every in-range station.
+        for (idx, st) in self.stations.iter().enumerate() {
+            let rx = StationId(idx);
+            if rx == source {
+                continue;
+            }
+            let signal = tx_power * self.prop.power_at_distance(src_pos.distance(st.pos));
+            if signal < self.prop.threshold_power() {
+                continue; // out of range: hears nothing at all
+            }
+            let clean = st.transmitting.is_none() && {
+                let interference = self.interference_at(rx, id);
+                self.prop.clean(signal, interference)
+            };
+            self.receptions.push(Reception {
+                tx: id,
+                rx,
+                signal,
+                clean,
+            });
+        }
+        id
+    }
+
+    /// Finish transmission `tx` at time `now`.
+    pub fn end_tx(&mut self, tx: TxId, _now: SimTime) -> Vec<Delivery> {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx)
+            .expect("end_tx: transmission not in flight");
+        let source = self.active[idx].source;
+        self.active.swap_remove(idx);
+        debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
+        self.stations[source.0].transmitting = None;
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut kept = Vec::with_capacity(self.receptions.len());
+        for r in self.receptions.drain(..) {
+            if r.tx == tx {
+                deliveries.push(Delivery {
+                    station: r.rx,
+                    clean: r.clean,
+                    signal: r.signal,
+                });
+            } else {
+                kept.push(r);
+            }
+        }
+        self.receptions = kept;
+        deliveries.sort_by_key(|d| d.station);
+
+        for d in &mut deliveries {
+            let rate = self.stations[d.station.0].rx_error_rate;
+            if d.clean && rate > 0.0 && self.rng.chance(rate) {
+                d.clean = false;
+            }
+        }
+        deliveries
+    }
+
+    /// Time at which transmission `tx` started, if still in flight.
+    pub fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+    }
+
+    fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
+        let here = self.stations[rx.0].pos;
+        let mut power = self.ambient_noise_at(here);
+        for t in &self.active {
+            if t.id == except || t.source == rx {
+                continue;
+            }
+            power += self.stations[t.source.0].tx_power
+                * self
+                    .prop
+                    .interference_power(self.stations[t.source.0].pos.distance(here));
+        }
+        power
+    }
+
+    fn ambient_noise_at(&self, here: Point) -> f64 {
+        self.noise
+            .iter()
+            .filter(|n| n.active)
+            .map(|n| n.power * self.prop.interference_power(n.pos.distance(here)))
+            .sum()
+    }
+
+    fn recheck_all_receptions(&mut self) {
+        for i in 0..self.receptions.len() {
+            if !self.receptions[i].clean {
+                continue;
+            }
+            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
+            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+                continue;
+            };
+            let signal = self.stations[src.0].tx_power
+                * self
+                    .prop
+                    .power_at_distance(self.stations[src.0].pos.distance(self.stations[rx.0].pos));
+            self.receptions[i].signal = signal;
+            let interference = self.interference_at(rx, tx);
+            if !self.prop.clean(signal, interference) {
+                self.receptions[i].clean = false;
+            }
+        }
+    }
+}

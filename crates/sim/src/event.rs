@@ -6,33 +6,113 @@
 //! than on time alone, which would leave same-time ordering to the heap's
 //! whim and break replayability.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
-
+use crate::hash::FastHashSet;
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
-#[derive(PartialEq, Eq)]
+/// Maximum representable insertion sequence number: `seq` shares a word
+/// with the priority byte (below), leaving 56 bits — enough for ~7×10^16
+/// events, far beyond any run this simulator will make.
+const SEQ_MAX: u64 = (1 << 56) - 1;
+
 struct Entry<E> {
     time: SimTime,
-    priority: u8,
-    seq: u64,
+    /// `priority` in the top byte, insertion `seq` in the low 56 bits, so
+    /// one u64 comparison orders same-time events by (priority, seq).
+    pseq: u64,
     payload: E,
 }
 
-// Order by (time, priority, seq). Payload never participates in ordering.
-impl<E: Eq> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
+impl<E> Entry<E> {
+    /// The (time, priority, seq) sort key. Payload never participates in
+    /// ordering; seq makes the key a *total* order, so the pop sequence is
+    /// fully determined regardless of heap layout.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.pseq)
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.pseq & SEQ_MAX
     }
 }
 
-impl<E: Eq> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// A 4-ary implicit min-heap over [`Entry`]s.
+///
+/// The event queue is the hottest data structure in the simulator: every
+/// frame, timer and arrival passes through it. A 4-ary heap halves the tree
+/// depth of a binary heap, and the four children of a node share a cache
+/// line, so both `push` (sift-up) and `pop` (sift-down) touch roughly half
+/// as many cache lines. Because entries are totally ordered by
+/// `(time, priority, seq)`, the sequence of popped minima — the only thing
+/// the simulation observes — is identical to any other correct heap's.
+struct Heap4<E> {
+    v: Vec<Entry<E>>,
+}
+
+impl<E> Heap4<E> {
+    const ARITY: usize = 4;
+
+    fn new() -> Self {
+        Heap4 { v: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    fn peek(&self) -> Option<&Entry<E>> {
+        self.v.first()
+    }
+
+    fn push(&mut self, e: Entry<E>) {
+        self.v.push(e);
+        // Sift up: move the hole toward the root until the parent is no
+        // larger than the new entry.
+        let mut i = self.v.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if self.v[parent].key() <= self.v[i].key() {
+                break;
+            }
+            self.v.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        let n = self.v.len();
+        if n <= 1 {
+            return self.v.pop();
+        }
+        let top = self.v.swap_remove(0);
+        // Sift down: push the displaced tail entry toward the leaves,
+        // always descending into the smallest child.
+        let n = self.v.len();
+        let mut i = 0;
+        loop {
+            let first_child = i * Self::ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let last_child = (first_child + Self::ARITY).min(n);
+            let mut min = first_child;
+            for c in first_child + 1..last_child {
+                if self.v[c].key() < self.v[min].key() {
+                    min = c;
+                }
+            }
+            if self.v[i].key() <= self.v[min].key() {
+                break;
+            }
+            self.v.swap(i, min);
+            i = min;
+        }
+        Some(top)
     }
 }
 
@@ -42,8 +122,8 @@ impl<E: Eq> PartialOrd for Entry<E> {
 /// insertion order. Events can be cancelled by [`EventId`]; cancelled events
 /// are skipped lazily at pop time, so cancellation is O(1).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    heap: Heap4<E>,
+    cancelled: FastHashSet<u64>,
     next_seq: u64,
     /// Time of the most recently popped event; used to reject scheduling in
     /// the past, which would silently corrupt causality.
@@ -57,8 +137,8 @@ impl<E: Eq> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: Heap4::new(),
+            cancelled: FastHashSet::default(),
             next_seq: 0,
             watermark: SimTime::ZERO,
         }
@@ -90,13 +170,13 @@ impl<E: Eq> EventQueue<E> {
             self.watermark
         );
         let seq = self.next_seq;
+        assert!(seq <= SEQ_MAX, "event sequence space exhausted");
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
+        self.heap.push(Entry {
             time,
-            priority,
-            seq,
+            pseq: (priority as u64) << 56 | seq,
             payload,
-        }));
+        });
         EventId(seq)
     }
 
@@ -106,11 +186,62 @@ impl<E: Eq> EventQueue<E> {
         self.cancelled.insert(id.0);
     }
 
+    /// Allocate a sort key for an event kept *outside* the queue.
+    ///
+    /// Some event sources (e.g. per-station timers, of which at most one is
+    /// live per station) are cheaper to keep in their owner's slot than in
+    /// the shared heap. To let such external events interleave
+    /// deterministically with queued ones, this draws an insertion sequence
+    /// number from the same counter [`schedule`](Self::schedule) uses and
+    /// packs it with `priority` exactly as queued entries are. The caller
+    /// compares `(time, key)` tuples against [`peek_key`](Self::peek_key)
+    /// to decide which side fires next; the combined order is identical to
+    /// having queued everything.
+    pub fn alloc_key(&mut self, priority: u8) -> u64 {
+        let seq = self.next_seq;
+        assert!(seq <= SEQ_MAX, "event sequence space exhausted");
+        self.next_seq += 1;
+        (priority as u64) << 56 | seq
+    }
+
+    /// `(time, sort key)` of the next live queued event without removing
+    /// it. The key is comparable with values from
+    /// [`alloc_key`](Self::alloc_key): among same-time events, smaller key
+    /// fires first.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(entry) = self.heap.peek() {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&entry.seq()) {
+                let seq = entry.seq();
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.key());
+            }
+        }
+        None
+    }
+
+    /// Advance the queue's notion of "now" to `time` on behalf of an event
+    /// delivered from outside the queue (see [`alloc_key`](Self::alloc_key)).
+    ///
+    /// # Panics
+    /// Panics if `time` would move time backwards.
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(
+            time >= self.watermark,
+            "advancing to {time:?} before current time {:?}",
+            self.watermark
+        );
+        self.watermark = time;
+    }
+
     /// Remove and return the next live event, or `None` if the queue is
     /// drained.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        while let Some(entry) = self.heap.pop() {
+            // The emptiness guard keeps the common no-cancellations case
+            // free of any hashing on the hottest loop in the simulator.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq()) {
                 continue;
             }
             self.watermark = entry.time;
@@ -122,9 +253,9 @@ impl<E: Eq> EventQueue<E> {
     /// Time of the next live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop cancelled heads eagerly so peek is accurate.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+        while let Some(entry) = self.heap.peek() {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&entry.seq()) {
+                let seq = entry.seq();
                 self.heap.pop();
                 self.cancelled.remove(&seq);
             } else {
@@ -253,6 +384,55 @@ mod tests {
         q.schedule_with_priority(t(5), 255, "early-but-lazy");
         assert_eq!(q.pop(), Some((t(5), "early-but-lazy")));
         assert_eq!(q.pop(), Some((t(10), "late-but-urgent")));
+    }
+
+    #[test]
+    fn alloc_key_interleaves_with_queued_events() {
+        // An external event with a key drawn between two schedules must
+        // sort between them at the same instant.
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "first");
+        let external = q.alloc_key(EventQueue::<&str>::DEFAULT_PRIORITY);
+        q.schedule(t(5), "third");
+        let (time, key) = q.peek_key().unwrap();
+        assert_eq!(time, t(5));
+        assert!(key < external, "earlier schedule fires before external");
+        assert_eq!(q.pop(), Some((t(5), "first")));
+        let (_, key2) = q.peek_key().unwrap();
+        assert!(external < key2, "external fires before later schedule");
+    }
+
+    #[test]
+    fn alloc_key_priority_orders_same_instant() {
+        let mut q = EventQueue::<()>::new();
+        let lazy = q.alloc_key(255);
+        let urgent = q.alloc_key(0);
+        // Lower priority byte dominates even though it was allocated later.
+        assert!(urgent < lazy);
+    }
+
+    #[test]
+    fn peek_key_sees_through_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_key().map(|(time, _)| time), Some(t(2)));
+    }
+
+    #[test]
+    fn advance_to_moves_now_forward() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_to(t(9));
+        assert_eq!(q.now(), t(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn advance_to_rejects_time_travel() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_to(t(9));
+        q.advance_to(t(3));
     }
 
     #[test]

@@ -31,9 +31,11 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

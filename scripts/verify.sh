@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, full test suite, and a perf
+# smoke run. Exits non-zero if anything fails to build, any test fails, or
+# the perf harness panics / produces non-finite throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== perf smoke =="
+cargo run --release -p macaw-bench --bin perf -- --quick
+
+echo "verify: OK"

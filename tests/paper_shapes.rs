@@ -229,13 +229,28 @@ fn table11_macaw_shrinks_the_top_streams_share() {
             .fold(0.0, f64::max);
         top / r.total_throughput()
     };
-    let maca = figures::figure11(MacKind::Maca, 11, arrive).run(DUR * 2, WARM);
-    let macaw = figures::figure11(MacKind::Macaw, 11, arrive).run(DUR * 2, WARM);
+    // The top-stream share of a single run is noisy enough that the
+    // MACA/MACAW comparison can flip sign on individual seeds, so assert
+    // on the mean over a few independent replications instead.
+    let seeds = [7u64, 11, 13];
+    let mut maca_share = 0.0;
+    let mut macaw_share = 0.0;
+    let mut maca_jain = 0.0;
+    let mut macaw_jain = 0.0;
+    for seed in seeds {
+        let maca = figures::figure11(MacKind::Maca, seed, arrive).run(DUR * 2, WARM);
+        let macaw = figures::figure11(MacKind::Macaw, seed, arrive).run(DUR * 2, WARM);
+        maca_share += share(&maca);
+        macaw_share += share(&macaw);
+        maca_jain += maca.jain_fairness();
+        macaw_jain += macaw.jain_fairness();
+    }
+    let n = seeds.len() as f64;
     assert!(
-        share(&macaw) < share(&maca),
-        "MACAW top-stream share ({:.2}) must be below MACA's ({:.2})",
-        share(&macaw),
-        share(&maca)
+        macaw_share / n < maca_share / n,
+        "MACAW mean top-stream share ({:.3}) must be below MACA's ({:.3})",
+        macaw_share / n,
+        maca_share / n
     );
-    assert!(macaw.jain_fairness() > maca.jain_fairness());
+    assert!(macaw_jain / n > maca_jain / n);
 }
