@@ -25,6 +25,7 @@ fn run(sc: Scenario) -> RunReport {
         SimDuration::from_secs(SECS),
         SimDuration::from_secs(WARM),
     )
+    .expect("ablation scenario failed")
 }
 
 fn backoff_grid() {

@@ -16,7 +16,7 @@ const ITERS: u32 = 5;
 macro_rules! table_bench {
     ($table:ident) => {{
         let dur = SimDuration::from_secs(BENCH_SECS);
-        let result = exp::$table(1, dur);
+        let result = exp::$table(1, dur).expect("bench table failed");
         println!("{}", result.render());
         stopwatch::bench(stringify!($table), ITERS, || exp::$table(1, dur));
     }};

@@ -27,12 +27,25 @@ use macaw_bench::{all_tables, warm_for, TABLES};
 use macaw_core::figures;
 use macaw_core::prelude::{MacKind, SimDuration, SimTime};
 
+/// A simulation error in this harness means a paper scenario failed to
+/// run — report it and fail the process instead of panicking.
+fn die(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("simulation failed: {e}");
+    std::process::exit(1);
+}
+
 /// Pre-optimization reference for the table workload, in milliseconds:
 /// minimum of 5 interleaved runs of the pre-change build (commit 2b361a0
 /// plus only the offline-build fixes) on the same host as the optimized
 /// numbers recorded in `BENCH_medium.json`. See DESIGN.md "Performance"
 /// for the measurement protocol.
 const BASELINE_TABLES_QUICK_MS: f64 = 1060.0;
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
 
 struct Probe {
     name: &'static str,
@@ -45,7 +58,7 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
     let warm = warm_for(dur);
     let mut out = Vec::new();
     let mut go = |name: &'static str, sc: macaw_core::scenario::Scenario, d: SimDuration| {
-        let (report, secs) = time_once(|| sc.run(d, warm));
+        let (report, secs) = time_once(|| sc.run(d, warm).unwrap_or_else(|e| die(&e)));
         assert!(
             report.total_throughput().is_finite() && report.total_throughput() > 0.0,
             "{name}: non-finite or zero throughput"
@@ -78,20 +91,27 @@ fn main() {
             "--quick" => quick = true,
             "--iters" => {
                 i += 1;
-                iters = args[i].parse().expect("--iters takes an integer");
+                iters = match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage_and_exit("--iters takes an integer"),
+                };
             }
             "--seed" => {
                 i += 1;
-                seed = args[i].parse().expect("--seed takes an integer");
+                seed = match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage_and_exit("--seed takes an integer"),
+                };
             }
             "--out" => {
                 i += 1;
-                out_path = args[i].clone();
+                out_path = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => usage_and_exit("--out takes a path"),
+                };
             }
             other => {
-                eprintln!("unknown argument {other}");
-                eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH]");
-                std::process::exit(2);
+                usage_and_exit(&format!("unknown argument {other}"));
             }
         }
         i += 1;
@@ -100,7 +120,7 @@ fn main() {
     if quick {
         // Smoke mode: short run, sanity checks only, no JSON.
         let dur = SimDuration::from_secs(20);
-        let (tables, secs) = time_once(|| all_tables(seed, dur));
+        let (tables, secs) = time_once(|| all_tables(seed, dur).unwrap_or_else(|e| die(&e)));
         for t in &tables {
             for total in t.totals() {
                 assert!(
@@ -116,12 +136,12 @@ fn main() {
 
     let dur = SimDuration::from_secs(100);
     println!("table workload: all_tables(seed={seed}, 100 s), {iters} iters");
-    let m = bench("all_tables-quick", iters, || all_tables(seed, dur));
+    let m = bench("all_tables-quick", iters, || all_tables(seed, dur).unwrap_or_else(|e| die(&e)));
 
     println!("\nper-table wall time (single runs):");
     let mut table_json = String::new();
     for (id, f) in TABLES {
-        let (t, secs) = time_once(|| f(seed, dur));
+        let (t, secs) = time_once(|| f(seed, dur).unwrap_or_else(|e| die(&e)));
         debug_assert_eq!(t.id, *id);
         println!("  {:<10} {:>8.1} ms", t.id, secs * 1e3);
         table_json.push_str(&format!(
@@ -175,6 +195,9 @@ fn main() {
         m.max_secs * 1e3,
         probe_json,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_medium.json");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out_path}");
 }

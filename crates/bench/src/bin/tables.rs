@@ -12,6 +12,11 @@
 use macaw_bench::{default_duration, run_tables_parallel, TableResult, TABLES};
 use macaw_core::prelude::SimDuration;
 
+fn usage_and_exit() -> ! {
+    eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dur = default_duration();
@@ -25,16 +30,27 @@ fn main() {
             "--serial" => serial = true,
             "--seed" => {
                 i += 1;
-                seed = args[i].parse().expect("--seed takes an integer");
+                seed = match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--seed takes an integer");
+                        usage_and_exit();
+                    }
+                };
             }
             "--table" => {
                 i += 1;
-                only = Some(args[i].clone());
+                match args.get(i) {
+                    Some(t) => only = Some(t.clone()),
+                    None => {
+                        eprintln!("--table takes a table id");
+                        usage_and_exit();
+                    }
+                }
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial]");
-                std::process::exit(2);
+                usage_and_exit();
             }
         }
         i += 1;
@@ -56,13 +72,25 @@ fn main() {
         .collect();
     if selected.is_empty() {
         eprintln!("no table matches {:?}", only.unwrap_or_default());
+        let valid: Vec<&str> = TABLES.iter().map(|(id, _)| *id).collect();
+        eprintln!("valid tables: {}", valid.join(", "));
         std::process::exit(2);
     }
 
-    let results: Vec<TableResult> = if serial {
-        selected.iter().map(|(_, f)| f(seed, dur)).collect()
+    let results = if serial {
+        selected
+            .iter()
+            .map(|(_, f)| f(seed, dur))
+            .collect::<Result<Vec<TableResult>, _>>()
     } else {
         run_tables_parallel(&selected, seed, dur)
+    };
+    let results = match results {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
     };
 
     for t in results {

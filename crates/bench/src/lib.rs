@@ -14,6 +14,7 @@
 use macaw_core::prelude::*;
 use macaw_mac::BackoffSharing;
 
+pub mod faults;
 pub mod stopwatch;
 
 /// Default experiment duration (the paper runs 500–2000 s).
@@ -127,10 +128,10 @@ pub fn late(ack: bool, ds: bool, rrts: bool) -> MacKind {
 
 /// Table 1 (§3.1, Figure 2): BEB vs BEB + copying on two saturating pads.
 /// BEB alone lets one pad capture the channel completely.
-pub fn table1(seed: u64, dur: SimDuration) -> TableResult {
-    let beb = figures::figure2(early(BackoffAlgo::Beb, BackoffSharing::None), seed).run(dur, warm_for(dur));
-    let copy = figures::figure2(early(BackoffAlgo::Beb, BackoffSharing::Copy), seed).run(dur, warm_for(dur));
-    TableResult {
+pub fn table1(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let beb = figures::figure2(early(BackoffAlgo::Beb, BackoffSharing::None), seed).run(dur, warm_for(dur))?;
+    let copy = figures::figure2(early(BackoffAlgo::Beb, BackoffSharing::Copy), seed).run(dur, warm_for(dur))?;
+    Ok(TableResult {
         id: "Table 1",
         title: "BEB capture vs fairness through backoff copying (Fig 2)",
         columns: vec!["BEB", "BEB copy"],
@@ -147,16 +148,16 @@ pub fn table1(seed: u64, dur: SimDuration) -> TableResult {
             ),
         ],
         shape: "BEB: one pad captures, the other starves; copy: equal split",
-    }
+    })
 }
 
 /// Table 2 (§3.1, Figure 3): BEB + copy vs MILD + copy, six saturating pads.
-pub fn table2(seed: u64, dur: SimDuration) -> TableResult {
-    let beb = figures::figure3(early(BackoffAlgo::Beb, BackoffSharing::Copy), seed).run(dur, warm_for(dur));
-    let mild = figures::figure3(early(BackoffAlgo::Mild, BackoffSharing::Copy), seed).run(dur, warm_for(dur));
+pub fn table2(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let beb = figures::figure3(early(BackoffAlgo::Beb, BackoffSharing::Copy), seed).run(dur, warm_for(dur))?;
+    let mild = figures::figure3(early(BackoffAlgo::Mild, BackoffSharing::Copy), seed).run(dur, warm_for(dur))?;
     let paper_beb = [2.96, 3.01, 2.84, 2.93, 3.00, 3.05];
     let paper_mild = [6.10, 6.18, 6.05, 6.12, 6.14, 6.09];
-    TableResult {
+    Ok(TableResult {
         id: "Table 2",
         title: "BEB+copy vs MILD+copy with six pads (Fig 3)",
         columns: vec!["BEB copy", "MILD copy"],
@@ -171,19 +172,19 @@ pub fn table2(seed: u64, dur: SimDuration) -> TableResult {
             })
             .collect(),
         shape: "both fair; MILD sustains higher total throughput than BEB",
-    }
+    })
 }
 
 /// Table 3 (§3.2, Figure 4): single station FIFO vs per-stream queues.
-pub fn table3(seed: u64, dur: SimDuration) -> TableResult {
-    let single = figures::figure4(mid(QueueMode::SingleFifo), seed).run(dur, warm_for(dur));
-    let multi = figures::figure4(mid(QueueMode::PerStream), seed).run(dur, warm_for(dur));
+pub fn table3(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let single = figures::figure4(mid(QueueMode::SingleFifo), seed).run(dur, warm_for(dur))?;
+    let multi = figures::figure4(mid(QueueMode::PerStream), seed).run(dur, warm_for(dur))?;
     let rows = [
         ("B-P1", 11.42, 15.07),
         ("B-P2", 12.34, 15.82),
         ("P3-B", 22.74, 15.64),
     ];
-    TableResult {
+    Ok(TableResult {
         id: "Table 3",
         title: "single-queue (per-station) vs per-stream allocation (Fig 4)",
         columns: vec!["single", "multiple"],
@@ -198,40 +199,40 @@ pub fn table3(seed: u64, dur: SimDuration) -> TableResult {
             })
             .collect(),
         shape: "single: P3 gets ~2x the base's streams; multiple: even thirds",
-    }
+    })
 }
 
 /// Table 4 (§3.3.1): a TCP stream under intermittent noise, with and
 /// without the link-layer ACK.
-pub fn table4(seed: u64, dur: SimDuration) -> TableResult {
+pub fn table4(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     let rates = [0.0, 0.001, 0.01, 0.1];
     let paper_noack = [40.41, 36.58, 16.65, 2.48];
     let paper_ack = [36.76, 36.67, 35.52, 9.93];
     let mut rows = Vec::new();
     for (i, rate) in rates.iter().enumerate() {
-        let noack = figures::table4(late(false, false, false), seed, *rate).run(dur, warm_for(dur));
-        let ack = figures::table4(late(true, false, false), seed, *rate).run(dur, warm_for(dur));
+        let noack = figures::table4(late(false, false, false), seed, *rate).run(dur, warm_for(dur))?;
+        let ack = figures::table4(late(true, false, false), seed, *rate).run(dur, warm_for(dur))?;
         rows.push((
             format!("error {rate}"),
             vec![paper_noack[i], paper_ack[i]],
             vec![noack.throughput("P-B"), ack.throughput("P-B")],
         ));
     }
-    TableResult {
+    Ok(TableResult {
         id: "Table 4",
         title: "TCP over noise: transport-only vs link-layer recovery",
         columns: vec!["RTS-CTS-DATA", "+ACK"],
         rows,
         shape: "without ACK throughput collapses with noise; with ACK it degrades gently and wins at high noise",
-    }
+    })
 }
 
 /// Table 5 (§3.3.2, Figure 5): exposed-terminal senders, with and without
 /// the DS packet.
-pub fn table5(seed: u64, dur: SimDuration) -> TableResult {
-    let nods = figures::figure5(late(true, false, false), seed).run(dur, warm_for(dur));
-    let ds = figures::figure5(late(true, true, false), seed).run(dur, warm_for(dur));
-    TableResult {
+pub fn table5(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let nods = figures::figure5(late(true, false, false), seed).run(dur, warm_for(dur))?;
+    let ds = figures::figure5(late(true, true, false), seed).run(dur, warm_for(dur))?;
+    Ok(TableResult {
         id: "Table 5",
         title: "exposed-terminal senders without/with DS (Fig 5)",
         columns: vec!["RTS-CTS-DATA-ACK", "+DS"],
@@ -248,14 +249,14 @@ pub fn table5(seed: u64, dur: SimDuration) -> TableResult {
             ),
         ],
         shape: "without DS the allocation collapses; with DS both streams share evenly at ~23 pps",
-    }
+    })
 }
 
 /// Table 6 (§3.3.3, Figure 6): blocked receivers, with and without RRTS.
-pub fn table6(seed: u64, dur: SimDuration) -> TableResult {
-    let norrts = figures::figure6(late(true, true, false), seed).run(dur, warm_for(dur));
-    let rrts = figures::figure6(late(true, true, true), seed).run(dur, warm_for(dur));
-    TableResult {
+pub fn table6(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let norrts = figures::figure6(late(true, true, false), seed).run(dur, warm_for(dur))?;
+    let rrts = figures::figure6(late(true, true, true), seed).run(dur, warm_for(dur))?;
+    Ok(TableResult {
         id: "Table 6",
         title: "receiver-side contention without/with RRTS (Fig 6)",
         columns: vec!["no RRTS", "RRTS"],
@@ -272,13 +273,13 @@ pub fn table6(seed: u64, dur: SimDuration) -> TableResult {
             ),
         ],
         shape: "without RRTS one downlink starves completely; with RRTS both share evenly",
-    }
+    })
 }
 
 /// Table 7 (§3.3.3, Figure 7): the configuration MACAW leaves unsolved.
-pub fn table7(seed: u64, dur: SimDuration) -> TableResult {
-    let r = figures::figure7(MacKind::Macaw, seed).run(dur, warm_for(dur));
-    TableResult {
+pub fn table7(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let r = figures::figure7(MacKind::Macaw, seed).run(dur, warm_for(dur))?;
+    Ok(TableResult {
         id: "Table 7",
         title: "the unsolved configuration (Fig 7) under full MACAW",
         columns: vec!["MACAW"],
@@ -287,26 +288,26 @@ pub fn table7(seed: u64, dur: SimDuration) -> TableResult {
             ("P2-B2".into(), vec![42.87], vec![r.throughput("P2-B2")]),
         ],
         shape: "B1-P1 is (almost) completely denied access; P2-B2 runs at capacity",
-    }
+    })
 }
 
 /// Table 8 (§3.4, Figure 9): a pad is switched off at t = 100 s; single
 /// shared backoff vs per-destination backoff.
-pub fn table8(seed: u64, dur: SimDuration) -> TableResult {
+pub fn table8(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     let off_at = SimTime::ZERO + SimDuration::from_secs(100);
     let single = {
         let mut c = MacConfig::macaw();
         c.backoff_sharing = BackoffSharing::Copy;
-        figures::figure9(MacKind::Custom(c), seed, off_at).run(dur, warm_for(dur))
+        figures::figure9(MacKind::Custom(c), seed, off_at).run(dur, warm_for(dur))?
     };
-    let perdst = figures::figure9(MacKind::Macaw, seed, off_at).run(dur, warm_for(dur));
+    let perdst = figures::figure9(MacKind::Macaw, seed, off_at).run(dur, warm_for(dur))?;
     let rows = [
         ("B1-P2", 3.79, 7.43),
         ("P2-B1", 3.78, 7.55),
         ("B1-P3", 3.62, 7.31),
         ("P3-B1", 3.43, 7.47),
     ];
-    TableResult {
+    Ok(TableResult {
         id: "Table 8",
         title: "unreachable pad: single vs per-destination backoff (Fig 9)",
         columns: vec!["single backoff", "per-destination"],
@@ -321,11 +322,11 @@ pub fn table8(seed: u64, dur: SimDuration) -> TableResult {
             })
             .collect(),
         shape: "per-destination backoff roughly doubles surviving streams' throughput",
-    }
+    })
 }
 
 /// Table 9 (§3.5): protocol overhead on a clean single stream.
-pub fn table9(seed: u64, dur: SimDuration) -> TableResult {
+pub fn table9(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     let mk = |mac: MacKind| {
         let mut sc = Scenario::new(seed);
         let base = sc.add_station("B", Point::new(0.0, 0.0, 6.0), mac);
@@ -333,9 +334,9 @@ pub fn table9(seed: u64, dur: SimDuration) -> TableResult {
         sc.add_udp_stream("P-B", pad, base, 64, 512);
         sc.run(dur, warm_for(dur))
     };
-    let maca = mk(MacKind::Maca);
-    let macaw = mk(MacKind::Macaw);
-    TableResult {
+    let maca = mk(MacKind::Maca)?;
+    let macaw = mk(MacKind::Macaw)?;
+    Ok(TableResult {
         id: "Table 9",
         title: "single-stream overhead: MACA vs MACAW",
         columns: vec!["pps"],
@@ -344,13 +345,13 @@ pub fn table9(seed: u64, dur: SimDuration) -> TableResult {
             ("MACAW".into(), vec![49.07], vec![macaw.throughput("P-B")]),
         ],
         shape: "MACA beats MACAW by the ~8% DS+ACK overhead on a clean channel",
-    }
+    })
 }
 
 /// Table 10 (§3.5, Figure 10): the three-cell scenario, MACA vs MACAW.
-pub fn table10(seed: u64, dur: SimDuration) -> TableResult {
-    let maca = figures::figure10(MacKind::Maca, seed).run(dur, warm_for(dur));
-    let macaw = figures::figure10(MacKind::Macaw, seed).run(dur, warm_for(dur));
+pub fn table10(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
+    let maca = figures::figure10(MacKind::Maca, seed).run(dur, warm_for(dur))?;
+    let macaw = figures::figure10(MacKind::Macaw, seed).run(dur, warm_for(dur))?;
     let rows = [
         ("P1-B1", 9.61, 3.45),
         ("P2-B1", 2.45, 3.84),
@@ -364,7 +365,7 @@ pub fn table10(seed: u64, dur: SimDuration) -> TableResult {
         ("B2-P5", 3.21, 7.80),
         ("P6-B3", 28.40, 25.16),
     ];
-    TableResult {
+    Ok(TableResult {
         id: "Table 10",
         title: "three-cell scenario: MACA vs MACAW (Fig 10)",
         columns: vec!["MACA", "MACAW"],
@@ -379,15 +380,15 @@ pub fn table10(seed: u64, dur: SimDuration) -> TableResult {
             })
             .collect(),
         shape: "MACAW: fair shares within C1 and a live C2; MACA: wildly uneven, dominated by a few streams",
-    }
+    })
 }
 
 /// Table 11 (§3.5, Figure 11): the four-cell PARC office slice with noise
 /// and mobility, MACA vs MACAW over TCP (the paper runs 2000 s).
-pub fn table11(seed: u64, dur: SimDuration) -> TableResult {
+pub fn table11(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     let arrive = SimTime::ZERO + SimDuration::from_secs(300);
-    let maca = figures::figure11(MacKind::Maca, seed, arrive).run(dur, warm_for(dur));
-    let macaw = figures::figure11(MacKind::Macaw, seed, arrive).run(dur, warm_for(dur));
+    let maca = figures::figure11(MacKind::Maca, seed, arrive).run(dur, warm_for(dur))?;
+    let macaw = figures::figure11(MacKind::Macaw, seed, arrive).run(dur, warm_for(dur))?;
     let rows = [
         ("P1-B1", 0.78, 2.39),
         ("P2-B1", 1.30, 2.72),
@@ -397,7 +398,7 @@ pub fn table11(seed: u64, dur: SimDuration) -> TableResult {
         ("P6-B2", 6.94, 14.00),
         ("P7-B4", 23.82, 19.18),
     ];
-    TableResult {
+    Ok(TableResult {
         id: "Table 11",
         title: "four-cell PARC office with noise + mobility (Fig 11)",
         columns: vec!["MACA", "MACAW"],
@@ -412,17 +413,17 @@ pub fn table11(seed: u64, dur: SimDuration) -> TableResult {
             })
             .collect(),
         shape: "MACAW distributes throughput more fairly; the top stream's share shrinks",
-    }
+    })
 }
 
 /// Figure 1 (§2.2): hidden-terminal behaviour of CSMA vs MACA vs MACAW.
 /// Not a numbered table in the paper; the qualitative claim is §2.2's.
-pub fn figure1(seed: u64, dur: SimDuration) -> TableResult {
+pub fn figure1(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     let mk = |mac: MacKind| figures::figure1_hidden(mac, seed).run(dur, warm_for(dur));
-    let csma = mk(MacKind::Csma(Default::default()));
-    let maca = mk(MacKind::Maca);
-    let macaw = mk(MacKind::Macaw);
-    TableResult {
+    let csma = mk(MacKind::Csma(Default::default()))?;
+    let maca = mk(MacKind::Maca)?;
+    let macaw = mk(MacKind::Macaw)?;
+    Ok(TableResult {
         id: "Figure 1",
         title: "hidden terminal: CSMA vs MACA vs MACAW (A→B and C→B)",
         columns: vec!["CSMA", "MACA", "MACAW"],
@@ -447,19 +448,22 @@ pub fn figure1(seed: u64, dur: SimDuration) -> TableResult {
             ),
         ],
         shape: "CSMA: total collapse at the hidden terminal; MACA: recovers capacity (unfairly); MACAW: recovers capacity and fairness",
-    }
+    })
 }
 
 /// Table 11 at its paper-relative duration (the paper runs it 2000 s
 /// against 500 s for the rest), so the registry entries share a signature.
-fn table11_x4(seed: u64, dur: SimDuration) -> TableResult {
+fn table11_x4(seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
     table11(seed, dur * 4)
 }
 
 /// Every reproduced table, in paper order: `(id, constructor)`. The id
 /// matches [`TableResult::id`], so callers can select tables *before*
 /// running them.
-pub const TABLES: &[(&str, fn(u64, SimDuration) -> TableResult)] = &[
+/// A table-reproducing experiment: `(seed, duration) -> TableResult`.
+pub type TableFn = fn(u64, SimDuration) -> Result<TableResult, SimError>;
+
+pub const TABLES: &[(&str, TableFn)] = &[
     ("Figure 1", figure1),
     ("Table 1", table1),
     ("Table 2", table2),
@@ -475,8 +479,9 @@ pub const TABLES: &[(&str, fn(u64, SimDuration) -> TableResult)] = &[
 ];
 
 /// Every table in paper order (Table 11 runs 4x longer, like the paper's
-/// 2000 s vs 500 s runs).
-pub fn all_tables(seed: u64, dur: SimDuration) -> Vec<TableResult> {
+/// 2000 s vs 500 s runs). Fails on the first table whose simulation
+/// reports a [`SimError`].
+pub fn all_tables(seed: u64, dur: SimDuration) -> Result<Vec<TableResult>, SimError> {
     TABLES.iter().map(|(_, f)| f(seed, dur)).collect()
 }
 
@@ -484,18 +489,19 @@ pub fn all_tables(seed: u64, dur: SimDuration) -> Vec<TableResult> {
 /// independent deterministic simulations (each builds its scenarios from
 /// `seed` alone), so the results are identical to the serial run — only
 /// wall time changes. Propagates the first panicking table's panic.
-pub fn all_tables_parallel(seed: u64, dur: SimDuration) -> Vec<TableResult> {
+pub fn all_tables_parallel(seed: u64, dur: SimDuration) -> Result<Vec<TableResult>, SimError> {
     run_tables_parallel(TABLES, seed, dur)
 }
 
 /// Run an arbitrary selection of `tables` concurrently, preserving input
-/// order in the output.
+/// order in the output. The first [`SimError`] (in input order) wins.
 pub fn run_tables_parallel(
-    tables: &[(&str, fn(u64, SimDuration) -> TableResult)],
+    tables: &[(&str, TableFn)],
     seed: u64,
     dur: SimDuration,
-) -> Vec<TableResult> {
-    let mut out: Vec<Option<TableResult>> = vec![None; tables.len()];
+) -> Result<Vec<TableResult>, SimError> {
+    let mut out: Vec<Option<Result<TableResult, SimError>>> =
+        (0..tables.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (slot, (_, f)) in out.iter_mut().zip(tables) {
             scope.spawn(move || *slot = Some(f(seed, dur)));

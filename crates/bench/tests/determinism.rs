@@ -20,8 +20,8 @@ fn same_seed_same_report_bitwise() {
     let dur = SimDuration::from_secs(20);
     let warm = SimDuration::from_secs(4);
     for seed in [1, 7] {
-        let a = figures::figure10(MacKind::Macaw, seed).run(dur, warm);
-        let b = figures::figure10(MacKind::Macaw, seed).run(dur, warm);
+        let a = figures::figure10(MacKind::Macaw, seed).run(dur, warm).unwrap();
+        let b = figures::figure10(MacKind::Macaw, seed).run(dur, warm).unwrap();
         assert_eq!(a, b, "figure10 seed {seed}: reports differ structurally");
         assert_eq!(
             format!("{a:?}"),
@@ -37,8 +37,8 @@ fn same_seed_same_report_bitwise() {
 fn different_seed_different_report() {
     let dur = SimDuration::from_secs(20);
     let warm = SimDuration::from_secs(4);
-    let a = figures::figure10(MacKind::Macaw, 1).run(dur, warm);
-    let b = figures::figure10(MacKind::Macaw, 2).run(dur, warm);
+    let a = figures::figure10(MacKind::Macaw, 1).run(dur, warm).unwrap();
+    let b = figures::figure10(MacKind::Macaw, 2).run(dur, warm).unwrap();
     assert_ne!(a, b, "seeds 1 and 2 produced identical reports");
 }
 
@@ -49,8 +49,8 @@ fn mobility_scenario_deterministic() {
     let dur = SimDuration::from_secs(30);
     let warm = SimDuration::from_secs(5);
     let arrive = SimTime::ZERO + SimDuration::from_secs(10);
-    let a = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm);
-    let b = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm);
+    let a = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm).unwrap();
+    let b = figures::figure11(MacKind::Macaw, 3, arrive).run(dur, warm).unwrap();
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
@@ -59,8 +59,8 @@ fn mobility_scenario_deterministic() {
 #[test]
 fn parallel_tables_match_serial() {
     let dur = SimDuration::from_secs(10);
-    let serial = all_tables(1, dur);
-    let parallel = all_tables_parallel(1, dur);
+    let serial = all_tables(1, dur).unwrap();
+    let parallel = all_tables_parallel(1, dur).unwrap();
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.id, p.id);
@@ -71,4 +71,55 @@ fn parallel_tables_match_serial() {
             s.id
         );
     }
+}
+
+/// A chaos run is still a pure function of (topology, plan, seed): the
+/// same generated `FaultPlan` applied to the same scenario produces a
+/// bitwise-identical report, crashes and corruption windows included.
+#[test]
+fn fault_plan_runs_are_bitwise_deterministic() {
+    use macaw_core::prelude::{FaultPlan, FaultPlanConfig};
+    let dur = SimDuration::from_secs(20);
+    let warm = SimDuration::from_secs(4);
+    let cfg = FaultPlanConfig {
+        duration: dur,
+        ..FaultPlanConfig::default()
+    };
+    for seed in [2, 9] {
+        let go = || {
+            let mut sc = figures::figure10(MacKind::Macaw, seed);
+            let plan = FaultPlan::generate(seed, &cfg, sc.station_count());
+            plan.apply(&mut sc).unwrap();
+            sc.run(dur, warm).unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a, b, "faulted figure10 seed {seed}: reports differ");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "faulted figure10 seed {seed}: reports differ in f64 bit patterns"
+        );
+    }
+}
+
+/// The faults must actually bite: a faulted run differs from the clean
+/// run of the same scenario and seed, so the test above is not vacuous.
+#[test]
+fn fault_plan_changes_the_trajectory() {
+    use macaw_core::prelude::{FaultPlan, FaultPlanConfig};
+    let dur = SimDuration::from_secs(20);
+    let warm = SimDuration::from_secs(4);
+    let cfg = FaultPlanConfig {
+        duration: dur,
+        crashes: 2,
+        corruption_windows: 6,
+        ..FaultPlanConfig::default()
+    };
+    let clean = figures::figure10(MacKind::Macaw, 5).run(dur, warm).unwrap();
+    let mut sc = figures::figure10(MacKind::Macaw, 5);
+    let plan = FaultPlan::generate(5, &cfg, sc.station_count());
+    plan.apply(&mut sc).unwrap();
+    let faulted = sc.run(dur, warm).unwrap();
+    assert_ne!(clean, faulted, "fault plan had no observable effect");
 }

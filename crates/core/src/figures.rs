@@ -340,7 +340,7 @@ mod tests {
 
     /// Assert the exact set of in-range pairs (by station index).
     fn assert_links(sc: Scenario, expected_in_range: &[(usize, usize)]) {
-        let net = sc.build();
+        let net = sc.build().unwrap();
         let n = net.station_count();
         for a in 0..n {
             for b in (a + 1)..n {
@@ -356,7 +356,7 @@ mod tests {
     }
 
     fn all_pairs_connected(sc: Scenario) {
-        let net = sc.build();
+        let net = sc.build().unwrap();
         let n = net.station_count();
         for a in 0..n {
             for b in (a + 1)..n {
@@ -463,7 +463,7 @@ mod tests {
     fn figure10_p5_is_capture_protected_from_the_straddler() {
         // P5's signal at B2 must exceed P6's by the 10 dB capture margin,
         // so the straddler cannot destroy in-cell exchanges (§2.1).
-        let net = figure10(MacKind::Macaw, 1).build();
+        let net = figure10(MacKind::Macaw, 1).build().unwrap();
         let prop = net.medium().propagation();
         let d_p5 = net.medium().position(StationId(6)).distance(net.medium().position(StationId(5)));
         let d_p6 = net.medium().position(StationId(8)).distance(net.medium().position(StationId(5)));
@@ -501,8 +501,8 @@ mod tests {
     fn figure11_p7_hears_p1_p3_and_b4_after_arrival() {
         let arrive = SimTime::ZERO + SimDuration::from_millis(10);
         let sc = figure11(MacKind::Macaw, 1, arrive);
-        let mut net = sc.build();
-        net.run_until(arrive + SimDuration::from_millis(1));
+        let mut net = sc.build().unwrap();
+        net.run_until(arrive + SimDuration::from_millis(1)).unwrap();
         let m = net.medium();
         let p7 = StationId(10);
         assert!(m.in_range(p7, StationId(9)), "P7-B4");

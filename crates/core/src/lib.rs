@@ -12,6 +12,11 @@
 //!   table's two columns differ by exactly one toggle.
 //! * [`stats`] — per-stream throughput, Jain's fairness index, and the run
 //!   report the benches print.
+//! * [`faults`] — the deterministic fault-injection plan ([`faults::FaultPlan`]):
+//!   noise bursts, corruption windows, station crashes, link asymmetry and
+//!   position jitter, applied to a scenario before it is built.
+//! * [`error`] — [`error::SimError`], the typed failure every fallible entry
+//!   point returns instead of panicking.
 //!
 //! # Quickstart
 //!
@@ -25,23 +30,31 @@
 //! let p2 = sc.add_station("P2", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
 //! sc.add_udp_stream("P1-B", p1, base, 64, 512);
 //! sc.add_udp_stream("P2-B", p2, base, 64, 512);
-//! let report = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(5));
+//! let report = sc
+//!     .run(SimDuration::from_secs(30), SimDuration::from_secs(5))
+//!     .unwrap();
 //! assert!(report.total_throughput() > 30.0);
 //! let fairness = report.jain_fairness();
 //! assert!(fairness > 0.95, "MACAW splits the channel fairly: {fairness}");
 //! ```
 
+pub mod error;
+pub mod faults;
 pub mod figures;
 pub mod network;
 pub mod scenario;
 pub mod stats;
 
+pub use error::SimError;
+pub use faults::{Fault, FaultPlan, FaultPlanConfig};
 pub use network::Network;
 pub use scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
 pub use stats::{RunReport, StreamReport};
 
 /// The commonly used names in one import.
 pub mod prelude {
+    pub use crate::error::SimError;
+    pub use crate::faults::{Fault, FaultPlan, FaultPlanConfig};
     pub use crate::figures;
     pub use crate::network::Network;
     pub use crate::scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};

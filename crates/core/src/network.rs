@@ -33,11 +33,12 @@ use std::collections::VecDeque;
 
 use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
-use macaw_phy::{Delivery, Medium, Point, StationId, TxId};
+use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, StationId, TxId};
 use macaw_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
 
+use crate::error::SimError;
 use crate::stats::{RunReport, StreamReport};
 
 /// A trace record emitted by [`Network::set_tracer`] hooks. Useful for
@@ -70,13 +71,24 @@ pub(crate) enum Side {
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Event {
-    /// A station's transmission ends; deliver to everyone in range.
-    TxEnd { station: u32 },
+    /// A station's transmission ends; deliver to everyone in range. The
+    /// `epoch` stamps which incarnation of the station keyed up: a crash
+    /// aborts the transmission and bumps the station's epoch, so the
+    /// already-queued TxEnd arrives stale and must be ignored (a restarted
+    /// station may have a *new* transmission in flight by then).
+    TxEnd { station: u32, epoch: u32 },
     /// The application on a stream produces its next packet.
     AppArrival { stream: u32 },
     /// A scheduled scenario action (mobility / power / noise) fires.
     Action { index: u32 },
 }
+
+/// Hard cap on events processed at a single simulated instant. The
+/// legitimate same-instant burst is bounded by stations + streams (every
+/// timer plus every frame end firing together); a station re-arming a
+/// zero-length timer from its own timer handler is the classic livelock
+/// and blows past this within a millisecond of wall time.
+const LIVELOCK_SAME_INSTANT_CAP: u64 = 100_000;
 
 /// A pending timer held outside the event queue: fire time plus the sort
 /// key ([`EventQueue::alloc_key`]) that orders it against queued events.
@@ -164,6 +176,18 @@ pub(crate) enum ActionKind {
     PowerOn { station: usize },
     /// Toggle a spatial noise emitter.
     SetNoise { index: usize, active: bool },
+    /// Crash a station: any frame in flight is truncated on the air, the
+    /// MAC's volatile state (backoff tables, exchange progress) is wiped,
+    /// and the station goes deaf until a matching [`ActionKind::Restart`].
+    Crash {
+        station: usize,
+        preserve_queues: bool,
+    },
+    /// Bring a crashed (or powered-off) station back up and kick its MAC
+    /// so preserved queues resume contention.
+    Restart { station: usize },
+    /// Scale one directional link's gain (asymmetry fault).
+    SetLinkGain { src: usize, dst: usize, factor: f64 },
 }
 
 pub(crate) struct ScheduledAction {
@@ -178,6 +202,9 @@ struct StationSlot {
     /// The in-flight own transmission, if any.
     tx: Option<(TxId, Frame)>,
     on: bool,
+    /// Incarnation counter; bumped by a crash so stale TxEnd events from
+    /// the previous life are recognizable (see [`Event::TxEnd`]).
+    epoch: u32,
     /// Packets dropped by this station's MAC after retry exhaustion.
     mac_drops: u64,
 }
@@ -214,7 +241,7 @@ struct StreamState {
 /// The assembled simulated network. Build one through
 /// [`crate::scenario::Scenario`].
 pub struct Network {
-    pub(crate) medium: Medium,
+    pub(crate) medium: ChaosMedium,
     queue: EventQueue<Event>,
     timing: Timing,
     stations: Vec<StationSlot>,
@@ -238,13 +265,29 @@ pub struct Network {
     /// Reusable delivery buffer for [`Medium::end_tx_into`], so frame
     /// delivery allocates nothing in steady state.
     delivery_buf: Vec<Delivery>,
+    /// Optional hard cap on total events processed (fault-run safety net).
+    watchdog: Option<u64>,
+    /// Same-instant livelock detector: the instant currently being
+    /// processed and how many events have fired at it.
+    instant: (SimTime, u64),
     tracer: Option<Box<dyn FnMut(TraceEvent)>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("stations", &self.stations.len())
+            .field("streams", &self.streams.len())
+            .field("now", &self.queue.now())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Network {
     pub(crate) fn new(medium: Medium, timing: Timing) -> Self {
         Network {
-            medium,
+            medium: ChaosMedium::new(medium),
             queue: EventQueue::new(),
             timing,
             stations: Vec::new(),
@@ -259,8 +302,25 @@ impl Network {
             air_ns: 0,
             events_processed: 0,
             delivery_buf: Vec::new(),
+            watchdog: None,
+            instant: (SimTime::ZERO, 0),
             tracer: None,
         }
+    }
+
+    /// Cap the total number of events this network may process; exceeding
+    /// it makes [`Network::run_until`] fail with
+    /// [`SimError::WatchdogTripped`] instead of burning CPU forever. The
+    /// same-instant livelock detector is always on regardless.
+    pub fn set_watchdog(&mut self, max_events: u64) {
+        self.watchdog = Some(max_events);
+    }
+
+    /// Schedule a deterministic corruption window on the medium (fault
+    /// injection): frames from `w.src` that overlap the window on the air
+    /// for at least `w.min_air` arrive dirty at `w.dst`.
+    pub fn add_corruption_window(&mut self, w: LinkWindow) {
+        self.medium.add_corruption_window(w);
     }
 
     /// Install a tracer receiving a [`TraceEvent`] per frame and MAC timer.
@@ -280,6 +340,7 @@ impl Network {
             rng,
             tx: None,
             on: true,
+            epoch: 0,
             mac_drops: 0,
         });
         self.mac_timers.push(NO_TIMER);
@@ -397,7 +458,14 @@ impl Network {
     }
 
     /// Run until `end`, then stop (events beyond `end` stay queued).
-    pub fn run_until(&mut self, end: SimTime) {
+    ///
+    /// Fails with [`SimError::WatchdogTripped`] if the run livelocks —
+    /// more than [`LIVELOCK_SAME_INSTANT_CAP`] events fire at one
+    /// simulated instant (a state machine re-arming a zero-length timer
+    /// from its own handler), or the opt-in [`Network::set_watchdog`]
+    /// event budget is exhausted. The network is left at the instant the
+    /// guard tripped, so [`Network::report`] still works for post-mortems.
+    pub fn run_until(&mut self, end: SimTime) -> Result<(), SimError> {
         loop {
             let queued = self.queue.peek_key();
             let timer = self.peek_timer();
@@ -417,7 +485,7 @@ impl Network {
                     break;
                 }
                 self.queue.advance_to(t);
-                self.events_processed += 1;
+                self.check_watchdog(t)?;
                 self.fire_timer(owner);
             } else {
                 let (t, _) = queued.expect("queued event vanished");
@@ -425,11 +493,66 @@ impl Network {
                     break;
                 }
                 let (_, ev) = self.queue.pop().expect("peeked event vanished");
-                self.events_processed += 1;
+                self.check_watchdog(t)?;
                 self.handle(ev);
             }
             self.drain_effects();
         }
+        Ok(())
+    }
+
+    /// Bump the event counters and fail if either guard trips.
+    fn check_watchdog(&mut self, t: SimTime) -> Result<(), SimError> {
+        self.events_processed += 1;
+        if self.instant.0 == t {
+            self.instant.1 += 1;
+        } else {
+            self.instant = (t, 1);
+        }
+        if self.instant.1 > LIVELOCK_SAME_INSTANT_CAP {
+            return Err(SimError::WatchdogTripped {
+                at: t,
+                events: self.events_processed,
+                diagnostic: format!(
+                    "{} events fired without simulated time advancing past {t} \
+                     (a state machine is re-arming a zero-delay timer); {}",
+                    self.instant.1,
+                    self.diagnostic_snapshot()
+                ),
+            });
+        }
+        if let Some(max) = self.watchdog {
+            if self.events_processed > max {
+                return Err(SimError::WatchdogTripped {
+                    at: t,
+                    events: self.events_processed,
+                    diagnostic: format!(
+                        "event budget of {max} exhausted; {}",
+                        self.diagnostic_snapshot()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line summary of live state for watchdog reports.
+    fn diagnostic_snapshot(&self) -> String {
+        let transmitting: Vec<&str> = self
+            .stations
+            .iter()
+            .filter(|s| s.tx.is_some())
+            .map(|s| s.name.as_str())
+            .collect();
+        let armed_mac = self.mac_timers.iter().filter(|&&t| t != NO_TIMER).count();
+        let armed_tp = self.tp_timers.iter().filter(|&&t| t != NO_TIMER).count();
+        format!(
+            "in flight: {:?}, armed timers: {} MAC + {} transport, queue length: {}",
+            transmitting,
+            armed_mac,
+            armed_tp,
+            self.queue.len()
+        )
     }
 
     /// The earliest pending timer across all stations and transport
@@ -458,7 +581,7 @@ impl Network {
         }
         let owner = if slot & TP_SLOT != 0 {
             let i = (slot & !TP_SLOT) as usize;
-            let side = if i % 2 == 0 {
+            let side = if i.is_multiple_of(2) {
                 Side::Sender
             } else {
                 Side::Receiver
@@ -522,13 +645,19 @@ impl Network {
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::TxEnd { station } => self.handle_tx_end(station as usize),
+            Event::TxEnd { station, epoch } => self.handle_tx_end(station as usize, epoch),
             Event::AppArrival { stream } => self.handle_app_arrival(stream as usize),
             Event::Action { index } => self.handle_action(self.actions[index as usize].kind),
         }
     }
 
-    fn handle_tx_end(&mut self, station: usize) {
+    fn handle_tx_end(&mut self, station: usize, epoch: u32) {
+        if self.stations[station].epoch != epoch {
+            // Stale event from a previous incarnation: the crash handler
+            // already truncated this transmission on the air, and the
+            // restarted station may have a fresh one in flight.
+            return;
+        }
         let (tx, frame) = self.stations[station]
             .tx
             .take()
@@ -564,8 +693,7 @@ impl Network {
         }
         // Receivers first (reception completes as the carrier drops), then
         // the transmitter's own continuation.
-        for i in 0..deliveries.len() {
-            let d = deliveries[i];
+        for d in &deliveries {
             let rx = d.station.0;
             if d.clean && self.stations[rx].on {
                 self.with_mac(rx, |mac, ctx| mac.on_receive(ctx, &frame));
@@ -619,6 +747,44 @@ impl Network {
             ActionKind::SetNoise { index, active } => {
                 self.medium.set_noise_active(index, active);
             }
+            ActionKind::Crash {
+                station,
+                preserve_queues,
+            } => {
+                let now = self.queue.now();
+                let slot = &mut self.stations[station];
+                slot.on = false;
+                slot.epoch = slot.epoch.wrapping_add(1);
+                if let Some((tx, _frame)) = slot.tx.take() {
+                    // The carrier drops mid-frame: end the transmission on
+                    // the medium (so other receptions see the interference
+                    // stop) but discard the deliveries — nobody decodes a
+                    // truncated burst. The queued TxEnd is now stale and
+                    // the epoch bump above makes it a no-op.
+                    let mut deliveries = std::mem::take(&mut self.delivery_buf);
+                    self.medium.end_tx_into(tx, now, &mut deliveries);
+                    deliveries.clear();
+                    self.delivery_buf = deliveries;
+                }
+                self.mac_timers[station] = NO_TIMER;
+                self.timer_cache.note_write(station as u32, NO_TIMER);
+                if let Some(mac) = self.stations[station].mac.as_mut() {
+                    mac.reset(preserve_queues);
+                }
+            }
+            ActionKind::Restart { station } => {
+                if !self.stations[station].on {
+                    self.stations[station].on = true;
+                    // Kick the MAC once so packets preserved across the
+                    // crash re-enter contention; a kick with nothing queued
+                    // is a no-op for every protocol.
+                    self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
+                }
+            }
+            ActionKind::SetLinkGain { src, dst, factor } => {
+                self.medium
+                    .set_link_gain(StationId(src), StationId(dst), factor);
+            }
         }
     }
 
@@ -638,6 +804,7 @@ impl Network {
             let mut ctx = CoreMacCtx {
                 now,
                 station,
+                epoch: slot.epoch,
                 timing: self.timing,
                 queue: &mut self.queue,
                 medium: &mut self.medium,
@@ -744,12 +911,46 @@ impl Network {
                     }
                 }
                 Effect::Feedback { station, fb } => {
-                    if let MacFeedback::Dropped { .. } = fb {
+                    if let MacFeedback::Dropped {
+                        stream,
+                        transport_seq,
+                    } = fb
+                    {
                         self.stations[station].mac_drops += 1;
+                        self.signal_drop(station, stream, transport_seq);
                     }
                 }
             }
         }
+    }
+
+    /// Tell the transport endpoint that owns a dropped segment about the
+    /// link layer giving up on it (§4's "transport layer ... informed of
+    /// the failure"). The MAC feedback carries the stream id and transport
+    /// sequence number; the payload size is the stream's configured size.
+    fn signal_drop(&mut self, station: usize, stream_id: StreamId, transport_seq: u64) {
+        let stream = if let Some(i) = self.streams.iter().position(|s| s.id == stream_id) {
+            i
+        } else {
+            debug_assert!(false, "drop feedback for unknown stream {stream_id:?}");
+            return;
+        };
+        let st = &self.streams[stream];
+        let side = if station == st.src {
+            Side::Sender
+        } else {
+            match &st.dst {
+                StreamDst::Unicast {
+                    station: dst_station,
+                    ..
+                } if *dst_station == station => Side::Receiver,
+                // Multicast members have no endpoint; an SDU dropped by a
+                // station that is neither endpoint would be a MAC bug.
+                _ => return,
+            }
+        };
+        let seg = Segment::decode(transport_seq, st.bytes);
+        self.with_transport(stream, side, |tp, ctx| tp.on_segment_dropped(ctx, seg));
     }
 
     /// Route a MAC-delivered SDU to the right transport endpoint.
@@ -860,6 +1061,7 @@ impl Network {
             streams,
             station_names: self.stations.iter().map(|s| s.name.clone()).collect(),
             mac_stats,
+            mac_drops: self.stations.iter().map(|s| s.mac_drops).collect(),
             data_air_secs: self.data_air_ns as f64 / 1e9,
             total_air_secs: self.air_ns as f64 / 1e9,
             events_processed: self.events_processed,
@@ -873,7 +1075,7 @@ impl Network {
 
     /// Immutable access to the radio medium (diagnostics / tests).
     pub fn medium(&self) -> &Medium {
-        &self.medium
+        self.medium.inner()
     }
 }
 
@@ -884,9 +1086,11 @@ impl Network {
 struct CoreMacCtx<'a> {
     now: SimTime,
     station: usize,
+    /// The station's current incarnation, stamped into scheduled TxEnds.
+    epoch: u32,
     timing: Timing,
     queue: &'a mut EventQueue<Event>,
-    medium: &'a mut Medium,
+    medium: &'a mut ChaosMedium,
     rng: &'a mut SimRng,
     mac_timer: &'a mut PendingTimer,
     timer_cache: &'a mut TimerCache,
@@ -923,6 +1127,7 @@ impl MacContext for CoreMacCtx<'_> {
             PRIO_TX_END,
             Event::TxEnd {
                 station: self.station as u32,
+                epoch: self.epoch,
             },
         );
         *self.tx = Some((tx, frame));
@@ -1015,7 +1220,7 @@ mod tests {
 
     #[test]
     fn tracer_sees_the_full_exchange() {
-        let mut net = one_cell().build();
+        let mut net = one_cell().build().unwrap();
         let kinds = Rc::new(RefCell::new(Vec::new()));
         let sink = kinds.clone();
         net.set_tracer(Box::new(move |e| {
@@ -1023,7 +1228,7 @@ mod tests {
                 sink.borrow_mut().push((frame.kind, clean.len()));
             }
         }));
-        net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(1)).unwrap();
         let kinds = kinds.borrow();
         use macaw_mac::frames::FrameKind::*;
         for want in [Rts, Cts, Ds, Data, Ack] {
@@ -1039,10 +1244,10 @@ mod tests {
 
     #[test]
     fn utilization_accounting_tracks_air_time() {
-        let mut net = one_cell().build();
+        let mut net = one_cell().build().unwrap();
         net.set_warmup(SimTime::ZERO);
         let end = SimTime::ZERO + SimDuration::from_secs(10);
-        net.run_until(end);
+        net.run_until(end).unwrap();
         let r = net.report(end);
         // 16 pps of 16 ms data packets ≈ 25.6% data utilization.
         assert!(
@@ -1055,9 +1260,9 @@ mod tests {
 
     #[test]
     fn report_names_match_scenario() {
-        let mut net = one_cell().build();
+        let mut net = one_cell().build().unwrap();
         let end = SimTime::ZERO + SimDuration::from_secs(1);
-        net.run_until(end);
+        net.run_until(end).unwrap();
         let r = net.report(end);
         assert_eq!(r.station_names, vec!["B".to_string(), "P".to_string()]);
         assert_eq!(r.streams[0].name, "P-B");
@@ -1067,10 +1272,10 @@ mod tests {
 
     #[test]
     fn report_before_warmup_window_is_empty() {
-        let mut net = one_cell().build();
+        let mut net = one_cell().build().unwrap();
         net.set_warmup(SimTime::ZERO + SimDuration::from_secs(100));
         let end = SimTime::ZERO + SimDuration::from_secs(10);
-        net.run_until(end);
+        net.run_until(end).unwrap();
         let r = net.report(end);
         assert_eq!(r.streams[0].delivered, 0);
         assert_eq!(r.measured_secs, 0.0);
@@ -1079,14 +1284,43 @@ mod tests {
 
     #[test]
     fn mac_stats_surface_through_the_report() {
-        let mut net = one_cell().build();
+        let mut net = one_cell().build().unwrap();
         let end = SimTime::ZERO + SimDuration::from_secs(5);
-        net.run_until(end);
+        net.run_until(end).unwrap();
         let r = net.report(end);
         let pad = r.mac_stats[1].expect("WMac exposes stats");
         assert!(pad.rts_sent > 0);
         assert!(pad.data_sent > 0);
         let base = r.mac_stats[0].expect("base stats");
         assert!(base.cts_sent > 0 && base.ack_sent > 0);
+    }
+
+    #[test]
+    fn watchdog_event_budget_trips_with_a_diagnostic() {
+        let mut net = one_cell().build().unwrap();
+        net.set_watchdog(50);
+        let err = net
+            .run_until(SimTime::ZERO + SimDuration::from_secs(60))
+            .unwrap_err();
+        match err {
+            crate::error::SimError::WatchdogTripped { events, diagnostic, .. } => {
+                assert!(events > 50);
+                assert!(
+                    diagnostic.contains("event budget"),
+                    "diagnostic should name the tripped budget: {diagnostic}"
+                );
+            }
+            other => panic!("expected WatchdogTripped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_is_a_total_not_a_rate() {
+        // A generous budget must let a healthy run finish untouched.
+        let mut net = one_cell().build().unwrap();
+        net.set_watchdog(10_000_000);
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5)).unwrap();
+        let r = net.report(SimTime::ZERO + SimDuration::from_secs(5));
+        assert!(r.streams[0].delivered > 0, "run should complete normally");
     }
 }

@@ -10,11 +10,12 @@ use macaw_mac::context::MacProtocol;
 use macaw_mac::csma::{Csma, CsmaConfig};
 use macaw_mac::frames::{Addr, StreamId, Timing};
 use macaw_mac::wmac::WMac;
-use macaw_phy::{Medium, Point, Propagation, PropagationConfig, StationId};
+use macaw_phy::{LinkWindow, Medium, Point, Propagation, PropagationConfig, StationId};
 use macaw_sim::{SimDuration, SimRng, SimTime};
 use macaw_traffic::{Cbr, Poisson, TrafficSource};
 use macaw_transport::{TcpConfig, TcpReceiver, TcpSender, Transport, UdpReceiver, UdpSender};
 
+use crate::error::SimError;
 use crate::network::{ActionKind, Network, ScheduledAction};
 use crate::stats::RunReport;
 
@@ -127,6 +128,12 @@ struct StationSpec {
 }
 
 /// Declarative scenario description. See the crate docs for an example.
+///
+/// Builder calls never panic on bad input: the first problem (an unknown
+/// station index, a stream to self, …) is recorded and reported as
+/// [`SimError::InvalidScenario`] when [`Scenario::build`] or
+/// [`Scenario::run`] is called, so misconfiguration surfaces as a typed
+/// error instead of a crash mid-construction.
 pub struct Scenario {
     seed: u64,
     prop: PropagationConfig,
@@ -134,6 +141,9 @@ pub struct Scenario {
     streams: Vec<StreamSpec>,
     noise: Vec<(Point, f64, bool)>,
     actions: Vec<ScheduledAction>,
+    windows: Vec<LinkWindow>,
+    /// First builder-time problem, reported at build()/run().
+    defect: Option<String>,
 }
 
 impl Scenario {
@@ -146,6 +156,38 @@ impl Scenario {
             streams: Vec::new(),
             noise: Vec::new(),
             actions: Vec::new(),
+            windows: Vec::new(),
+            defect: None,
+        }
+    }
+
+    /// Number of stations declared so far.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// The declared (initial) position of a station, if it exists.
+    pub fn station_position(&self, station: usize) -> Option<Point> {
+        self.stations.get(station).map(|s| s.pos)
+    }
+
+    /// Record the first builder-time problem (later ones add no signal).
+    fn note_defect(&mut self, msg: String) {
+        if self.defect.is_none() {
+            self.defect = Some(msg);
+        }
+    }
+
+    /// Check a station index, recording a defect if it is out of range.
+    fn check_station(&mut self, station: usize, what: &str) -> bool {
+        if station < self.stations.len() {
+            true
+        } else {
+            self.note_defect(format!(
+                "{what}: unknown station index {station} (have {})",
+                self.stations.len()
+            ));
+            false
         }
     }
 
@@ -173,14 +215,20 @@ impl Scenario {
 
     /// Subscribe a station to a multicast group.
     pub fn join_group(&mut self, station: usize, group: u32) -> &mut Self {
-        self.stations[station].groups.push(group);
+        if self.check_station(station, "join_group") {
+            self.stations[station].groups.push(group);
+        }
         self
     }
 
     /// Set the per-packet noise corruption probability at a station
     /// (§3.3.1's intermittent-noise model).
     pub fn set_rx_error_rate(&mut self, station: usize, p: f64) -> &mut Self {
-        self.stations[station].rx_error_rate = p;
+        if !(0.0..=1.0).contains(&p) {
+            self.note_defect(format!("set_rx_error_rate: {p} is not a probability"));
+        } else if self.check_station(station, "set_rx_error_rate") {
+            self.stations[station].rx_error_rate = p;
+        }
         self
     }
 
@@ -188,7 +236,11 @@ impl Scenario {
     /// 1.0 — the paper's stations all transmit at the same strength, and
     /// unequal powers break the symmetry the CTS mechanism relies on).
     pub fn set_tx_power(&mut self, station: usize, power: f64) -> &mut Self {
-        self.stations[station].tx_power = power;
+        if !(power.is_finite() && power > 0.0) {
+            self.note_defect(format!("set_tx_power: {power} must be finite and positive"));
+        } else if self.check_station(station, "set_tx_power") {
+            self.stations[station].tx_power = power;
+        }
         self
     }
 
@@ -198,9 +250,12 @@ impl Scenario {
         self.noise.len() - 1
     }
 
-    /// Declare a stream (full control). Returns the stream index.
+    /// Declare a stream (full control). Returns the stream index. A
+    /// defective spec is recorded and reported at [`Scenario::build`].
     pub fn add_stream(&mut self, spec: StreamSpec) -> usize {
-        self.validate_stream(&spec);
+        if let Err(msg) = self.validate_stream(&spec) {
+            self.note_defect(msg);
+        }
         self.streams.push(spec);
         self.streams.len() - 1
     }
@@ -276,36 +331,149 @@ impl Scenario {
 
     /// Schedule a noise emitter toggle at time `at`.
     pub fn set_noise_at(&mut self, at: SimTime, index: usize, active: bool) -> &mut Self {
-        self.actions.push(ScheduledAction {
-            at,
-            kind: ActionKind::SetNoise { index, active },
-        });
+        if index >= self.noise.len() {
+            self.note_defect(format!(
+                "set_noise_at: unknown noise source {index} (have {})",
+                self.noise.len()
+            ));
+        } else {
+            self.actions.push(ScheduledAction {
+                at,
+                kind: ActionKind::SetNoise { index, active },
+            });
+        }
         self
     }
 
-    fn validate_stream(&self, spec: &StreamSpec) {
-        assert!(spec.src < self.stations.len(), "unknown source station");
+    /// Schedule a station crash at time `at`: any frame in flight is
+    /// truncated, the MAC's volatile state is wiped, and the station stays
+    /// dead until a scheduled [`Scenario::restart_at`]. `preserve_queues`
+    /// keeps queued packets across the crash (battery pull vs. clean boot).
+    pub fn crash_at(&mut self, at: SimTime, station: usize, preserve_queues: bool) -> &mut Self {
+        if self.check_station(station, "crash_at") {
+            self.actions.push(ScheduledAction {
+                at,
+                kind: ActionKind::Crash {
+                    station,
+                    preserve_queues,
+                },
+            });
+        }
+        self
+    }
+
+    /// Schedule a crashed station's restart at time `at`.
+    pub fn restart_at(&mut self, at: SimTime, station: usize) -> &mut Self {
+        if self.check_station(station, "restart_at") {
+            self.actions.push(ScheduledAction {
+                at,
+                kind: ActionKind::Restart { station },
+            });
+        }
+        self
+    }
+
+    /// Schedule a change to one directional link's gain at time `at`
+    /// (asymmetry fault: `factor` scales what `dst` hears of `src`).
+    pub fn set_link_gain_at(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        factor: f64,
+    ) -> &mut Self {
+        if !(factor.is_finite() && factor >= 0.0) {
+            self.note_defect(format!(
+                "set_link_gain_at: {factor} must be finite and non-negative"
+            ));
+        } else if src == dst {
+            self.note_defect("set_link_gain_at: src and dst must differ".to_string());
+        } else if self.check_station(src, "set_link_gain_at")
+            && self.check_station(dst, "set_link_gain_at")
+        {
+            self.actions.push(ScheduledAction {
+                at,
+                kind: ActionKind::SetLinkGain { src, dst, factor },
+            });
+        }
+        self
+    }
+
+    /// Add a deterministic corruption window: frames from `src` that spend
+    /// at least `min_air` on the air inside `[from, until)` arrive dirty at
+    /// `dst`. Control frames are short and slip under `min_air`, so this is
+    /// the per-link packet-corruption fault of the lossy-channel ablation.
+    pub fn corrupt_link(
+        &mut self,
+        src: usize,
+        dst: usize,
+        from: SimTime,
+        until: SimTime,
+        min_air: SimDuration,
+    ) -> &mut Self {
+        if src == dst {
+            self.note_defect("corrupt_link: src and dst must differ".to_string());
+        } else if until <= from {
+            self.note_defect(format!("corrupt_link: empty window [{from}, {until})"));
+        } else if self.check_station(src, "corrupt_link")
+            && self.check_station(dst, "corrupt_link")
+        {
+            self.windows.push(LinkWindow {
+                src: StationId(src),
+                dst: StationId(dst),
+                from,
+                until,
+                min_air,
+            });
+        }
+        self
+    }
+
+    fn validate_stream(&self, spec: &StreamSpec) -> Result<(), String> {
+        if spec.src >= self.stations.len() {
+            return Err(format!("stream '{}': unknown source station", spec.name));
+        }
         match &spec.dst {
             Dest::Station(d) => {
-                assert!(*d < self.stations.len(), "unknown destination station");
-                assert_ne!(spec.src, *d, "stream to self");
+                if *d >= self.stations.len() {
+                    return Err(format!("stream '{}': unknown destination station", spec.name));
+                }
+                if spec.src == *d {
+                    return Err(format!("stream '{}': stream to self", spec.name));
+                }
             }
             Dest::Group { members, .. } => {
-                assert!(
-                    matches!(spec.transport, TransportKind::Udp),
-                    "multicast streams are UDP only"
-                );
-                assert!(!members.is_empty(), "multicast stream without members");
+                if !matches!(spec.transport, TransportKind::Udp) {
+                    return Err(format!(
+                        "stream '{}': multicast streams are UDP only",
+                        spec.name
+                    ));
+                }
+                if members.is_empty() {
+                    return Err(format!(
+                        "stream '{}': multicast stream without members",
+                        spec.name
+                    ));
+                }
                 for m in members {
-                    assert!(*m < self.stations.len(), "unknown group member");
+                    if *m >= self.stations.len() {
+                        return Err(format!("stream '{}': unknown group member", spec.name));
+                    }
                 }
             }
         }
-        assert!(spec.bytes > 0, "zero-byte packets");
+        if spec.bytes == 0 {
+            return Err(format!("stream '{}': zero-byte packets", spec.name));
+        }
+        Ok(())
     }
 
-    /// Assemble the network.
-    pub fn build(mut self) -> Network {
+    /// Assemble the network, reporting the first recorded builder defect
+    /// (if any) as [`SimError::InvalidScenario`].
+    pub fn build(mut self) -> Result<Network, SimError> {
+        if let Some(msg) = self.defect.take() {
+            return Err(SimError::InvalidScenario(msg));
+        }
         let root = SimRng::new(self.seed);
         // Multicast group membership comes from both explicit joins and
         // stream declarations.
@@ -399,19 +567,26 @@ impl Scenario {
         for a in self.actions.drain(..) {
             net.schedule_action(a);
         }
+        for w in self.windows.drain(..) {
+            net.add_corruption_window(w);
+        }
         net.prime();
-        net
+        Ok(net)
     }
 
     /// Build and run for `duration`, measuring after `warmup`.
-    pub fn run(self, duration: SimDuration, warmup: SimDuration) -> RunReport {
-        assert!(warmup < duration, "warmup must end before the run does");
-        let mut net = self.build();
+    pub fn run(self, duration: SimDuration, warmup: SimDuration) -> Result<RunReport, SimError> {
+        if warmup >= duration {
+            return Err(SimError::InvalidScenario(
+                "warmup must end before the run does".to_string(),
+            ));
+        }
+        let mut net = self.build()?;
         let warmup_end = SimTime::ZERO + warmup;
         let end = SimTime::ZERO + duration;
         net.set_warmup(warmup_end);
-        net.run_until(end);
-        net.report(end)
+        net.run_until(end)?;
+        Ok(net.report(end))
     }
 }
 
@@ -428,22 +603,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown destination")]
-    fn stream_to_unknown_station_panics() {
+    fn stream_to_unknown_station_is_rejected() {
         let (mut sc, a, _) = two_station_scenario();
         sc.add_udp_stream("bad", a, 99, 32, 512);
+        let err = sc.build().unwrap_err();
+        assert!(
+            err.to_string().contains("unknown destination"),
+            "got: {err}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "stream to self")]
-    fn stream_to_self_panics() {
+    fn stream_to_self_is_rejected() {
         let (mut sc, a, _) = two_station_scenario();
         sc.add_udp_stream("self", a, a, 32, 512);
+        let err = sc.build().unwrap_err();
+        assert!(err.to_string().contains("stream to self"), "got: {err}");
     }
 
     #[test]
-    #[should_panic(expected = "multicast streams are UDP only")]
-    fn tcp_multicast_panics() {
+    fn tcp_multicast_is_rejected() {
         let (mut sc, a, b) = two_station_scenario();
         sc.add_stream(StreamSpec {
             name: "mc".into(),
@@ -458,14 +637,57 @@ mod tests {
             start: SimTime::ZERO,
             stop: None,
         });
+        let err = sc.build().unwrap_err();
+        assert!(
+            err.to_string().contains("multicast streams are UDP only"),
+            "got: {err}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "warmup must end before")]
-    fn warmup_longer_than_run_panics() {
+    fn warmup_longer_than_run_is_rejected() {
         let (mut sc, a, b) = two_station_scenario();
         sc.add_udp_stream("s", a, b, 32, 512);
-        let _ = sc.run(SimDuration::from_secs(5), SimDuration::from_secs(10));
+        let err = sc
+            .run(SimDuration::from_secs(5), SimDuration::from_secs(10))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("warmup must end before"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn first_defect_wins_and_is_kept_across_later_calls() {
+        let (mut sc, a, _) = two_station_scenario();
+        sc.set_tx_power(99, 2.0); // unknown station
+        sc.add_udp_stream("bad", a, 99, 32, 512); // also bad, but second
+        let err = sc.build().unwrap_err();
+        assert!(err.to_string().contains("set_tx_power"), "got: {err}");
+    }
+
+    #[test]
+    fn fault_builders_validate_their_arguments() {
+        let (mut sc, a, b) = two_station_scenario();
+        sc.crash_at(SimTime::ZERO, 99, true);
+        let err = sc.build().unwrap_err();
+        assert!(err.to_string().contains("crash_at"), "got: {err}");
+
+        let (mut sc, a2, _) = two_station_scenario();
+        sc.set_link_gain_at(SimTime::ZERO, a2, a2, 0.5);
+        let err = sc.build().unwrap_err();
+        assert!(err.to_string().contains("must differ"), "got: {err}");
+
+        let (mut sc, ..) = two_station_scenario();
+        sc.corrupt_link(
+            a,
+            b,
+            SimTime::ZERO + SimDuration::from_secs(2),
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_millis(1),
+        );
+        let err = sc.build().unwrap_err();
+        assert!(err.to_string().contains("empty window"), "got: {err}");
     }
 
     #[test]
@@ -481,7 +703,7 @@ mod tests {
             start: SimTime::ZERO,
             stop: Some(SimTime::ZERO + SimDuration::from_secs(10)),
         });
-        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO);
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO).unwrap();
         // ~10 s of a 32 pps stream, not 60 s worth.
         assert!(r.stream("short").offered <= 10 * 32 + 2);
         assert!(r.stream("short").offered >= 8 * 32);
@@ -500,7 +722,7 @@ mod tests {
             start: SimTime::ZERO + SimDuration::from_secs(30),
             stop: None,
         });
-        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO);
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::ZERO).unwrap();
         assert!(r.stream("late").offered <= 30 * 32 + 2);
     }
 
@@ -517,7 +739,7 @@ mod tests {
             start: SimTime::ZERO,
             stop: None,
         });
-        let r = sc.run(SimDuration::from_secs(120), SimDuration::ZERO);
+        let r = sc.run(SimDuration::from_secs(120), SimDuration::ZERO).unwrap();
         let rate = r.stream("poisson").offered as f64 / 120.0;
         assert!((rate - 20.0).abs() < 3.0, "offered rate = {rate}");
     }
@@ -532,7 +754,7 @@ mod tests {
         let noisy = sc.add_station("N", Point::new(-3.0, 0.0, 0.0), MacKind::Csma(Default::default()));
         sc.add_udp_stream("P-B", p, b, 16, 512);
         sc.add_udp_stream("N-B", noisy, b, 16, 512);
-        let r = sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5));
+        let r = sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5)).unwrap();
         assert!(r.throughput("P-B") > 5.0);
     }
 
@@ -546,7 +768,7 @@ mod tests {
         let p = sc.add_station("P", Point::new(12.0, 0.0, 0.0), MacKind::Macaw);
         sc.set_tx_power(b, 1000.0);
         sc.add_udp_stream("B-P", b, p, 16, 512);
-        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2));
+        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2)).unwrap();
         assert_eq!(
             r.stream("B-P").delivered,
             0,
@@ -573,7 +795,7 @@ mod tests {
             start: SimTime::ZERO,
             stop: None,
         });
-        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2));
+        let r = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(2)).unwrap();
         // Two members => up to 2 deliveries per generated packet.
         let s = r.stream("mc");
         assert!(s.delivered > s.offered, "multicast must fan out: {} vs {}", s.delivered, s.offered);

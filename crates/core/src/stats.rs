@@ -41,6 +41,9 @@ pub struct RunReport {
     pub station_names: Vec<String>,
     /// Per-station MAC counters (None for MACs without them).
     pub mac_stats: Vec<Option<MacStats>>,
+    /// Per-station count of packets the MAC gave up on after exhausting
+    /// its retries (the "give up and report the drop" terminal path).
+    pub mac_drops: Vec<u64>,
     /// Seconds of post-warm-up air time occupied by DATA frames.
     pub data_air_secs: f64,
     /// Seconds of post-warm-up air time occupied by all frames.
@@ -186,6 +189,7 @@ mod tests {
                 .collect(),
             station_names: vec![],
             mac_stats: vec![],
+            mac_drops: vec![],
             data_air_secs: 4.0,
             total_air_secs: 5.0,
             events_processed: 0,

@@ -7,7 +7,7 @@ fn single_stream(mac: MacKind) -> RunReport {
     let base = sc.add_station("B", Point::new(0.0, 0.0, 6.0), mac);
     let pad = sc.add_station("P", Point::new(3.0, 0.0, 0.0), mac);
     sc.add_udp_stream("P-B", pad, base, 64, 512);
-    sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5))
+    sc.run(SimDuration::from_secs(60), SimDuration::from_secs(5)).unwrap()
 }
 
 #[test]

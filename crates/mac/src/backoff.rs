@@ -255,6 +255,28 @@ impl Backoff {
         }
     }
 
+    /// Wipe all learned congestion state back to power-on defaults:
+    /// `my_backoff` to BO_min and the per-destination table emptied. Models
+    /// a station crash/restart — a rebooted station has no memory of past
+    /// exchanges (Appendix B.2's tables live in volatile state).
+    pub fn reset(&mut self) {
+        self.my = self.min;
+        self.peers.clear();
+    }
+
+    /// Evict everything learned about one peer (its congestion estimates
+    /// and exchange sequence numbers). Used when the *peer* is known to
+    /// have crashed: its ESN counter restarts from zero, so stale
+    /// `esn_in` state here would misclassify its fresh exchanges as
+    /// retransmissions forever.
+    pub fn forget_peer(&mut self, addr: Addr) {
+        if let Addr::Unicast(idx) = addr {
+            if let Some(slot) = self.peers.get_mut(idx) {
+                *slot = None;
+            }
+        }
+    }
+
     /// A frame from `src` to `dst` (neither end is this station) was
     /// overheard cleanly.
     pub fn on_overhear(&mut self, src: Addr, dst: Addr, kind_is_rts: bool, h: &BackoffHeader) {
@@ -613,6 +635,114 @@ mod tests {
         }
         b.on_drop(dst(1));
         assert!(b.window(dst(1)) <= 2 * MAX);
+    }
+
+    #[test]
+    fn increase_clamps_to_cap_from_any_start() {
+        for algo in [BackoffAlgo::Beb, BackoffAlgo::Mild] {
+            // Starting above the cap (possible after a copy from a peer
+            // configured with wider bounds) must clamp down, not overflow.
+            assert_eq!(algo.increase(u32::MAX / 2, MIN, MAX), MAX);
+            assert_eq!(algo.increase(MAX, MIN, MAX), MAX);
+            // Starting below the floor clamps up.
+            assert_eq!(algo.increase(0, MIN, MAX), MIN.max(1));
+            assert!(algo.decrease(0, MIN, MAX) >= MIN);
+            assert!(algo.decrease(1, MIN, MAX) >= MIN);
+        }
+    }
+
+    #[test]
+    fn copy_overwrites_larger_local_value() {
+        // §3.1: copying is unconditional — a station that has escalated to a
+        // large counter adopts a *smaller* overheard value too. That is the
+        // point of copying (one station's success resets the whole cell).
+        let mut b = Backoff::new(BackoffAlgo::Mild, BackoffSharing::Copy, MIN, MAX, 2);
+        for retry in 1..=20 {
+            b.on_timeout(dst(1), retry);
+        }
+        assert_eq!(b.my_backoff(), MAX);
+        b.on_overhear(
+            dst(2),
+            dst(3),
+            false,
+            &BackoffHeader {
+                local: 3,
+                remote: None,
+                esn: 1,
+            },
+        );
+        assert_eq!(b.my_backoff(), 3, "smaller overheard value must win");
+        // Out-of-bounds header values are clamped on adoption.
+        b.on_receive(
+            dst(2),
+            true,
+            &BackoffHeader {
+                local: 1_000,
+                remote: None,
+                esn: 1,
+            },
+        );
+        assert_eq!(b.my_backoff(), MAX);
+    }
+
+    #[test]
+    fn reset_wipes_station_state() {
+        let mut b = Backoff::new(
+            BackoffAlgo::Mild,
+            BackoffSharing::PerDestination,
+            MIN,
+            MAX,
+            2,
+        );
+        b.begin_exchange(dst(1));
+        for retry in 1..=10 {
+            b.on_timeout(dst(1), retry);
+        }
+        assert!(b.window(dst(1)) > MIN + MIN);
+        b.reset();
+        assert_eq!(b.my_backoff(), MIN);
+        assert_eq!(b.window(dst(1)), b.my_backoff() + MIN);
+        // ESNs restart too: the next exchange is number 1 again.
+        assert_eq!(b.begin_exchange(dst(1)), 1);
+    }
+
+    #[test]
+    fn forget_peer_evicts_one_destination_only() {
+        let mut b = Backoff::new(
+            BackoffAlgo::Mild,
+            BackoffSharing::PerDestination,
+            MIN,
+            MAX,
+            2,
+        );
+        b.begin_exchange(dst(1));
+        b.begin_exchange(dst(2));
+        for retry in 1..=10 {
+            b.on_timeout(dst(1), retry);
+            b.on_timeout(dst(2), retry);
+        }
+        let w2 = b.window(dst(2));
+        b.forget_peer(dst(1));
+        // Evicted peer is back to the no-state window; the other keeps its
+        // escalated estimate.
+        assert_eq!(b.window(dst(1)), b.my_backoff() + MIN);
+        assert_eq!(b.window(dst(2)), w2);
+        // A crashed peer's ESN counter restarts at 1; with the table entry
+        // evicted its first fresh RTS is classified as a new exchange, not a
+        // retransmission of the pre-crash exchange.
+        b.on_receive(
+            dst(1),
+            true,
+            &BackoffHeader {
+                local: 5,
+                remote: None,
+                esn: 1,
+            },
+        );
+        assert_eq!(b.window(dst(1)), b.my_backoff() + 5);
+        // forget_peer on a never-seen or multicast address is a no-op.
+        b.forget_peer(dst(30));
+        b.forget_peer(Addr::Multicast(1));
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub trait MacProtocol {
     /// Packets currently queued (all streams).
     fn queued_packets(&self) -> usize;
 
+    /// Power-cycle the station: abandon any exchange in progress and return
+    /// to the idle state with backoff at its minimum, as a freshly booted
+    /// station would. With `preserve_queues` the queued packets survive the
+    /// reboot (battery-backed queue policy); without it they are discarded
+    /// silently — the caller is expected to have cleared the station's
+    /// radio and timer already. The default is a no-op for stateless MACs.
+    fn reset(&mut self, preserve_queues: bool) {
+        let _ = preserve_queues;
+    }
+
     /// Protocol counters, for implementations that keep
     /// [`MacStats`](crate::wmac::MacStats) (the MACA/MACAW family does;
     /// CSMA has its own simpler counters).

@@ -165,8 +165,10 @@ impl MacProtocol for Csma {
     fn on_timer(&mut self, ctx: &mut dyn MacContext) {
         if self.state == State::Backoff {
             self.state = State::Idle;
-            self.try_send(ctx);
         }
+        // A spurious timer in Idle (e.g. the restart kick after a crash)
+        // just retries the queue head; try_send is a no-op elsewhere.
+        self.try_send(ctx);
     }
 
     fn on_tx_end(&mut self, ctx: &mut dyn MacContext) {
@@ -185,6 +187,18 @@ impl MacProtocol for Csma {
 
     fn queued_packets(&self) -> usize {
         self.queue.len()
+    }
+
+    fn reset(&mut self, preserve_queues: bool) {
+        self.state = State::Idle;
+        self.bo = self.cfg.bo_min;
+        if preserve_queues {
+            for p in &mut self.queue {
+                p.attempts = 0;
+            }
+        } else {
+            self.queue.clear();
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 
 use macaw_sim::{SimDuration, SimRng, SimTime};
 
-use crate::context::{MacContext, MacFeedback};
+use crate::context::{MacContext, MacFeedback, MacProtocol};
 use crate::frames::{Addr, Frame, MacSdu};
 
 /// Everything a MAC did through its context, in order.
@@ -101,6 +101,15 @@ impl ScriptedContext {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Crash-and-wipe `mac` the way the fault layer does: the pending timer
+    /// is disarmed (a dead station's timer never fires) and the MAC's
+    /// volatile state is reset via [`MacProtocol::reset`]. The recorded
+    /// action history is kept — it belongs to the test, not the station.
+    pub fn crash(&mut self, mac: &mut dyn MacProtocol, preserve_queues: bool) {
+        self.timer = None;
+        mac.reset(preserve_queues);
     }
 }
 

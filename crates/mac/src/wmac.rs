@@ -904,6 +904,38 @@ impl MacProtocol for WMac {
     fn mac_stats(&self) -> Option<&MacStats> {
         Some(&self.stats)
     }
+
+    fn reset(&mut self, preserve_queues: bool) {
+        // Power-cycle: every piece of volatile protocol state is reborn.
+        // Stats survive (they model the observer, not the station) and so
+        // does group membership (configuration, not learned state).
+        self.state = State::Idle;
+        self.current = None;
+        self.rrts_pending = None;
+        self.nack_cache = None;
+        self.acked.clear();
+        self.backoff.reset();
+        if preserve_queues {
+            // Battery-backed queue: packets survive, but exchange progress
+            // (retry counts, ESNs, pending draws) does not — each packet is
+            // effectively freshly enqueued.
+            for s in &mut self.slots {
+                for p in &mut s.q {
+                    p.retries = 0;
+                    p.esn = None;
+                    p.draw = None;
+                }
+            }
+        } else {
+            self.slots = match self.cfg.queues {
+                QueueMode::SingleFifo => vec![QueueSlot::default()],
+                QueueMode::PerStream => Vec::new(),
+            };
+        }
+        // NOTE: the caller restarts contention (via `maybe_contend`-driving
+        // events) once the station is back up; reset itself arms nothing —
+        // a dead station must stay silent.
+    }
 }
 
 #[cfg(test)]
@@ -957,6 +989,45 @@ mod tests {
         assert_eq!(rts.kind, FrameKind::Rts);
         assert_eq!(rts.dst, B);
         rts
+    }
+
+    #[test]
+    fn crash_wipes_exchange_and_restart_contends_afresh() {
+        let mut mac = WMac::new(A, MacConfig::macaw());
+        let mut ctx = ScriptedContext::new(41);
+        let _rts = drive_to_rts(&mut mac, &mut ctx); // RTS on air
+        assert_eq!(mac.queued_packets(), 1);
+        mac.on_tx_end(&mut ctx); // -> WfCts, timeout armed
+        for _ in 0..3 {
+            // CTS timeouts escalate the backoff above BO_min.
+            assert!(ctx.fire_timer()); // WFCTS expires
+            mac.on_timer(&mut ctx); // -> Idle -> Contend
+            assert!(ctx.fire_timer()); // contention slot
+            mac.on_timer(&mut ctx); // retransmits the RTS
+            mac.on_tx_end(&mut ctx); // -> WfCts again
+        }
+        assert_eq!(mac.stats().rts_timeouts, 3);
+
+        // Crash with the queue preserved: the packet survives, but the
+        // exchange progress (retries, ESN) and the backoff table do not.
+        ctx.crash(&mut mac, true);
+        assert_eq!(mac.queued_packets(), 1);
+        assert_eq!(mac.backoff_counter(), 2);
+        assert!(ctx.timer.is_none());
+        // The restart kick re-enters contention and the retransmitted RTS
+        // opens a *new* exchange (ESN restarts at 1).
+        mac.on_timer(&mut ctx);
+        assert!(ctx.fire_timer(), "restart kick must re-arm contention");
+        mac.on_timer(&mut ctx);
+        let rts = *ctx.last_tx().expect("RTS after restart");
+        assert_eq!(rts.kind, FrameKind::Rts);
+        assert_eq!(rts.backoff.esn, 1, "rebooted station restarts its ESNs");
+
+        // Crash without queue preservation: everything is gone.
+        ctx.crash(&mut mac, false);
+        assert_eq!(mac.queued_packets(), 0);
+        mac.on_timer(&mut ctx);
+        assert!(ctx.timer.is_none(), "nothing to contend for");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Deterministic fault-injection wrapper around the radio medium.
+//!
+//! [`ChaosMedium`] wraps a [`Medium`] and applies *corruption windows*: time
+//! intervals during which every sufficiently long frame crossing a specific
+//! directed link is marked corrupted at delivery. This models the paper's
+//! lossy-channel motivation (§3.3) — bursty per-link interference that
+//! damages data frames in flight — without touching the medium's signal
+//! model or its RNG stream: corruption is a pure post-filter on the
+//! deliveries [`Medium::end_tx_into`] produces, so a chaos run draws exactly
+//! the same random sequence as a clean run and stays bit-reproducible.
+//!
+//! The `min_air` threshold on each window lets a schedule target long DATA
+//! frames (16 ms at 256 kbps) while sparing short control frames (under
+//! 1 ms), mimicking the empirical observation that loss probability grows
+//! with time on air. Set `min_air` to zero to corrupt everything.
+//!
+//! Everything else — positions, noise sources, link gains, transmissions —
+//! passes straight through to the inner medium via [`Deref`] (read-only
+//! queries) and explicit mutator delegates.
+
+use std::ops::Deref;
+
+use macaw_sim::{SimDuration, SimTime};
+
+use crate::geometry::Point;
+use crate::medium::{Delivery, Medium, StationId, TxId};
+use crate::propagation::Propagation;
+use macaw_sim::SimRng;
+
+/// A scheduled per-link corruption interval.
+///
+/// While `from <= t < until`, any transmission from `src` whose delivery at
+/// `dst` overlaps the window and whose time on air is at least `min_air`
+/// arrives corrupted (`clean == false`), regardless of signal strength.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkWindow {
+    /// Transmitting station whose frames the window damages.
+    pub src: StationId,
+    /// Receiving station at which the damage is observed.
+    pub dst: StationId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Minimum time on air for a frame to be affected; shorter frames
+    /// (control traffic) slip through.
+    pub min_air: SimDuration,
+}
+
+impl LinkWindow {
+    /// `true` iff a frame from `self.src` in the air over `[start, end)`
+    /// is damaged by this window.
+    fn hits(&self, start: SimTime, end: SimTime) -> bool {
+        start < self.until && self.from < end && end.since(start) >= self.min_air
+    }
+}
+
+/// Mark corrupted every delivery in `out` that a window in `windows` hits,
+/// given the transmission's source and air interval. Free function so the
+/// oracle tests can apply the identical rule to the reference medium's
+/// deliveries.
+pub fn corrupt_deliveries(
+    windows: &[LinkWindow],
+    source: StationId,
+    start: SimTime,
+    end: SimTime,
+    out: &mut [Delivery],
+) {
+    for w in windows {
+        if w.src != source || !w.hits(start, end) {
+            continue;
+        }
+        for d in out.iter_mut() {
+            if d.station == w.dst {
+                d.clean = false;
+            }
+        }
+    }
+}
+
+/// A [`Medium`] with a deterministic fault schedule layered on top.
+///
+/// Derefs to the inner medium for all read-only queries; mutating calls are
+/// delegated explicitly. With no windows installed the wrapper is
+/// behaviorally identical to the bare medium.
+pub struct ChaosMedium {
+    inner: Medium,
+    windows: Vec<LinkWindow>,
+}
+
+impl ChaosMedium {
+    /// Wrap a medium with an empty fault schedule.
+    pub fn new(inner: Medium) -> Self {
+        ChaosMedium {
+            inner,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The wrapped medium (read-only; also available via deref).
+    pub fn inner(&self) -> &Medium {
+        &self.inner
+    }
+
+    /// Install a corruption window. Windows are independent; overlapping
+    /// windows on the same link are harmless.
+    pub fn add_corruption_window(&mut self, window: LinkWindow) {
+        self.windows.push(window);
+    }
+
+    /// The installed corruption windows.
+    pub fn corruption_windows(&self) -> &[LinkWindow] {
+        &self.windows
+    }
+
+    // ---- delegated mutators ------------------------------------------------
+
+    /// See [`Medium::add_station`].
+    pub fn add_station(&mut self, pos: Point) -> StationId {
+        self.inner.add_station(pos)
+    }
+
+    /// See [`Medium::set_rx_error_rate`].
+    pub fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        self.inner.set_rx_error_rate(id, p)
+    }
+
+    /// See [`Medium::set_tx_power`].
+    pub fn set_tx_power(&mut self, id: StationId, power: f64) {
+        self.inner.set_tx_power(id, power)
+    }
+
+    /// See [`Medium::set_link_gain`].
+    pub fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        self.inner.set_link_gain(src, dst, factor)
+    }
+
+    /// See [`Medium::add_noise_source`].
+    pub fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        self.inner.add_noise_source(pos, power)
+    }
+
+    /// See [`Medium::set_noise_active`].
+    pub fn set_noise_active(&mut self, index: usize, active: bool) {
+        self.inner.set_noise_active(index, active)
+    }
+
+    /// See [`Medium::set_position`].
+    pub fn set_position(&mut self, id: StationId, pos: Point) {
+        self.inner.set_position(id, pos)
+    }
+
+    /// See [`Medium::start_tx`].
+    pub fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        self.inner.start_tx(source, now)
+    }
+
+    /// See [`Medium::end_tx`]; additionally applies any corruption window
+    /// covering the transmission's air interval.
+    pub fn end_tx(&mut self, tx: TxId, now: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.end_tx_into(tx, now, &mut out);
+        out
+    }
+
+    /// See [`Medium::end_tx_into`]; additionally applies any corruption
+    /// window covering the transmission's air interval.
+    pub fn end_tx_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Delivery>) {
+        // Attribution must be captured before the inner call retires `tx`.
+        let origin = if self.windows.is_empty() {
+            None
+        } else {
+            self.inner.tx_source(tx).zip(self.inner.tx_start(tx))
+        };
+        self.inner.end_tx_into(tx, now, out);
+        if let Some((source, start)) = origin {
+            corrupt_deliveries(&self.windows, source, start, now, out);
+        }
+    }
+}
+
+impl Deref for ChaosMedium {
+    type Target = Medium;
+
+    fn deref(&self) -> &Medium {
+        &self.inner
+    }
+}
+
+/// Convenience constructor mirroring `Medium::new` for call sites that build
+/// the wrapped medium in one go.
+impl ChaosMedium {
+    /// Build a fresh medium and wrap it.
+    pub fn with_new_medium(prop: Propagation, rng: SimRng) -> Self {
+        ChaosMedium::new(Medium::new(prop, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::PropagationConfig;
+
+    fn chaos_pair() -> (ChaosMedium, StationId, StationId) {
+        let prop = Propagation::new(PropagationConfig::default());
+        let rng = SimRng::new(7);
+        let mut m = ChaosMedium::with_new_medium(prop, rng);
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(5.0, 0.0, 0.0));
+        (m, a, b)
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    #[test]
+    fn window_corrupts_long_frames_on_its_link_only() {
+        let (mut m, a, b) = chaos_pair();
+        m.add_corruption_window(LinkWindow {
+            src: a,
+            dst: b,
+            from: ms(0),
+            until: ms(100),
+            min_air: SimDuration::from_nanos(2_000_000),
+        });
+
+        // Long frame inside the window: corrupted.
+        let tx = m.start_tx(a, ms(10));
+        let out = m.end_tx(tx, ms(20));
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].clean, "10 ms frame in window must be corrupted");
+
+        // Short frame inside the window: spared by min_air.
+        let tx = m.start_tx(a, ms(30));
+        let out = m.end_tx(tx, SimTime::from_nanos(31_000_000));
+        assert!(out[0].clean, "1 ms control frame must slip through");
+
+        // Reverse direction unaffected.
+        let tx = m.start_tx(b, ms(40));
+        let out = m.end_tx(tx, ms(60));
+        assert!(out[0].clean, "window is directional");
+
+        // After the window closes: unaffected.
+        let tx = m.start_tx(a, ms(200));
+        let out = m.end_tx(tx, ms(220));
+        assert!(out[0].clean, "window has closed");
+    }
+
+    #[test]
+    fn frame_overlapping_window_edge_is_hit() {
+        let (mut m, a, b) = chaos_pair();
+        m.add_corruption_window(LinkWindow {
+            src: a,
+            dst: b,
+            from: ms(50),
+            until: ms(60),
+            min_air: SimDuration::ZERO,
+        });
+        // Starts before the window, ends inside it.
+        let tx = m.start_tx(a, ms(45));
+        let out = m.end_tx(tx, ms(55));
+        assert!(!out[0].clean);
+        // Ends exactly at the window start: `from < end` — hit.
+        let tx = m.start_tx(a, ms(40));
+        let out = m.end_tx(tx, SimTime::from_nanos(50_000_001));
+        assert!(!out[0].clean);
+        // Starts exactly at the window end: `start < until` fails — spared.
+        let tx = m.start_tx(a, ms(60));
+        let out = m.end_tx(tx, ms(70));
+        assert!(out[0].clean);
+    }
+
+    #[test]
+    fn no_windows_is_transparent_and_draws_same_rng() {
+        let prop = Propagation::new(PropagationConfig::default());
+        let mut bare = Medium::new(prop, SimRng::new(11));
+        let mut chaos = ChaosMedium::with_new_medium(prop, SimRng::new(11));
+        let (a0, b0) = (
+            bare.add_station(Point::new(0.0, 0.0, 0.0)),
+            bare.add_station(Point::new(5.0, 0.0, 0.0)),
+        );
+        let (a1, b1) = (
+            chaos.add_station(Point::new(0.0, 0.0, 0.0)),
+            chaos.add_station(Point::new(5.0, 0.0, 0.0)),
+        );
+        bare.set_rx_error_rate(b0, 0.5);
+        chaos.set_rx_error_rate(b1, 0.5);
+        for i in 0..32u64 {
+            let t0 = ms(i * 10);
+            let t1 = ms(i * 10 + 5);
+            let tx_b = bare.start_tx(a0, t0);
+            let tx_c = chaos.start_tx(a1, t0);
+            let del_b = bare.end_tx(tx_b, t1);
+            let del_c = chaos.end_tx(tx_c, t1);
+            assert_eq!(del_b.len(), del_c.len());
+            for (x, y) in del_b.iter().zip(del_c.iter()) {
+                assert_eq!(x.station, y.station);
+                assert_eq!(x.clean, y.clean);
+                assert_eq!(x.signal.to_bits(), y.signal.to_bits());
+            }
+        }
+        let _ = (a1, b1);
+    }
+}

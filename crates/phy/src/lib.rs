@@ -21,12 +21,14 @@
 //! delivery verdicts back. It owns no event queue of its own, which keeps it
 //! trivially unit-testable.
 
+pub mod chaos;
 pub mod geometry;
 pub mod medium;
 pub mod propagation;
 #[doc(hidden)]
 pub mod reference;
 
+pub use chaos::{corrupt_deliveries, ChaosMedium, LinkWindow};
 pub use geometry::{cube_center, Point};
 pub use medium::{Delivery, Medium, StationId, TxId};
 pub use propagation::{CutoffMode, Propagation, PropagationConfig};

@@ -147,6 +147,13 @@ pub struct Medium {
     next_tx: u64,
     /// `gain[a][b]` = `power_at_distance(d(a,b))` (symmetric).
     gain: Vec<Vec<f64>>,
+    /// Per-direction link gain multiplier (`link[src][dst]`, default 1.0).
+    /// Models link asymmetry faults: an obstruction or fade that attenuates
+    /// `src`'s signal *at `dst`* without affecting the reverse direction.
+    /// Applied as `tx_power · link · gain` everywhere a signal or
+    /// interference power is formed; multiplying by the default 1.0 is an
+    /// exact identity, so an all-ones matrix is bit-identical to no matrix.
+    link: Vec<Vec<f64>>,
     /// `int_gain[a][b]` = `interference_power(d(a,b))` (symmetric).
     int_gain: Vec<Vec<f64>>,
     /// `range[a][b]` = `prop.in_range(d(a,b))` (symmetric).
@@ -176,6 +183,7 @@ impl Medium {
             rng,
             next_tx: 0,
             gain: Vec::new(),
+            link: Vec::new(),
             int_gain: Vec::new(),
             range: Vec::new(),
             audible: Vec::new(),
@@ -214,6 +222,7 @@ impl Medium {
             let r = self.prop.in_range(d);
             if other_idx < idx {
                 self.gain[other_idx].push(g);
+                self.link[other_idx].push(1.0);
                 self.int_gain[other_idx].push(ig);
                 self.range[other_idx].push(r);
             }
@@ -222,12 +231,15 @@ impl Medium {
             range_row.push(r);
         }
         self.gain.push(gain_row);
+        self.link.push(vec![1.0; idx + 1]);
         self.int_gain.push(int_row);
         self.range.push(range_row);
 
         // Audibility: the new station may hear others and be heard by them.
         for src in 0..idx {
-            if self.stations[src].tx_power * self.gain[src][idx] >= self.prop.threshold_power() {
+            if self.stations[src].tx_power * self.link[src][idx] * self.gain[src][idx]
+                >= self.prop.threshold_power()
+            {
                 self.audible[src].push(idx); // largest index: stays ascending
             }
         }
@@ -276,9 +288,58 @@ impl Medium {
     }
 
     /// `true` iff a transmission by `from` is receivable at `to`
-    /// (directional once transmit powers differ).
+    /// (directional once transmit powers or link gains differ).
     pub fn hears(&self, to: StationId, from: StationId) -> bool {
-        self.stations[from.0].tx_power * self.gain[from.0][to.0] >= self.prop.threshold_power()
+        self.stations[from.0].tx_power * self.link[from.0][to.0] * self.gain[from.0][to.0]
+            >= self.prop.threshold_power()
+    }
+
+    /// Set the directional gain multiplier on the `src → dst` link (default
+    /// 1.0; the reverse direction is untouched). Models link-asymmetry
+    /// faults — §4 notes unequal link budgets break the symmetry the CTS
+    /// mechanism depends on. A packet from `src` in flight *to `dst`* when
+    /// the factor changes is conservatively lost (the link faded
+    /// mid-packet), and all other in-flight receptions are re-checked
+    /// against the changed interference geometry.
+    pub fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "link gain must be finite and non-negative"
+        );
+        assert_ne!(src, dst, "link gain applies to a pair of distinct stations");
+        self.link[src.0][dst.0] = factor;
+        if let Some(tx) = self.stations[src.0].transmitting {
+            for r in &mut self.receptions {
+                if r.tx == tx && r.rx == dst {
+                    r.clean = false;
+                }
+            }
+        }
+        // Only `dst`'s membership in `audible[src]` can have flipped.
+        let qualifies = self.stations[src.0].tx_power
+            * self.link[src.0][dst.0]
+            * self.gain[src.0][dst.0]
+            >= self.prop.threshold_power();
+        let list = &mut self.audible[src.0];
+        match list.binary_search(&dst.0) {
+            Ok(at) if !qualifies => {
+                list.remove(at);
+            }
+            Err(at) if qualifies => {
+                list.insert(at, dst.0);
+            }
+            _ => {}
+        }
+        if self.stations[src.0].transmitting.is_some() {
+            // `src`'s interference contribution at `dst` changed.
+            self.rebuild_incident();
+        }
+        self.recheck_all_receptions();
+    }
+
+    /// The current directional gain multiplier on the `src → dst` link.
+    pub fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        self.link[src.0][dst.0]
     }
 
     /// Add a continuous spatial noise emitter. Returns an index usable with
@@ -350,7 +411,9 @@ impl Medium {
             }
             // Membership of the moved station in everyone else's audible
             // list may have flipped; the cheap fix beats a full rebuild.
-            let qualifies = self.stations[src].tx_power * self.gain[src][moved]
+            let qualifies = self.stations[src].tx_power
+                * self.link[src][moved]
+                * self.gain[src][moved]
                 >= self.prop.threshold_power();
             let list = &mut self.audible[src];
             match list.binary_search(&moved) {
@@ -397,7 +460,9 @@ impl Medium {
             if tx.source == id {
                 continue;
             }
-            power += self.stations[tx.source.0].tx_power * self.int_gain[tx.source.0][id.0];
+            power += self.stations[tx.source.0].tx_power
+                * self.link[tx.source.0][id.0]
+                * self.int_gain[tx.source.0][id.0];
         }
         power >= self.prop.threshold_power()
     }
@@ -443,7 +508,7 @@ impl Medium {
             if !self.receptions[i].clean || rx == source {
                 continue;
             }
-            let added = tx_power * self.int_gain[source.0][rx.0];
+            let added = tx_power * self.link[source.0][rx.0] * self.int_gain[source.0][rx.0];
             if added > 0.0 {
                 let interference = self.interference_at(rx, self.receptions[i].tx);
                 let signal = self.receptions[i].signal;
@@ -459,7 +524,7 @@ impl Medium {
         for li in 0..self.audible[source.0].len() {
             let idx = self.audible[source.0][li];
             let rx = StationId(idx);
-            let signal = tx_power * self.gain[source.0][idx];
+            let signal = tx_power * self.link[source.0][idx] * self.gain[source.0][idx];
             debug_assert!(signal >= self.prop.threshold_power());
             let clean = self.stations[idx].transmitting.is_none() && {
                 // The new transmission is the last active entry, so the
@@ -484,7 +549,7 @@ impl Medium {
         // (kept for *all* stations: the cutoff set can be wider or narrower
         // than the audible set once transmit powers differ from 1).
         for b in 0..self.stations.len() {
-            self.incident[b] += tx_power * self.int_gain[source.0][b];
+            self.incident[b] += tx_power * self.link[source.0][b] * self.int_gain[source.0][b];
         }
         id
     }
@@ -572,9 +637,18 @@ impl Medium {
             if t.id == except || t.source == rx {
                 continue;
             }
-            power += self.stations[t.source.0].tx_power * self.int_gain[t.source.0][rx.0];
+            power += self.stations[t.source.0].tx_power
+                * self.link[t.source.0][rx.0]
+                * self.int_gain[t.source.0][rx.0];
         }
         power
+    }
+
+    /// The station transmitting `tx`, if it is still in flight. Lets
+    /// wrappers ([`crate::chaos::ChaosMedium`]) attribute deliveries to a
+    /// link before ending the transmission.
+    pub fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
     }
 
     /// The reference fold for `incident[b]`: ambient noise plus every active
@@ -583,7 +657,9 @@ impl Medium {
     fn fold_incident(&self, b: usize) -> f64 {
         let mut power = self.ambient[b];
         for t in &self.active {
-            power += self.stations[t.source.0].tx_power * self.int_gain[t.source.0][b];
+            power += self.stations[t.source.0].tx_power
+                * self.link[t.source.0][b]
+                * self.int_gain[t.source.0][b];
         }
         power
     }
@@ -620,10 +696,12 @@ impl Medium {
         let power = self.stations[src].tx_power;
         let threshold = self.prop.threshold_power();
         let gain = &self.gain[src];
+        let link = &self.link[src];
         let list = &mut self.audible[src];
         list.clear();
         list.extend(
-            (0..self.stations.len()).filter(|&b| b != src && power * gain[b] >= threshold),
+            (0..self.stations.len())
+                .filter(|&b| b != src && power * link[b] * gain[b] >= threshold),
         );
     }
 
@@ -638,7 +716,8 @@ impl Medium {
             let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
                 continue;
             };
-            let signal = self.stations[src.0].tx_power * self.gain[src.0][rx.0];
+            let signal =
+                self.stations[src.0].tx_power * self.link[src.0][rx.0] * self.gain[src.0][rx.0];
             self.receptions[i].signal = signal;
             let interference = self.interference_at(rx, tx);
             if !self.prop.clean(signal, interference) {
@@ -926,6 +1005,46 @@ mod tests {
         let d = m.end_tx(ta, t(1000));
         assert!(d.iter().any(|x| x.station == c && x.clean));
         assert!(!d.iter().any(|x| x.station == b));
+    }
+
+    #[test]
+    fn link_gain_is_directional_and_reversible() {
+        let (mut m, a, b, _c) = line_medium();
+        m.set_link_gain(a, b, 0.0);
+        assert!(!m.hears(b, a), "the faded direction is dead");
+        assert!(m.hears(a, b), "the reverse direction is untouched");
+        let tx = m.start_tx(a, t(0));
+        let d = m.end_tx(tx, t(1000));
+        assert!(
+            !d.iter().any(|x| x.station == b),
+            "B is no longer in A's audible set"
+        );
+        m.set_link_gain(a, b, 1.0);
+        assert!(m.hears(b, a), "restoring the factor restores the link");
+        let tx = m.start_tx(a, t(2000));
+        let d = m.end_tx(tx, t(3000));
+        assert!(d.iter().any(|x| x.station == b && x.clean));
+    }
+
+    #[test]
+    fn link_fade_mid_packet_loses_that_packet() {
+        let (mut m, a, b, _c) = line_medium();
+        let tx = m.start_tx(a, t(0));
+        m.set_link_gain(a, b, 0.01);
+        let d = m.end_tx(tx, t(1000));
+        assert!(
+            !d.iter().find(|x| x.station == b).unwrap().clean,
+            "a fade during the flight corrupts the packet"
+        );
+    }
+
+    #[test]
+    fn tx_source_reports_in_flight_transmissions_only() {
+        let (mut m, a, _b, _c) = line_medium();
+        let tx = m.start_tx(a, t(0));
+        assert_eq!(m.tx_source(tx), Some(a));
+        let _ = m.end_tx(tx, t(100));
+        assert_eq!(m.tx_source(tx), None);
     }
 
     #[test]

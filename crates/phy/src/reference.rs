@@ -58,6 +58,10 @@ pub struct ReferenceMedium {
     noise: Vec<NoiseSource>,
     rng: SimRng,
     next_tx: u64,
+    /// Per-direction link gain multiplier (`link[src][dst]`, default 1.0).
+    /// Configuration, not a cache: queries fold it into every signal the
+    /// same way the cached medium does (`tx_power · link · gain`).
+    link: Vec<Vec<f64>>,
 }
 
 impl ReferenceMedium {
@@ -71,6 +75,7 @@ impl ReferenceMedium {
             noise: Vec::new(),
             rng,
             next_tx: 0,
+            link: Vec::new(),
         }
     }
 
@@ -88,6 +93,10 @@ impl ReferenceMedium {
             rx_error_rate: 0.0,
             tx_power: 1.0,
         });
+        for row in &mut self.link {
+            row.push(1.0);
+        }
+        self.link.push(vec![1.0; self.stations.len()]);
         id
     }
 
@@ -116,8 +125,31 @@ impl ReferenceMedium {
     /// `true` iff a transmission by `from` is receivable at `to`.
     pub fn hears(&self, to: StationId, from: StationId) -> bool {
         let d = self.stations[from.0].pos.distance(self.stations[to.0].pos);
-        self.stations[from.0].tx_power * self.prop.power_at_distance(d)
+        self.stations[from.0].tx_power * self.link[from.0][to.0] * self.prop.power_at_distance(d)
             >= self.prop.threshold_power()
+    }
+
+    /// Scale the directional gain of the `src -> dst` link (default 1.0).
+    pub fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "link gain must be finite and non-negative"
+        );
+        assert_ne!(src, dst, "link gain applies to a pair of distinct stations");
+        self.link[src.0][dst.0] = factor;
+        if let Some(tx) = self.stations[src.0].transmitting {
+            for r in &mut self.receptions {
+                if r.tx == tx && r.rx == dst {
+                    r.clean = false;
+                }
+            }
+        }
+        self.recheck_all_receptions();
+    }
+
+    /// Current directional gain factor of the `src -> dst` link.
+    pub fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        self.link[src.0][dst.0]
     }
 
     /// Add a continuous spatial noise emitter.
@@ -170,6 +202,7 @@ impl ReferenceMedium {
                 continue;
             }
             power += self.stations[tx.source.0].tx_power
+                * self.link[tx.source.0][id.0]
                 * self
                     .prop
                     .interference_power(self.stations[tx.source.0].pos.distance(here));
@@ -213,8 +246,9 @@ impl ReferenceMedium {
             if !self.receptions[i].clean || rx == source {
                 continue;
             }
-            let added =
-                tx_power * self.prop.interference_power(src_pos.distance(self.stations[rx.0].pos));
+            let added = tx_power
+                * self.link[source.0][rx.0]
+                * self.prop.interference_power(src_pos.distance(self.stations[rx.0].pos));
             if added > 0.0 {
                 let interference = self.interference_at(rx, self.receptions[i].tx);
                 let signal = self.receptions[i].signal;
@@ -230,7 +264,9 @@ impl ReferenceMedium {
             if rx == source {
                 continue;
             }
-            let signal = tx_power * self.prop.power_at_distance(src_pos.distance(st.pos));
+            let signal = tx_power
+                * self.link[source.0][idx]
+                * self.prop.power_at_distance(src_pos.distance(st.pos));
             if signal < self.prop.threshold_power() {
                 continue; // out of range: hears nothing at all
             }
@@ -290,6 +326,11 @@ impl ReferenceMedium {
         self.active.iter().find(|t| t.id == tx).map(|t| t.start)
     }
 
+    /// Source station of transmission `tx`, if still in flight.
+    pub fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
+    }
+
     fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
         let here = self.stations[rx.0].pos;
         let mut power = self.ambient_noise_at(here);
@@ -298,6 +339,7 @@ impl ReferenceMedium {
                 continue;
             }
             power += self.stations[t.source.0].tx_power
+                * self.link[t.source.0][rx.0]
                 * self
                     .prop
                     .interference_power(self.stations[t.source.0].pos.distance(here));
@@ -323,6 +365,7 @@ impl ReferenceMedium {
                 continue;
             };
             let signal = self.stations[src.0].tx_power
+                * self.link[src.0][rx.0]
                 * self
                     .prop
                     .power_at_distance(self.stations[src.0].pos.distance(self.stations[rx.0].pos));

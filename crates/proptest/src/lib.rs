@@ -553,7 +553,6 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// The macro end to end: params, prop_assert, early Ok return.
-        #[test]
         fn macro_roundtrip(x in 0u64..100, flip in any::<bool>()) {
             if flip {
                 return Ok(());

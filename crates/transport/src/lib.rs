@@ -56,6 +56,14 @@ pub trait Transport {
     /// The endpoint timer fired.
     fn on_timer(&mut self, ctx: &mut dyn TransportContext);
 
+    /// The link layer gave up on one of this endpoint's segments after
+    /// exhausting its retries (an explicit loss signal — §4's "transport
+    /// layer ... informed of the failure"). Default: ignore it and let the
+    /// endpoint's own timers recover, which is all UDP-like transports do.
+    fn on_segment_dropped(&mut self, ctx: &mut dyn TransportContext, seg: Segment) {
+        let _ = (ctx, seg);
+    }
+
     /// Segments currently queued/in flight below this endpoint (diagnostic).
     fn outstanding(&self) -> u64;
 }

@@ -221,6 +221,25 @@ impl Transport for TcpSender {
         self.fill_window(ctx);
     }
 
+    fn on_segment_dropped(&mut self, ctx: &mut dyn TransportContext, seg: Segment) {
+        // The link layer declared one of our data segments undeliverable.
+        // Waiting out the coarse RTO would only add dead air, so treat it as
+        // an immediate timeout for the outstanding window — except that the
+        // drop is a loss signal, not a new RTT measurement, so the RTO
+        // backoff state is left alone (the armed timer keeps governing
+        // end-to-end pacing).
+        let Segment::Data { seq, .. } = seg else {
+            return; // dropped ACKs are the receiver's concern; nothing here
+        };
+        if seq < self.snd_una || seq >= self.snd_nxt {
+            return; // already acknowledged, or not ours (stale signal)
+        }
+        self.timing = None; // Karn: everything outstanding will be resent
+        self.retransmits += self.snd_nxt - self.snd_una;
+        self.snd_nxt = self.snd_una;
+        self.fill_window(ctx);
+    }
+
     fn outstanding(&self) -> u64 {
         self.snd_nxt - self.snd_una
     }
@@ -384,6 +403,34 @@ mod tests {
         tx.on_app_send(&mut ctx, 512);
         let rto = ctx.timer.unwrap().since(ctx.now());
         assert!(rto <= SimDuration::from_secs(1), "backoff reset, rto={rto}");
+    }
+
+    #[test]
+    fn link_drop_signal_triggers_immediate_go_back_n() {
+        let mut tx = TcpSender::new(TcpConfig::default(), 512);
+        let mut ctx = ScriptedContext::new();
+        for _ in 0..8 {
+            tx.on_app_send(&mut ctx, 512);
+        }
+        ctx.advance(SimDuration::from_millis(50));
+        tx.on_segment(&mut ctx, Segment::Ack { ackno: 2, bytes: 40 });
+        let before = data_seqs(&ctx).len();
+        // The MAC gave up on segment 3: resend everything from snd_una,
+        // well before the 500 ms RTO.
+        tx.on_segment_dropped(&mut ctx, Segment::Data { seq: 3, bytes: 512 });
+        assert_eq!(tx.retransmits(), 6, "snd_una=2 .. snd_nxt=8 resent");
+        assert_eq!(
+            data_seqs(&ctx)[before..],
+            [2, 3, 4, 5, 6, 7],
+            "go-back-N from the first unacknowledged segment"
+        );
+        // Stale signals are ignored.
+        tx.on_segment_dropped(&mut ctx, Segment::Data { seq: 0, bytes: 512 });
+        tx.on_segment_dropped(&mut ctx, Segment::Data { seq: 99, bytes: 512 });
+        assert_eq!(tx.retransmits(), 6);
+        // A dropped ACK segment is not the sender's concern.
+        tx.on_segment_dropped(&mut ctx, Segment::Ack { ackno: 5, bytes: 40 });
+        assert_eq!(tx.retransmits(), 6);
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() {
         ("BEB + copying", BackoffAlgo::Beb, BackoffSharing::Copy),
         ("MILD + copying", BackoffAlgo::Mild, BackoffSharing::Copy),
     ] {
-        let r = figures::figure2(variant(algo, sharing), 11).run(dur, warm);
+        let r = figures::figure2(variant(algo, sharing), 11).run(dur, warm).unwrap();
         println!(
             "{:<22} {:>8.2} {:>8.2} {:>8.3}",
             name,
@@ -49,7 +49,7 @@ fn main() {
         ("BEB + copying", BackoffAlgo::Beb, BackoffSharing::Copy),
         ("MILD + copying", BackoffAlgo::Mild, BackoffSharing::Copy),
     ] {
-        let r = figures::figure3(variant(algo, sharing), 11).run(dur, warm);
+        let r = figures::figure3(variant(algo, sharing), 11).run(dur, warm).unwrap();
         let min = r
             .streams
             .iter()

@@ -34,7 +34,7 @@ fn run_case(
         ("MACA", MacKind::Maca),
         ("MACAW", MacKind::Macaw),
     ] {
-        let r = build(mac).run(SimDuration::from_secs(120), SimDuration::from_secs(10));
+        let r = build(mac).run(SimDuration::from_secs(120), SimDuration::from_secs(10)).unwrap();
         println!(
             "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>8.3}",
             name,

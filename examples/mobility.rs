@@ -38,7 +38,7 @@ fn main() {
     );
 
     // Sample deliveries in 30-second windows by running incrementally.
-    let mut net = sc.build();
+    let mut net = sc.build().unwrap();
     let mut last = vec![0u64; 3];
     println!(
         "{:>10} {:>10} {:>10} {:>12}",
@@ -46,7 +46,7 @@ fn main() {
     );
     for w in 0..6u64 {
         let end = SimTime::ZERO + SimDuration::from_secs(30 * (w + 1));
-        net.run_until(end);
+        net.run_until(end).unwrap();
         let r = net.report(end);
         let now: Vec<u64> = r.streams.iter().map(|s| s.delivered).collect();
         println!(

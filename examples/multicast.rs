@@ -38,7 +38,7 @@ fn main() {
     });
     sc.add_udp_stream("P1-B", p1, base, 16, 512);
 
-    let r = sc.run(dur, warm);
+    let r = sc.run(dur, warm).unwrap();
     println!("clean cell:");
     println!("{}", r.table());
     println!(
@@ -71,7 +71,7 @@ fn main() {
     });
     sc.add_udp_stream("H-S", hidden, sink, 64, 512);
 
-    let r = sc.run(dur, warm);
+    let r = sc.run(dur, warm).unwrap();
     println!("with a hidden interferer near P1:");
     println!("{}", r.table());
     println!(

@@ -18,7 +18,7 @@ fn main() {
 
     let mut results = Vec::new();
     for (name, mac) in [("MACA", MacKind::Maca), ("MACAW", MacKind::Macaw)] {
-        let r = figures::figure11(mac, 11, arrive).run(dur, warm);
+        let r = figures::figure11(mac, 11, arrive).run(dur, warm).unwrap();
         results.push((name, r));
     }
 

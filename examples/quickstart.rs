@@ -22,7 +22,7 @@ fn main() {
     sc.add_udp_stream("up-3", p3, base, 32, 512);
 
     // Run 120 simulated seconds, measuring after a 10 s warm-up.
-    let report = sc.run(SimDuration::from_secs(120), SimDuration::from_secs(10));
+    let report = sc.run(SimDuration::from_secs(120), SimDuration::from_secs(10)).unwrap();
 
     println!("{}", report.table());
     println!(

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline release build, full test suite, and a perf
-# smoke run. Exits non-zero if anything fails to build, any test fails, or
-# the perf harness panics / produces non-finite throughput.
+# Tier-1 verification: offline release build, lint wall, full test suite,
+# and smoke runs of the perf and fault-injection harnesses. Exits non-zero
+# if anything fails to build, clippy reports any warning, any test fails,
+# or either harness panics / produces non-finite throughput / loses the
+# corruption-ablation claim (MACAW ahead of MACA on a corrupting channel).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
 cargo build --release
 
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test -q --workspace
 
 echo "== perf smoke =="
 cargo run --release -p macaw-bench --bin perf -- --quick
+
+echo "== faults smoke =="
+cargo run --release -p macaw-bench --bin faults -- --smoke
 
 echo "verify: OK"

@@ -25,7 +25,7 @@
 //! let p2 = sc.add_station("P2", Point::new(3.0, 0.0, 0.0), MacKind::Macaw);
 //! sc.add_udp_stream("P1-B", p1, base, 64, 512);
 //! sc.add_udp_stream("P2-B", p2, base, 64, 512);
-//! let report = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(5));
+//! let report = sc.run(SimDuration::from_secs(30), SimDuration::from_secs(5)).unwrap();
 //! assert!(report.total_throughput() > 30.0);
 //! assert!(report.jain_fairness() > 0.95);
 //! ```

@@ -34,8 +34,8 @@ fn every_figure_replays_identically() {
         ("tbl4", Box::new(|s| figures::table4(MacKind::Macaw, s, 0.05))),
     ];
     for (name, build) in &builders {
-        let a = build(99).run(DUR, WARM);
-        let b = build(99).run(DUR, WARM);
+        let a = build(99).run(DUR, WARM).unwrap();
+        let b = build(99).run(DUR, WARM).unwrap();
         assert_eq!(
             fingerprint(&a),
             fingerprint(&b),
@@ -48,8 +48,8 @@ fn every_figure_replays_identically() {
 fn different_seeds_usually_differ() {
     // Stochastic contention means two seeds almost surely differ in
     // delivered counts somewhere.
-    let a = figures::figure3(MacKind::Macaw, 1).run(DUR, WARM);
-    let b = figures::figure3(MacKind::Macaw, 2).run(DUR, WARM);
+    let a = figures::figure3(MacKind::Macaw, 1).run(DUR, WARM).unwrap();
+    let b = figures::figure3(MacKind::Macaw, 2).run(DUR, WARM).unwrap();
     assert_ne!(fingerprint(&a), fingerprint(&b));
 }
 
@@ -58,14 +58,14 @@ fn incremental_and_one_shot_runs_agree() {
     // Driving the network in small steps must produce exactly the same
     // trajectory as one big run_until.
     let end = SimTime::ZERO + DUR;
-    let mut stepped = figures::figure4(MacKind::Macaw, 5).build();
+    let mut stepped = figures::figure4(MacKind::Macaw, 5).build().unwrap();
     let mut t = SimTime::ZERO;
     while t < end {
         t += SimDuration::from_secs(7);
-        stepped.run_until(t.min(end));
+        stepped.run_until(t.min(end)).unwrap();
     }
-    let mut oneshot = figures::figure4(MacKind::Macaw, 5).build();
-    oneshot.run_until(end);
+    let mut oneshot = figures::figure4(MacKind::Macaw, 5).build().unwrap();
+    oneshot.run_until(end).unwrap();
     assert_eq!(
         fingerprint(&stepped.report(end)),
         fingerprint(&oneshot.report(end))

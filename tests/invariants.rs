@@ -12,16 +12,16 @@ fn scenarios() -> Vec<(&'static str, RunReport)> {
     let off = SimTime::ZERO + SimDuration::from_secs(40);
     let arrive = SimTime::ZERO + SimDuration::from_secs(40);
     vec![
-        ("fig2/maca", figures::figure2(MacKind::Maca, 3).run(DUR, WARM)),
-        ("fig3/macaw", figures::figure3(MacKind::Macaw, 3).run(DUR, WARM)),
-        ("fig5/macaw", figures::figure5(MacKind::Macaw, 3).run(DUR, WARM)),
-        ("fig9/macaw", figures::figure9(MacKind::Macaw, 3, off).run(DUR, WARM)),
-        ("fig10/maca", figures::figure10(MacKind::Maca, 3).run(DUR, WARM)),
-        ("fig11/macaw", figures::figure11(MacKind::Macaw, 3, arrive).run(DUR, WARM)),
-        ("tbl4/noise", figures::table4(MacKind::Macaw, 3, 0.1).run(DUR, WARM)),
+        ("fig2/maca", figures::figure2(MacKind::Maca, 3).run(DUR, WARM).unwrap()),
+        ("fig3/macaw", figures::figure3(MacKind::Macaw, 3).run(DUR, WARM).unwrap()),
+        ("fig5/macaw", figures::figure5(MacKind::Macaw, 3).run(DUR, WARM).unwrap()),
+        ("fig9/macaw", figures::figure9(MacKind::Macaw, 3, off).run(DUR, WARM).unwrap()),
+        ("fig10/maca", figures::figure10(MacKind::Maca, 3).run(DUR, WARM).unwrap()),
+        ("fig11/macaw", figures::figure11(MacKind::Macaw, 3, arrive).run(DUR, WARM).unwrap()),
+        ("tbl4/noise", figures::table4(MacKind::Macaw, 3, 0.1).run(DUR, WARM).unwrap()),
         (
             "fig1h/csma",
-            figures::figure1_hidden(MacKind::Csma(Default::default()), 3).run(DUR, WARM),
+            figures::figure1_hidden(MacKind::Csma(Default::default()), 3).run(DUR, WARM).unwrap(),
         ),
     ]
 }
@@ -32,13 +32,13 @@ fn zero_warmup_scenarios() -> Vec<(&'static str, RunReport)> {
     // (queueing delay) legitimately counts as delivered-but-not-offered.
     let off = SimTime::ZERO + SimDuration::from_secs(40);
     vec![
-        ("fig3/macaw", figures::figure3(MacKind::Macaw, 3).run(DUR, SimDuration::ZERO)),
-        ("fig9/macaw", figures::figure9(MacKind::Macaw, 3, off).run(DUR, SimDuration::ZERO)),
-        ("tbl4/noise", figures::table4(MacKind::Macaw, 3, 0.1).run(DUR, SimDuration::ZERO)),
+        ("fig3/macaw", figures::figure3(MacKind::Macaw, 3).run(DUR, SimDuration::ZERO).unwrap()),
+        ("fig9/macaw", figures::figure9(MacKind::Macaw, 3, off).run(DUR, SimDuration::ZERO).unwrap()),
+        ("tbl4/noise", figures::table4(MacKind::Macaw, 3, 0.1).run(DUR, SimDuration::ZERO).unwrap()),
         (
             "fig1h/csma",
             figures::figure1_hidden(MacKind::Csma(Default::default()), 3)
-                .run(DUR, SimDuration::ZERO),
+                .run(DUR, SimDuration::ZERO).unwrap(),
         ),
     ]
 }
@@ -133,7 +133,7 @@ fn tcp_delivery_is_in_order_and_exactly_once() {
     // The TCP receiver's deliver_app sequence must be 0,1,2,... — the
     // delivered count equals the highest in-order sequence, so a duplicate
     // or gap would show up as delivered > offered or a stall.
-    let r = figures::table4(MacKind::Macaw, 9, 0.05).run(DUR, WARM);
+    let r = figures::table4(MacKind::Macaw, 9, 0.05).run(DUR, WARM).unwrap();
     let s = r.stream("P-B");
     assert!(s.delivered > 0, "noise must not deadlock TCP");
     assert!(s.delivered <= s.offered);
@@ -144,7 +144,7 @@ fn powered_off_station_stops_participating() {
     // Power P1 off before the measurement window opens: nothing of either
     // of its streams may be delivered inside the window.
     let off = SimTime::ZERO + SimDuration::from_secs(5);
-    let r = figures::figure9(MacKind::Macaw, 3, off).run(DUR, WARM);
+    let r = figures::figure9(MacKind::Macaw, 3, off).run(DUR, WARM).unwrap();
     assert_eq!(
         r.stream("P1-B1").delivered,
         0,

@@ -27,27 +27,27 @@ fn era_331(ack: bool, ds: bool, rrts: bool) -> MacKind {
 
 #[test]
 fn figure1_csma_collapses_at_hidden_terminal_and_macaw_recovers() {
-    let csma = figures::figure1_hidden(MacKind::Csma(Default::default()), 7).run(DUR, WARM);
+    let csma = figures::figure1_hidden(MacKind::Csma(Default::default()), 7).run(DUR, WARM).unwrap();
     assert!(
         csma.total_throughput() < 1.0,
         "CSMA hidden-terminal total must collapse, got {}",
         csma.total_throughput()
     );
-    let macaw = figures::figure1_hidden(MacKind::Macaw, 7).run(DUR, WARM);
+    let macaw = figures::figure1_hidden(MacKind::Macaw, 7).run(DUR, WARM).unwrap();
     assert!(macaw.total_throughput() > 25.0);
     assert!(macaw.jain_fairness() > 0.9, "MACAW must also be fair");
 }
 
 #[test]
 fn table1_beb_captures_and_copying_restores_fairness() {
-    let beb = figures::figure2(custom(|_| ()), 11).run(DUR, WARM);
+    let beb = figures::figure2(custom(|_| ()), 11).run(DUR, WARM).unwrap();
     assert!(
         beb.jain_fairness() < 0.6,
         "BEB must show capture, Jain = {}",
         beb.jain_fairness()
     );
     let copy = figures::figure2(custom(|c| c.backoff_sharing = BackoffSharing::Copy), 11)
-        .run(DUR, WARM);
+        .run(DUR, WARM).unwrap();
     assert!(
         copy.jain_fairness() > 0.95,
         "copying must be fair, Jain = {}",
@@ -64,8 +64,8 @@ fn table2_mild_beats_beb_under_copying() {
             c.backoff_sharing = BackoffSharing::Copy;
         })
     };
-    let beb = figures::figure3(mk(BackoffAlgo::Beb), 11).run(DUR, WARM);
-    let mild = figures::figure3(mk(BackoffAlgo::Mild), 11).run(DUR, WARM);
+    let beb = figures::figure3(mk(BackoffAlgo::Beb), 11).run(DUR, WARM).unwrap();
+    let mild = figures::figure3(mk(BackoffAlgo::Mild), 11).run(DUR, WARM).unwrap();
     assert!(beb.jain_fairness() > 0.95 && mild.jain_fairness() > 0.95);
     assert!(
         mild.total_throughput() > beb.total_throughput(),
@@ -86,7 +86,7 @@ fn table3_queue_model_sets_the_allocation_unit() {
     };
     // Single FIFO: bandwidth per station, so P3's stream gets ~2x each of
     // the base station's two streams.
-    let single = figures::figure4(mk(QueueMode::SingleFifo), 3).run(DUR, WARM);
+    let single = figures::figure4(mk(QueueMode::SingleFifo), 3).run(DUR, WARM).unwrap();
     let p3 = single.throughput("P3-B");
     let b_each = (single.throughput("B-P1") + single.throughput("B-P2")) / 2.0;
     assert!(
@@ -94,7 +94,7 @@ fn table3_queue_model_sets_the_allocation_unit() {
         "single queue: P3 ({p3:.1}) must get ~2x the base's streams ({b_each:.1})"
     );
     // Per-stream queues: roughly even thirds.
-    let multi = figures::figure4(mk(QueueMode::PerStream), 3).run(DUR, WARM);
+    let multi = figures::figure4(mk(QueueMode::PerStream), 3).run(DUR, WARM).unwrap();
     assert!(
         multi.jain_fairness() > 0.9,
         "per-stream queues must be fair, Jain = {}",
@@ -104,9 +104,9 @@ fn table3_queue_model_sets_the_allocation_unit() {
 
 #[test]
 fn table4_link_ack_wins_under_heavy_noise() {
-    let noack = figures::table4(era_331(false, false, false), 4, 0.1).run(DUR, WARM);
-    let ack = figures::table4(era_331(true, false, false), 4, 0.1).run(DUR, WARM);
-    let clean = figures::table4(era_331(false, false, false), 4, 0.0).run(DUR, WARM);
+    let noack = figures::table4(era_331(false, false, false), 4, 0.1).run(DUR, WARM).unwrap();
+    let ack = figures::table4(era_331(true, false, false), 4, 0.1).run(DUR, WARM).unwrap();
+    let clean = figures::table4(era_331(false, false, false), 4, 0.0).run(DUR, WARM).unwrap();
     assert!(
         noack.throughput("P-B") < clean.throughput("P-B") / 4.0,
         "10% noise must collapse TCP without link recovery"
@@ -121,8 +121,8 @@ fn table4_link_ack_wins_under_heavy_noise() {
 
 #[test]
 fn table5_ds_fixes_the_exposed_terminal_configuration() {
-    let nods = figures::figure5(era_331(true, false, false), 5).run(DUR, WARM);
-    let ds = figures::figure5(era_331(true, true, false), 5).run(DUR, WARM);
+    let nods = figures::figure5(era_331(true, false, false), 5).run(DUR, WARM).unwrap();
+    let ds = figures::figure5(era_331(true, true, false), 5).run(DUR, WARM).unwrap();
     assert!(
         ds.total_throughput() > nods.total_throughput() * 1.3,
         "DS must recover most of the lost capacity: {:.1} vs {:.1}",
@@ -136,8 +136,8 @@ fn table5_ds_fixes_the_exposed_terminal_configuration() {
 
 #[test]
 fn table6_rrts_improves_the_blocked_receiver() {
-    let norrts = figures::figure6(era_331(true, true, false), 6).run(DUR, WARM);
-    let rrts = figures::figure6(era_331(true, true, true), 6).run(DUR, WARM);
+    let norrts = figures::figure6(era_331(true, true, false), 6).run(DUR, WARM).unwrap();
+    let rrts = figures::figure6(era_331(true, true, true), 6).run(DUR, WARM).unwrap();
     assert!(rrts.jain_fairness() > 0.95);
     assert!(
         rrts.total_throughput() >= norrts.total_throughput() * 0.95,
@@ -148,7 +148,7 @@ fn table6_rrts_improves_the_blocked_receiver() {
 
 #[test]
 fn table7_unsolved_configuration_denies_b1() {
-    let r = figures::figure7(MacKind::Macaw, 7).run(DUR, WARM);
+    let r = figures::figure7(MacKind::Macaw, 7).run(DUR, WARM).unwrap();
     assert!(
         r.throughput("B1-P1") < r.throughput("P2-B2") / 5.0,
         "B1-P1 ({:.1}) must be starved relative to P2-B2 ({:.1})",
@@ -164,9 +164,9 @@ fn table8_per_destination_backoff_isolates_a_dead_pad() {
     let single = {
         let mut c = MacConfig::macaw();
         c.backoff_sharing = BackoffSharing::Copy;
-        figures::figure9(MacKind::Custom(c), 8, off).run(DUR, WARM)
+        figures::figure9(MacKind::Custom(c), 8, off).run(DUR, WARM).unwrap()
     };
-    let perdst = figures::figure9(MacKind::Macaw, 8, off).run(DUR, WARM);
+    let perdst = figures::figure9(MacKind::Macaw, 8, off).run(DUR, WARM).unwrap();
     let survivors = ["B1-P2", "P2-B1", "B1-P3", "P3-B1"];
     let total = |r: &RunReport| survivors.iter().map(|s| r.throughput(s)).sum::<f64>();
     assert!(
@@ -184,7 +184,7 @@ fn table9_overhead_ordering_holds() {
         let b = sc.add_station("B", Point::new(0.0, 0.0, 6.0), mac);
         let p = sc.add_station("P", Point::new(3.0, 0.0, 0.0), mac);
         sc.add_udp_stream("P-B", p, b, 64, 512);
-        sc.run(DUR, WARM)
+        sc.run(DUR, WARM).unwrap()
     };
     let maca = mk(MacKind::Maca).throughput("P-B");
     let macaw = mk(MacKind::Macaw).throughput("P-B");
@@ -201,7 +201,7 @@ fn table9_overhead_ordering_holds() {
 
 #[test]
 fn table10_macaw_is_fair_within_the_congested_cell() {
-    let macaw = figures::figure10(MacKind::Macaw, 10).run(DUR, WARM);
+    let macaw = figures::figure10(MacKind::Macaw, 10).run(DUR, WARM).unwrap();
     let c1 = [
         "P1-B1", "P2-B1", "P3-B1", "P4-B1", "B1-P1", "B1-P2", "B1-P3", "B1-P4",
     ];
@@ -211,7 +211,7 @@ fn table10_macaw_is_fair_within_the_congested_cell() {
     // keeps most of its offered 32 pps.
     assert!(macaw.throughput("P5-B2") + macaw.throughput("B2-P5") > 3.0);
     assert!(macaw.throughput("P6-B3") > 20.0);
-    let maca = figures::figure10(MacKind::Maca, 10).run(DUR, WARM);
+    let maca = figures::figure10(MacKind::Maca, 10).run(DUR, WARM).unwrap();
     assert!(
         maca.jain_fairness() < macaw.jain_fairness(),
         "MACA must be less fair than MACAW"
@@ -238,8 +238,8 @@ fn table11_macaw_shrinks_the_top_streams_share() {
     let mut maca_jain = 0.0;
     let mut macaw_jain = 0.0;
     for seed in seeds {
-        let maca = figures::figure11(MacKind::Maca, seed, arrive).run(DUR * 2, WARM);
-        let macaw = figures::figure11(MacKind::Macaw, seed, arrive).run(DUR * 2, WARM);
+        let maca = figures::figure11(MacKind::Maca, seed, arrive).run(DUR * 2, WARM).unwrap();
+        let macaw = figures::figure11(MacKind::Macaw, seed, arrive).run(DUR * 2, WARM).unwrap();
         maca_share += share(&maca);
         macaw_share += share(&macaw);
         maca_jain += maca.jain_fairness();

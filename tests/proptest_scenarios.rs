@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn random_scenarios_run_and_conserve(rs in arb_scenario()) {
         let Some(sc) = build(&rs) else { return Ok(()) };
-        let r = sc.run(SimDuration::from_secs(30), SimDuration::ZERO);
+        let r = sc.run(SimDuration::from_secs(30), SimDuration::ZERO).unwrap();
         for s in &r.streams {
             prop_assert!(s.delivered <= s.offered, "{}: {} > {}", s.name, s.delivered, s.offered);
             prop_assert!(s.throughput_pps.is_finite());
@@ -106,8 +106,8 @@ proptest! {
     #[test]
     fn random_scenarios_replay(rs in arb_scenario()) {
         let (Some(a), Some(b)) = (build(&rs), build(&rs)) else { return Ok(()) };
-        let ra = a.run(SimDuration::from_secs(15), SimDuration::from_secs(2));
-        let rb = b.run(SimDuration::from_secs(15), SimDuration::from_secs(2));
+        let ra = a.run(SimDuration::from_secs(15), SimDuration::from_secs(2)).unwrap();
+        let rb = b.run(SimDuration::from_secs(15), SimDuration::from_secs(2)).unwrap();
         for (sa, sb) in ra.streams.iter().zip(&rb.streams) {
             prop_assert_eq!(sa.delivered, sb.delivered);
             prop_assert_eq!(sa.offered, sb.offered);
