@@ -10,7 +10,7 @@
 //! non-finite, or the headline corruption claim (MACAW ahead of MACA on
 //! a corrupting channel) does not hold.
 
-use macaw_bench::faults::all_faults;
+use macaw_bench::faults::all_faults_parallel;
 use macaw_core::prelude::SimDuration;
 
 fn die(e: &dyn std::fmt::Display) -> ! {
@@ -57,7 +57,9 @@ fn main() {
         i += 1;
     }
 
-    let results = all_faults(seed, dur).unwrap_or_else(|e| die(&e));
+    // One scoped thread per (class, protocol) cell; identical output to
+    // the serial runner (asserted in tests/determinism.rs).
+    let results = all_faults_parallel(seed, dur).unwrap_or_else(|e| die(&e));
 
     for t in &results {
         for total in t.totals() {

@@ -11,8 +11,9 @@
 //!    `tables --quick`, timed with [`macaw_bench::stopwatch`]. This is the
 //!    number the optimization work is judged on (see `BENCH_medium.json`'s
 //!    `baseline` block for the pre-optimization reference).
-//! 2. **Engine probe** — the three heaviest scenarios (Figure 10 under
-//!    MACA and MACAW, Figure 11 under MACAW at 4x duration) run once
+//! 2. **Engine probe** — the heaviest scenarios (Figure 10 under MACA and
+//!    MACAW, Figure 11 under MACAW at 4x duration, and the N = 256
+//!    office floor from `topology::scale_topology` under MACAW) run once
 //!    each, reporting processed simulator events per wall-clock second.
 //!
 //! `--quick` is a smoke mode for CI (`scripts/verify.sh`): one short
@@ -25,7 +26,7 @@
 use macaw_bench::stopwatch::{bench, time_once};
 use macaw_bench::{all_tables, warm_for, TABLES};
 use macaw_core::figures;
-use macaw_core::prelude::{MacKind, SimDuration, SimTime};
+use macaw_core::prelude::{scale_topology, MacKind, ScaleConfig, SimDuration, SimTime};
 
 /// A simulation error in this harness means a paper scenario failed to
 /// run — report it and fail the process instead of panicking.
@@ -76,6 +77,11 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
         figures::figure11(MacKind::Macaw, seed, SimTime::ZERO + SimDuration::from_secs(300)),
         dur * 4,
     );
+    // The scale floor exercises the cube-grid medium at hundreds of
+    // stations — the regime the paper figures never reach.
+    let mut cfg = ScaleConfig::with_stations(256);
+    cfg.pps = 8;
+    go("scale256-macaw", scale_topology(&cfg, MacKind::Macaw, seed), dur);
     out
 }
 

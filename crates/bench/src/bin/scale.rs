@@ -1,0 +1,299 @@
+//! Medium-scaling harness: events/sec, wall time, peak RSS and medium
+//! memory across station counts N ∈ {16, 64, 256, 1024} on the synthetic
+//! office floor ([`macaw_core::topology`]), per protocol (CSMA / MACA /
+//! MACAW), written to `BENCH_scale.json`.
+//!
+//! Usage:
+//!   scale [--quick] [--seed N] [--out PATH]
+//!
+//! Three measurements:
+//!
+//! 1. **Sweep** — every (N, protocol) cell runs the same randomized floor
+//!    on the cube-grid [`SparseMedium`], reporting processed events per
+//!    wall-clock second, throughput and Jain fairness.
+//! 2. **Dense vs sparse** — the N = 256 MACAW cell runs on both the cube
+//!    grid and the dense-matrix oracle medium, best wall time of three
+//!    runs each, on a fresh heap before the sweep. The [`RunReport`]s
+//!    must be *equal* (the media are bit-identical by construction; this
+//!    is the end-to-end check) and the sparse run is expected to be
+//!    ≥ 5x faster.
+//! 3. **Memory** — [`Medium::memory_footprint`] of the built sparse medium
+//!    at each N. A 16x station growth (64 → 1024) must cost well under
+//!    256x the bytes (sub-quadratic; the cube grid is O(N·k)).
+//!
+//! `--quick` is a smoke mode for CI (`scripts/verify.sh`): one short
+//! N = 64 run plus a miniature dense-equivalence check, no JSON output.
+//!
+//! [`SparseMedium`]: macaw_phy::SparseMedium
+//! [`Medium::memory_footprint`]: macaw_phy::Medium::memory_footprint
+//! [`RunReport`]: macaw_core::stats::RunReport
+
+use macaw_bench::stopwatch::time_once;
+use macaw_core::prelude::*;
+use macaw_core::stats::RunReport;
+use macaw_phy::{DenseMedium, Medium as PhyMedium, SparseMedium};
+
+fn die(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("simulation failed: {e}");
+    std::process::exit(1);
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: scale [--quick] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Peak resident set size of this process so far, in kilobytes
+/// (`VmHWM` from `/proc/self/status`; 0 where procfs is unavailable).
+/// Monotone over the process lifetime, so per-cell readings record the
+/// high-water mark *up to and including* that cell.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The protocols the sweep compares, in paper order.
+fn protocols() -> Vec<(&'static str, MacKind)> {
+    vec![
+        ("CSMA", MacKind::Csma(Default::default())),
+        ("MACA", MacKind::Maca),
+        ("MACAW", MacKind::Macaw),
+    ]
+}
+
+/// The office floor for `n` stations. Offered load per stream shrinks as
+/// the floor grows so the largest cells stay bounded in wall time while
+/// every cell still runs thousands of frames.
+fn floor_config(n: usize) -> ScaleConfig {
+    let mut cfg = ScaleConfig::with_stations(n);
+    cfg.pps = if n >= 1024 {
+        4
+    } else if n >= 256 {
+        8
+    } else {
+        16
+    };
+    cfg
+}
+
+struct Cell {
+    protocol: &'static str,
+    stations: usize,
+    streams: usize,
+    footprint: usize,
+    report: RunReport,
+    wall_secs: f64,
+    rss_kb: u64,
+}
+
+/// Build the floor and run it on medium `M`, returning the report, wall
+/// time of the run loop (excluding scenario build) and medium footprint.
+fn run_cell<M: PhyMedium>(
+    n: usize,
+    mac: MacKind,
+    seed: u64,
+    dur: SimDuration,
+    warm: SimDuration,
+) -> (RunReport, f64, usize, usize) {
+    let sc = scale_topology(&floor_config(n), mac, seed);
+    let mut net = sc.build_with::<M>().unwrap_or_else(|e| die(&e));
+    let footprint = net.medium().memory_footprint();
+    let streams = net.stream_count();
+    let end = SimTime::ZERO + dur;
+    net.set_warmup(SimTime::ZERO + warm);
+    let (res, wall_secs) = time_once(|| net.run_until(end));
+    res.unwrap_or_else(|e| die(&e));
+    (net.report(end), wall_secs, footprint, streams)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage_and_exit("--seed takes an integer"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_path = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => usage_and_exit("--out takes a path"),
+                };
+            }
+            other => usage_and_exit(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if quick {
+        // Smoke mode: one short N = 64 floor per medium; the reports must
+        // agree exactly and every total must be finite.
+        let dur = SimDuration::from_secs(2);
+        let warm = SimDuration::from_millis(500);
+        let (sparse, secs, footprint, streams) =
+            run_cell::<SparseMedium>(64, MacKind::Macaw, seed, dur, warm);
+        let (dense, _, _, _) = run_cell::<DenseMedium>(64, MacKind::Macaw, seed, dur, warm);
+        assert_eq!(sparse, dense, "sparse and dense runs must agree exactly");
+        assert!(
+            sparse.total_throughput().is_finite() && sparse.total_throughput() > 0.0,
+            "non-finite or zero total throughput"
+        );
+        println!(
+            "scale --quick: N=64 MACAW, {streams} streams, {} events in {:.1} ms, \
+             {:.1} KiB medium, sparse == dense",
+            sparse.events_processed,
+            secs * 1e3,
+            footprint as f64 / 1024.0
+        );
+        return;
+    }
+
+    let dur = SimDuration::from_secs(5);
+    let warm = SimDuration::from_secs(1);
+    let sizes = [16usize, 64, 256, 1024];
+
+    // Dense oracle vs sparse at N = 256: identical report, much slower
+    // medium. Measured before the sweep, on a fresh heap, taking the best
+    // of three runs per medium — the runs are deterministic, so repeats
+    // must agree exactly and differ only in wall time.
+    println!("dense vs sparse, N=256 MACAW (best of 3):");
+    let best_of_3 = |run: &dyn Fn() -> (RunReport, f64, usize, usize)| {
+        let (report, mut secs, bytes, streams) = run();
+        for _ in 0..2 {
+            let (again, s, _, _) = run();
+            assert_eq!(report, again, "repeated runs of one cell must agree exactly");
+            secs = secs.min(s);
+        }
+        (report, secs, bytes, streams)
+    };
+    let (sp_report, sp_secs, sp_bytes, _) =
+        best_of_3(&|| run_cell::<SparseMedium>(256, MacKind::Macaw, seed, dur, warm));
+    let (de_report, de_secs, de_bytes, _) =
+        best_of_3(&|| run_cell::<DenseMedium>(256, MacKind::Macaw, seed, dur, warm));
+    assert_eq!(
+        sp_report, de_report,
+        "sparse and dense N=256 runs must produce identical reports"
+    );
+    let speedup = de_secs / sp_secs;
+    println!(
+        "  sparse {:>8.1} ms ({:>8.1} KiB)   dense {:>8.1} ms ({:>8.1} KiB)   speedup {speedup:.2}x, reports identical",
+        sp_secs * 1e3,
+        sp_bytes as f64 / 1024.0,
+        de_secs * 1e3,
+        de_bytes as f64 / 1024.0
+    );
+
+    println!("\nscale sweep: office floor, {sizes:?} stations x {{CSMA, MACA, MACAW}}, 5 s runs");
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in &sizes {
+        for (name, mac) in protocols() {
+            let (report, wall_secs, footprint, streams) =
+                run_cell::<SparseMedium>(n, mac, seed, dur, warm);
+            let evps = report.events_processed as f64 / wall_secs;
+            println!(
+                "  {name:<6} N={n:<5} {streams:>4} streams  {:>9} events  {:>8.1} ms  \
+                 {:>6.2} Mev/s  {:>8.1} pps  fairness {:.3}  medium {:>8.1} KiB",
+                report.events_processed,
+                wall_secs * 1e3,
+                evps / 1e6,
+                report.total_throughput(),
+                report.jain_fairness(),
+                footprint as f64 / 1024.0
+            );
+            assert!(
+                report.total_throughput().is_finite() && report.total_throughput() > 0.0,
+                "{name} N={n}: non-finite or zero throughput"
+            );
+            cells.push(Cell {
+                protocol: name,
+                stations: n,
+                streams,
+                footprint,
+                report,
+                wall_secs,
+                rss_kb: peak_rss_kb(),
+            });
+        }
+    }
+
+    // Sub-quadratic memory: 16x stations must cost far less than 256x bytes.
+    let bytes_at = |n: usize| {
+        cells
+            .iter()
+            .find(|c| c.stations == n && c.protocol == "MACAW")
+            .map(|c| c.footprint)
+            .expect("sweep covers this size")
+    };
+    let (m64, m1024) = (bytes_at(64), bytes_at(1024));
+    let growth = m1024 as f64 / m64 as f64;
+    println!(
+        "\nmedium memory: N=64 {:.1} KiB -> N=1024 {:.1} KiB ({growth:.1}x for 16x stations; quadratic would be 256x)",
+        m64 as f64 / 1024.0,
+        m1024 as f64 / 1024.0
+    );
+    assert!(
+        growth < 256.0,
+        "medium memory grew quadratically: {growth:.1}x"
+    );
+
+    let mut sweep_json = String::new();
+    for c in &cells {
+        sweep_json.push_str(&format!(
+            "    {{ \"protocol\": \"{}\", \"stations\": {}, \"streams\": {}, \"events\": {}, \
+             \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \"total_throughput_pps\": {:.3}, \
+             \"jain_fairness\": {:.4}, \"medium_bytes\": {}, \"peak_rss_kb\": {} }},\n",
+            c.protocol,
+            c.stations,
+            c.streams,
+            c.report.events_processed,
+            c.wall_secs,
+            c.report.events_processed as f64 / c.wall_secs,
+            c.report.total_throughput(),
+            c.report.jain_fairness(),
+            c.footprint,
+            c.rss_kb
+        ));
+    }
+    sweep_json.pop();
+    sweep_json.pop(); // trailing ",\n"
+    sweep_json.push('\n');
+
+    let json = format!(
+        "{{\n  \"workload\": \"random office floor (topology::scale_topology), seed {seed}, 5 s sim with 1 s warm-up\",\n  \
+           \"sweep\": [\n{sweep_json}  ],\n  \
+           \"dense_vs_sparse_n256_macaw\": {{\n    \
+             \"sparse_wall_secs\": {sp_secs:.6},\n    \
+             \"dense_wall_secs\": {de_secs:.6},\n    \
+             \"speedup\": {speedup:.2},\n    \
+             \"sparse_medium_bytes\": {sp_bytes},\n    \
+             \"dense_medium_bytes\": {de_bytes},\n    \
+             \"reports_identical\": true\n  }},\n  \
+           \"memory_growth_64_to_1024\": {{\n    \
+             \"bytes_n64\": {m64},\n    \
+             \"bytes_n1024\": {m1024},\n    \
+             \"growth_factor\": {growth:.2},\n    \
+             \"quadratic_reference\": 256.0\n  }}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

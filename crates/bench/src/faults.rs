@@ -148,46 +148,98 @@ fn two_cell(mac: MacKind, seed: u64) -> Scenario {
     figures::figure6(mac, seed)
 }
 
-fn run_ladder<F>(
+/// A fault class as data: everything needed to build and label one
+/// `(class, protocol)` cell independently, so the serial and parallel
+/// runners share the exact same scenarios.
+struct ClassSpec {
     class: &'static str,
     topology: &'static str,
     claim: &'static str,
-    dur: SimDuration,
-    mut build: F,
-) -> Result<FaultAblation, SimError>
-where
-    F: FnMut(MacKind, &mut Vec<String>) -> Result<Scenario, SimError>,
-{
-    let ladder = protocols();
-    let mut columns = Vec::new();
-    let mut per_proto: Vec<RunReport> = Vec::new();
-    let mut names: Vec<String> = Vec::new();
-    for (name, mac) in &ladder {
-        columns.push(*name);
-        let sc = build(*mac, &mut names)?;
-        per_proto.push(sc.run(dur, warm_for(dur))?);
-    }
-    let rows = names
-        .iter()
+    /// Stream names in report-row order.
+    names: fn() -> Vec<String>,
+    /// Build the faulted scenario for one protocol.
+    cell: fn(MacKind, u64, SimDuration) -> Result<Scenario, SimError>,
+}
+
+/// Every fault class, in report order.
+fn classes() -> Vec<ClassSpec> {
+    vec![
+        ClassSpec {
+            class: "corruption",
+            topology: "figure1-hidden",
+            claim: "MACAW's link ACK keeps goodput alive through corruption windows where MACA collapses to the clean-air fraction",
+            names: || vec!["A-B".to_string(), "C-B".to_string()],
+            cell: corruption_cell,
+        },
+        ClassSpec {
+            class: "noise",
+            topology: "figure2-cell",
+            claim: "noise only the receiver can hear: CSMA's carrier sense is deaf to it and collapses; the RTS/CTS probe keeps MACA and MACAW near full rate",
+            names: || vec!["P1-B".to_string(), "P2-B".to_string()],
+            cell: noise_cell,
+        },
+        ClassSpec {
+            class: "crash",
+            topology: "figure2-cell",
+            claim: "a pad crash leaves the survivor at full rate and the restarted pad re-contends; nobody wedges",
+            names: || vec!["P1-B".to_string(), "P2-B".to_string()],
+            cell: crash_cell,
+        },
+        ClassSpec {
+            class: "asymmetry",
+            topology: "figure6-two-cell",
+            claim: "a one-way fade silences the pads' replies: retries stay bounded, drops are reported, and goodput returns when the fade lifts",
+            names: || vec!["B2-P2".to_string(), "B1-P1".to_string()],
+            cell: asymmetry_cell,
+        },
+        ClassSpec {
+            class: "chaos",
+            topology: "figure3-six-pads",
+            claim: "a generated all-class fault schedule replays identically across protocols and never panics or hangs",
+            names: || (1..=6).map(|i| format!("P{i}-B")).collect(),
+            cell: chaos_cell,
+        },
+    ]
+}
+
+/// Assemble one class's table from its per-protocol reports, in ladder
+/// order.
+fn assemble(spec: &ClassSpec, per_proto: &[RunReport]) -> FaultAblation {
+    let columns = protocols().iter().map(|(n, _)| *n).collect();
+    let rows = (spec.names)()
+        .into_iter()
         .map(|n| {
-            (
-                n.clone(),
-                per_proto.iter().map(|r| r.throughput(n)).collect(),
-            )
+            let meas = per_proto.iter().map(|r| r.throughput(&n)).collect();
+            (n, meas)
         })
         .collect();
     let mac_drops = per_proto
         .iter()
         .map(|r| r.mac_drops.iter().sum())
         .collect();
-    Ok(FaultAblation {
-        class,
-        topology,
-        claim,
+    FaultAblation {
+        class: spec.class,
+        topology: spec.topology,
+        claim: spec.claim,
         columns,
         rows,
         mac_drops,
-    })
+    }
+}
+
+fn run_ladder(spec: &ClassSpec, seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
+    let per_proto: Vec<RunReport> = protocols()
+        .iter()
+        .map(|(_, mac)| (spec.cell)(*mac, seed, dur)?.run(dur, warm_for(dur)))
+        .collect::<Result<_, _>>()?;
+    Ok(assemble(spec, &per_proto))
+}
+
+fn spec_for(class: &str) -> ClassSpec {
+    classes()
+        .into_iter()
+        .find(|s| s.class == class)
+        .expect("known fault class")
 }
 
 /// Periodic corruption windows on both uplinks: 150 ms corrupt / 50 ms
@@ -195,29 +247,22 @@ where
 /// control frames air for ~0.9 ms and pass). MACA loses every DATA frame
 /// the window touches; MACAW retransmits into the clean gaps.
 pub fn corruption(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
+    run_ladder(&spec_for("corruption"), seed, dur)
+}
+
+fn corruption_cell(mac: MacKind, seed: u64, dur: SimDuration) -> Result<Scenario, SimError> {
     let corrupt = SimDuration::from_millis(150);
     let period = SimDuration::from_millis(200);
     let min_air = SimDuration::from_millis(2);
-    run_ladder(
-        "corruption",
-        "figure1-hidden",
-        "MACAW's link ACK keeps goodput alive through corruption windows where MACA collapses to the clean-air fraction",
-        dur,
-        move |mac, names| {
-            let (mut sc, [a, b, c]) = hidden_cell(mac, seed, 8);
-            if names.is_empty() {
-                names.extend(["A-B".to_string(), "C-B".to_string()]);
-            }
-            let mut t = SimTime::ZERO;
-            let end = SimTime::ZERO + dur;
-            while t < end {
-                sc.corrupt_link(a, b, t, t + corrupt, min_air);
-                sc.corrupt_link(c, b, t, t + corrupt, min_air);
-                t += period;
-            }
-            Ok(sc)
-        },
-    )
+    let (mut sc, [a, b, c]) = hidden_cell(mac, seed, 8);
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + dur;
+    while t < end {
+        sc.corrupt_link(a, b, t, t + corrupt, min_air);
+        sc.corrupt_link(c, b, t, t + corrupt, min_air);
+        t += period;
+    }
+    Ok(sc)
 }
 
 /// A *hidden* noise emitter 1.5 ft from the base station pulsing on and
@@ -229,56 +274,42 @@ pub fn corruption(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError
 /// really clear, and the occasional frame a burst onset clips mid-flight
 /// surfaces as a reported MAC drop.
 pub fn noise(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
+    run_ladder(&spec_for("noise"), seed, dur)
+}
+
+fn noise_cell(mac: MacKind, seed: u64, dur: SimDuration) -> Result<Scenario, SimError> {
     // 93 ms on / 134 ms off: the 227 ms period shares no small multiple
     // with the streams' 125 ms CBR interval, so bursts sweep across the
     // packet phase instead of locking onto one sender.
     let on = SimDuration::from_millis(93);
     let period = SimDuration::from_millis(227);
-    run_ladder(
-        "noise",
-        "figure2-cell",
-        "noise only the receiver can hear: CSMA's carrier sense is deaf to it and collapses; the RTS/CTS probe keeps MACA and MACAW near full rate",
-        dur,
-        move |mac, names| {
-            let (mut sc, _) = one_cell(mac, seed, 8);
-            if names.is_empty() {
-                names.extend(["P1-B".to_string(), "P2-B".to_string()]);
-            }
-            // 0.02 × (10/1.5)^6 ≈ 1.8e3 at the base (deafening); at the
-            // pads, 6+ ft away, it lands under the reception threshold and
-            // the hard cutoff zeroes it — inaudible to carrier sense.
-            let src = sc.add_noise_source(Point::new(1.5, 0.0, 6.0), 0.02, false);
-            let mut t = SimTime::ZERO;
-            let end = SimTime::ZERO + dur;
-            while t < end {
-                sc.set_noise_at(t, src, true);
-                sc.set_noise_at(t + on, src, false);
-                t += period;
-            }
-            Ok(sc)
-        },
-    )
+    let (mut sc, _) = one_cell(mac, seed, 8);
+    // 0.02 × (10/1.5)^6 ≈ 1.8e3 at the base (deafening); at the
+    // pads, 6+ ft away, it lands under the reception threshold and
+    // the hard cutoff zeroes it — inaudible to carrier sense.
+    let src = sc.add_noise_source(Point::new(1.5, 0.0, 6.0), 0.02, false);
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + dur;
+    while t < end {
+        sc.set_noise_at(t, src, true);
+        sc.set_noise_at(t + on, src, false);
+        t += period;
+    }
+    Ok(sc)
 }
 
 /// P1 crashes a third of the way in (queues preserved) and restarts at
 /// two thirds. P2 must keep its full rate throughout; P1 must come back
 /// and re-contend rather than leaving the cell wedged.
 pub fn crash(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
-    run_ladder(
-        "crash",
-        "figure2-cell",
-        "a pad crash leaves the survivor at full rate and the restarted pad re-contends; nobody wedges",
-        dur,
-        move |mac, names| {
-            let (mut sc, [_, p1, _]) = one_cell(mac, seed, 8);
-            if names.is_empty() {
-                names.extend(["P1-B".to_string(), "P2-B".to_string()]);
-            }
-            sc.crash_at(SimTime::ZERO + dur / 3, p1, true);
-            sc.restart_at(SimTime::ZERO + (dur / 3) * 2, p1);
-            Ok(sc)
-        },
-    )
+    run_ladder(&spec_for("crash"), seed, dur)
+}
+
+fn crash_cell(mac: MacKind, seed: u64, dur: SimDuration) -> Result<Scenario, SimError> {
+    let (mut sc, [_, p1, _]) = one_cell(mac, seed, 8);
+    sc.crash_at(SimTime::ZERO + dur / 3, p1, true);
+    sc.restart_at(SimTime::ZERO + (dur / 3) * 2, p1);
+    Ok(sc)
 }
 
 /// §4's asymmetric link, on the Figure-6 two-cell topology: for the
@@ -288,26 +319,19 @@ pub fn crash(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
 /// reported) and recover when the fade lifts; CSMA never needed the
 /// replies and sails through.
 pub fn asymmetry(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
-    run_ladder(
-        "asymmetry",
-        "figure6-two-cell",
-        "a one-way fade silences the pads' replies: retries stay bounded, drops are reported, and goodput returns when the fade lifts",
-        dur,
-        move |mac, names| {
-            // figure6 station order: B1, P1, P2, B2 (streams B1→P1, B2→P2).
-            let mut sc = two_cell(mac, seed);
-            if names.is_empty() {
-                names.extend(["B2-P2".to_string(), "B1-P1".to_string()]);
-            }
-            let from = SimTime::ZERO + dur / 4;
-            let until = SimTime::ZERO + dur / 2;
-            for (pad, base) in [(1, 0), (2, 3)] {
-                sc.set_link_gain_at(from, pad, base, 0.02);
-                sc.set_link_gain_at(until, pad, base, 1.0);
-            }
-            Ok(sc)
-        },
-    )
+    run_ladder(&spec_for("asymmetry"), seed, dur)
+}
+
+fn asymmetry_cell(mac: MacKind, seed: u64, dur: SimDuration) -> Result<Scenario, SimError> {
+    // figure6 station order: B1, P1, P2, B2 (streams B1→P1, B2→P2).
+    let mut sc = two_cell(mac, seed);
+    let from = SimTime::ZERO + dur / 4;
+    let until = SimTime::ZERO + dur / 2;
+    for (pad, base) in [(1, 0), (2, 3)] {
+        sc.set_link_gain_at(from, pad, base, 0.02);
+        sc.set_link_gain_at(until, pad, base, 1.0);
+    }
+    Ok(sc)
 }
 
 /// Every fault class at once: a [`FaultPlan::generate`] schedule scaled
@@ -318,6 +342,10 @@ pub fn asymmetry(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError>
 /// them — unlike Figure 6, whose 9.2 ft links a single jitter can
 /// permanently amputate.
 pub fn chaos(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
+    run_ladder(&spec_for("chaos"), seed, dur)
+}
+
+fn chaos_cell(mac: MacKind, seed: u64, dur: SimDuration) -> Result<Scenario, SimError> {
     let cfg = FaultPlanConfig {
         duration: dur,
         noise_bursts: 4,
@@ -330,32 +358,51 @@ pub fn chaos(seed: u64, dur: SimDuration) -> Result<FaultAblation, SimError> {
         arena: 3.0,
         ..FaultPlanConfig::default()
     };
-    run_ladder(
-        "chaos",
-        "figure3-six-pads",
-        "a generated all-class fault schedule replays identically across protocols and never panics or hangs",
-        dur,
-        move |mac, names| {
-            let mut sc = figures::figure3(mac, seed);
-            if names.is_empty() {
-                names.extend((1..=6).map(|i| format!("P{i}-B")));
-            }
-            let plan = FaultPlan::generate(seed, &cfg, sc.station_count());
-            plan.apply(&mut sc)?;
-            Ok(sc)
-        },
-    )
+    let mut sc = figures::figure3(mac, seed);
+    let plan = FaultPlan::generate(seed, &cfg, sc.station_count());
+    plan.apply(&mut sc)?;
+    Ok(sc)
 }
 
 /// Every fault class, in report order.
 pub fn all_faults(seed: u64, dur: SimDuration) -> Result<Vec<FaultAblation>, SimError> {
-    Ok(vec![
-        corruption(seed, dur)?,
-        noise(seed, dur)?,
-        crash(seed, dur)?,
-        asymmetry(seed, dur)?,
-        chaos(seed, dur)?,
-    ])
+    classes()
+        .iter()
+        .map(|spec| run_ladder(spec, seed, dur))
+        .collect()
+}
+
+/// [`all_faults`] with every `(class, protocol)` cell on its own scoped
+/// thread — 15 independent simulations at once. Each cell is a pure
+/// function of `(class, protocol, seed)`, so the assembled tables are
+/// identical to the serial runner's, in the same order; the first error
+/// in input order wins (see `parallel_faults_match_serial` in
+/// `tests/determinism.rs`).
+pub fn all_faults_parallel(seed: u64, dur: SimDuration) -> Result<Vec<FaultAblation>, SimError> {
+    let specs = classes();
+    let ladder = protocols();
+    let mut slots: Vec<Option<Result<RunReport, SimError>>> =
+        (0..specs.len() * ladder.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let spec = &specs[i / ladder.len()];
+            let (_, mac) = ladder[i % ladder.len()];
+            scope.spawn(move || {
+                *slot = Some(
+                    (spec.cell)(mac, seed, dur).and_then(|sc| sc.run(dur, warm_for(dur))),
+                );
+            });
+        }
+    });
+    let mut reports: Vec<RunReport> = Vec::with_capacity(slots.len());
+    for r in slots {
+        reports.push(r.expect("fault cell thread panicked")?);
+    }
+    Ok(specs
+        .iter()
+        .zip(reports.chunks(ladder.len()))
+        .map(|(spec, per_proto)| assemble(spec, per_proto))
+        .collect())
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! change that perturbs event order or floating-point folds shows up here
 //! before it can silently move the paper tables.
 
+use macaw_bench::faults::{all_faults, all_faults_parallel};
 use macaw_bench::{all_tables, all_tables_parallel};
 use macaw_core::figures;
 use macaw_core::prelude::{MacKind, SimDuration, SimTime};
@@ -69,6 +70,63 @@ fn parallel_tables_match_serial() {
             p.render(),
             "{}: parallel render differs from serial",
             s.id
+        );
+    }
+}
+
+/// The scoped-thread fault runner — one thread per (class, protocol)
+/// cell — must be observationally identical to the serial ladder: same
+/// classes, same renders, byte for byte.
+#[test]
+fn parallel_faults_match_serial() {
+    let dur = SimDuration::from_secs(10);
+    let serial = all_faults(7, dur).unwrap();
+    let parallel = all_faults_parallel(7, dur).unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.class, p.class);
+        assert_eq!(
+            s.render(),
+            p.render(),
+            "{}: parallel render differs from serial",
+            s.class
+        );
+    }
+}
+
+/// Same-seed runs of the scale-topology floor are bitwise stable, and the
+/// cube-grid medium retraces the dense oracle exactly end to end — the
+/// `RunReport`s (every f64 included) must be equal, not merely close.
+#[test]
+fn scale_topology_sparse_matches_dense_bitwise() {
+    use macaw_core::prelude::{scale_topology, ScaleConfig};
+    use macaw_phy::{DenseMedium, SparseMedium};
+    let dur = SimDuration::from_secs(3);
+    let warm = SimDuration::from_millis(500);
+    for seed in [1, 13] {
+        let cfg = ScaleConfig::with_stations(48);
+        let run = |sc: macaw_core::Scenario| {
+            let mut net = sc.build_with::<SparseMedium>().unwrap();
+            net.set_warmup(SimTime::ZERO + warm);
+            net.run_until(SimTime::ZERO + dur).unwrap();
+            net.report(SimTime::ZERO + dur)
+        };
+        let a = run(scale_topology(&cfg, MacKind::Macaw, seed));
+        let b = run(scale_topology(&cfg, MacKind::Macaw, seed));
+        assert_eq!(a, b, "scale seed {seed}: sparse runs differ");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+
+        let mut dense = scale_topology(&cfg, MacKind::Macaw, seed)
+            .build_with::<DenseMedium>()
+            .unwrap();
+        dense.set_warmup(SimTime::ZERO + warm);
+        dense.run_until(SimTime::ZERO + dur).unwrap();
+        let d = dense.report(SimTime::ZERO + dur);
+        assert_eq!(a, d, "scale seed {seed}: sparse and dense reports differ");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{d:?}"),
+            "scale seed {seed}: sparse and dense differ in f64 bit patterns"
         );
     }
 }

@@ -335,7 +335,7 @@ pub fn figure11(mac: MacKind, seed: u64, arrive_at: SimTime) -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use macaw_phy::StationId;
+    use macaw_phy::{Medium, StationId};
     use macaw_sim::SimDuration;
 
     /// Assert the exact set of in-range pairs (by station index).

@@ -44,12 +44,14 @@ pub mod figures;
 pub mod network;
 pub mod scenario;
 pub mod stats;
+pub mod topology;
 
 pub use error::SimError;
 pub use faults::{Fault, FaultPlan, FaultPlanConfig};
 pub use network::Network;
 pub use scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
 pub use stats::{RunReport, StreamReport};
+pub use topology::{scale_topology, ScaleConfig};
 
 /// The commonly used names in one import.
 pub mod prelude {
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
     pub use crate::stats::{RunReport, StreamReport};
+    pub use crate::topology::{scale_topology, ScaleConfig};
     pub use macaw_mac::{BackoffAlgo, BackoffSharing, MacConfig, QueueMode};
     pub use macaw_phy::{CutoffMode, Point, PropagationConfig};
     pub use macaw_sim::{SimDuration, SimTime};

@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 
 use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
-use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, StationId, TxId};
+use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, SparseMedium, StationId, TxId};
 use macaw_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
@@ -111,30 +111,29 @@ enum TimerOwner {
 /// Bit marking a [`TimerCache`] slot index as a transport (not MAC) slot.
 const TP_SLOT: u32 = 1 << 31;
 
-/// Memo of the earliest pending timer, so the per-event min scan only
-/// reruns when a write could have changed the answer.
-#[derive(Clone, Copy)]
-enum TimerCache {
-    /// A timer write may have changed the minimum; rescan before use.
-    Stale,
-    /// The current minimum (`NO_TIMER` if every slot is idle) and the slot
-    /// it lives in (MAC slot index, or `TP_SLOT | transport slot index`).
-    Known(PendingTimer, u32),
+/// Incremental index of pending timers: a lazy-deletion min-heap over
+/// timer *writes*. Every armed slot's current value was pushed when it was
+/// written, so the heap's smallest entry that still matches its slot is
+/// the true minimum; entries whose slot has since been re-armed or cleared
+/// fail that check and are popped. Sort keys come from
+/// [`EventQueue::alloc_key`]'s globally unique counter, so the minimum is
+/// unambiguous and the fire order is identical to a full linear scan —
+/// the predecessor of this index, which rescanned every station and
+/// transport slot each time the front timer moved and dominated the event
+/// loop on large (1000+ station) floors.
+#[derive(Default)]
+struct TimerCache {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32)>>,
 }
 
 impl TimerCache {
     /// Account for `slot` being overwritten with `tk` (possibly
-    /// [`NO_TIMER`]). An earlier-than-cached write moves the minimum to
-    /// `slot`; any other write *to the cached minimum's own slot* leaves
-    /// the new minimum unknown; writes elsewhere cannot affect it.
+    /// [`NO_TIMER`]). Clears need no entry: the stale one is dropped the
+    /// next time it reaches the front.
     #[inline]
     fn note_write(&mut self, slot: u32, tk: PendingTimer) {
-        if let TimerCache::Known(best, best_slot) = *self {
-            if tk < best {
-                *self = TimerCache::Known(tk, slot);
-            } else if slot == best_slot {
-                *self = TimerCache::Stale;
-            }
+        if tk != NO_TIMER {
+            self.heap.push(std::cmp::Reverse((tk.0, tk.1, slot)));
         }
     }
 }
@@ -240,8 +239,12 @@ struct StreamState {
 
 /// The assembled simulated network. Build one through
 /// [`crate::scenario::Scenario`].
-pub struct Network {
-    pub(crate) medium: ChaosMedium,
+///
+/// Generic over the [`Medium`] implementation so the same event loop can
+/// run on the cube-grid [`SparseMedium`] (the default) or the dense-matrix
+/// oracle — the `scale` bench and the oracle tests exercise both.
+pub struct Network<M: Medium = SparseMedium> {
+    pub(crate) medium: ChaosMedium<M>,
     queue: EventQueue<Event>,
     timing: Timing,
     stations: Vec<StationSlot>,
@@ -273,7 +276,7 @@ pub struct Network {
     tracer: Option<Box<dyn FnMut(TraceEvent)>>,
 }
 
-impl std::fmt::Debug for Network {
+impl<M: Medium> std::fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("stations", &self.stations.len())
@@ -284,8 +287,8 @@ impl std::fmt::Debug for Network {
     }
 }
 
-impl Network {
-    pub(crate) fn new(medium: Medium, timing: Timing) -> Self {
+impl<M: Medium> Network<M> {
+    pub(crate) fn new(medium: M, timing: Timing) -> Self {
         Network {
             medium: ChaosMedium::new(medium),
             queue: EventQueue::new(),
@@ -294,7 +297,7 @@ impl Network {
             streams: Vec::new(),
             mac_timers: Vec::new(),
             tp_timers: Vec::new(),
-            timer_cache: TimerCache::Stale,
+            timer_cache: TimerCache::default(),
             actions: Vec::new(),
             effects: VecDeque::new(),
             warmup_end: SimTime::ZERO,
@@ -447,8 +450,14 @@ impl Network {
         }
     }
 
-    /// Set the end of the statistics warm-up window.
-    pub(crate) fn set_warmup(&mut self, end: SimTime) {
+    /// Set the end of the statistics warm-up window. [`Scenario::run`]
+    /// does this for you; it is public for callers that need to inspect
+    /// the built network (e.g. the medium's memory footprint) between
+    /// [`Scenario::build`] and [`Network::run_until`].
+    ///
+    /// [`Scenario::build`]: crate::scenario::Scenario::build
+    /// [`Scenario::run`]: crate::scenario::Scenario::run
+    pub fn set_warmup(&mut self, end: SimTime) {
         self.warmup_end = end;
     }
 
@@ -556,29 +565,33 @@ impl Network {
     }
 
     /// The earliest pending timer across all stations and transport
-    /// endpoints: a linear min over two dense arrays of `(time, key)`
-    /// pairs — a handful of contiguous cache lines — far cheaper than
-    /// routing the MAC's constantly re-armed defer timers through the heap.
-    /// The scan itself only runs when a timer write since the last call
-    /// could have changed the answer (see [`TimerCache`]).
+    /// endpoints, from the lazy-deletion heap (see [`TimerCache`]): pop
+    /// entries whose slot has moved on until one matches its slot's
+    /// current value — that entry is the minimum, since every armed slot's
+    /// value is in the heap.
     fn peek_timer(&mut self) -> Option<(SimTime, u64, TimerOwner)> {
-        let (best, slot) = match self.timer_cache {
-            TimerCache::Known(best, slot) => {
+        let (best, slot) = loop {
+            let Some(&std::cmp::Reverse((t, k, slot))) = self.timer_cache.heap.peek() else {
                 debug_assert!(
-                    (best, slot) == self.scan_timers(),
-                    "timer-min cache diverged from a full scan"
+                    self.scan_timers().0 == NO_TIMER,
+                    "timer index lost a pending timer"
                 );
-                (best, slot)
+                return None;
+            };
+            let current = if slot & TP_SLOT != 0 {
+                self.tp_timers[(slot & !TP_SLOT) as usize]
+            } else {
+                self.mac_timers[slot as usize]
+            };
+            if current == (t, k) {
+                break ((t, k), slot);
             }
-            TimerCache::Stale => {
-                let (best, slot) = self.scan_timers();
-                self.timer_cache = TimerCache::Known(best, slot);
-                (best, slot)
-            }
+            self.timer_cache.heap.pop();
         };
-        if best == NO_TIMER {
-            return None;
-        }
+        debug_assert!(
+            (best, slot) == self.scan_timers(),
+            "timer index diverged from a full scan"
+        );
         let owner = if slot & TP_SLOT != 0 {
             let i = (slot & !TP_SLOT) as usize;
             let side = if i.is_multiple_of(2) {
@@ -593,6 +606,9 @@ impl Network {
         Some((best.0, best.1, owner))
     }
 
+    /// Debug oracle for [`Network::peek_timer`]: the full linear min scan
+    /// the lazy heap replaced.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     fn scan_timers(&self) -> (PendingTimer, u32) {
         let mut best = NO_TIMER;
         let mut slot = 0u32;
@@ -793,7 +809,11 @@ impl Network {
     // context from the remaining disjoint fields, call, put back.
     // ------------------------------------------------------------------
 
-    fn with_mac(&mut self, station: usize, f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx)) {
+    fn with_mac(
+        &mut self,
+        station: usize,
+        f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx<M>),
+    ) {
         let mut mac = self.stations[station]
             .mac
             .take()
@@ -1073,8 +1093,13 @@ impl Network {
         self.stations.len()
     }
 
+    /// Number of declared streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
     /// Immutable access to the radio medium (diagnostics / tests).
-    pub fn medium(&self) -> &Medium {
+    pub fn medium(&self) -> &M {
         self.medium.inner()
     }
 }
@@ -1083,14 +1108,14 @@ impl Network {
 // Context implementations
 // ----------------------------------------------------------------------
 
-struct CoreMacCtx<'a> {
+struct CoreMacCtx<'a, M: Medium> {
     now: SimTime,
     station: usize,
     /// The station's current incarnation, stamped into scheduled TxEnds.
     epoch: u32,
     timing: Timing,
     queue: &'a mut EventQueue<Event>,
-    medium: &'a mut ChaosMedium,
+    medium: &'a mut ChaosMedium<M>,
     rng: &'a mut SimRng,
     mac_timer: &'a mut PendingTimer,
     timer_cache: &'a mut TimerCache,
@@ -1098,7 +1123,7 @@ struct CoreMacCtx<'a> {
     effects: &'a mut VecDeque<Effect>,
 }
 
-impl MacContext for CoreMacCtx<'_> {
+impl<M: Medium> MacContext for CoreMacCtx<'_, M> {
     fn now(&self) -> SimTime {
         self.now
     }

@@ -10,7 +10,9 @@ use macaw_mac::context::MacProtocol;
 use macaw_mac::csma::{Csma, CsmaConfig};
 use macaw_mac::frames::{Addr, StreamId, Timing};
 use macaw_mac::wmac::WMac;
-use macaw_phy::{LinkWindow, Medium, Point, Propagation, PropagationConfig, StationId};
+use macaw_phy::{
+    DenseMedium, LinkWindow, Medium, Point, Propagation, PropagationConfig, StationId,
+};
 use macaw_sim::{SimDuration, SimRng, SimTime};
 use macaw_traffic::{Cbr, Poisson, TrafficSource};
 use macaw_transport::{TcpConfig, TcpReceiver, TcpSender, Transport, UdpReceiver, UdpSender};
@@ -468,9 +470,23 @@ impl Scenario {
         Ok(())
     }
 
-    /// Assemble the network, reporting the first recorded builder defect
-    /// (if any) as [`SimError::InvalidScenario`].
-    pub fn build(mut self) -> Result<Network, SimError> {
+    /// Assemble the network on the default cube-grid [`Medium`], reporting
+    /// the first recorded builder defect (if any) as
+    /// [`SimError::InvalidScenario`].
+    pub fn build(self) -> Result<Network, SimError> {
+        self.build_with()
+    }
+
+    /// Assemble the network on the dense-matrix oracle medium. Same
+    /// scenario, same seed derivation, same event stream — only the
+    /// medium's internal bookkeeping differs. Used by the `scale` bench
+    /// baseline and the sparse-vs-dense equivalence tests.
+    pub fn build_dense(self) -> Result<Network<DenseMedium>, SimError> {
+        self.build_with()
+    }
+
+    /// Assemble the network on any [`Medium`] implementation.
+    pub fn build_with<M: Medium>(mut self) -> Result<Network<M>, SimError> {
         if let Some(msg) = self.defect.take() {
             return Err(SimError::InvalidScenario(msg));
         }
@@ -493,7 +509,7 @@ impl Scenario {
             .first()
             .map(|s| s.mac.timing())
             .unwrap_or_default();
-        let mut medium = Medium::new(Propagation::new(self.prop), root.fork(0xA11CE));
+        let mut medium = M::new(Propagation::new(self.prop), root.fork(0xA11CE));
         for (i, s) in self.stations.iter().enumerate() {
             let id = medium.add_station(s.pos);
             debug_assert_eq!(id, StationId(i));
@@ -576,12 +592,32 @@ impl Scenario {
 
     /// Build and run for `duration`, measuring after `warmup`.
     pub fn run(self, duration: SimDuration, warmup: SimDuration) -> Result<RunReport, SimError> {
+        self.run_with::<macaw_phy::SparseMedium>(duration, warmup)
+    }
+
+    /// [`Scenario::run`] on the dense-matrix oracle medium. Produces a
+    /// bitwise-identical [`RunReport`] for the same scenario and seed.
+    pub fn run_dense(
+        self,
+        duration: SimDuration,
+        warmup: SimDuration,
+    ) -> Result<RunReport, SimError> {
+        self.run_with::<DenseMedium>(duration, warmup)
+    }
+
+    /// Build on any [`Medium`] implementation and run for `duration`,
+    /// measuring after `warmup`.
+    pub fn run_with<M: Medium>(
+        self,
+        duration: SimDuration,
+        warmup: SimDuration,
+    ) -> Result<RunReport, SimError> {
         if warmup >= duration {
             return Err(SimError::InvalidScenario(
                 "warmup must end before the run does".to_string(),
             ));
         }
-        let mut net = self.build()?;
+        let mut net = self.build_with::<M>()?;
         let warmup_end = SimTime::ZERO + warmup;
         let end = SimTime::ZERO + duration;
         net.set_warmup(warmup_end);

@@ -1,0 +1,231 @@
+//! Synthetic office-floor topologies for scaling experiments.
+//!
+//! The paper's figures are hand-drawn single- and two-cell layouts; this
+//! module generates the *large* version of the same world: a floor of
+//! square rooms on a grid, each with one base station at ceiling height
+//! and a handful of pads, separated by corridors where roaming pads walk.
+//! Room pitch defaults to 16 ft, so a room's pads are all within the
+//! 10 ft reception range of their base while neighboring rooms overlap
+//! just enough to contend at the edges — the regime MACAW's RRTS and
+//! backoff-copying are designed for.
+//!
+//! Everything is driven by [`SimRng`] from the caller's seed, so a given
+//! `(config, mac, seed)` triple always produces the identical scenario —
+//! the `scale` bench depends on this to compare media and protocols on
+//! bitwise-identical inputs.
+
+use macaw_phy::Point;
+use macaw_sim::SimRng;
+
+use crate::scenario::{MacKind, Scenario};
+
+/// Base-station height (ft), matching the paper's figures.
+const BASE_Z: f64 = 6.0;
+
+/// Shape and load knobs for [`scale_topology`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Total station count: bases + room pads + corridor walkers.
+    pub stations: usize,
+    /// Stations per room including its base (≥ 2). Controls density:
+    /// smaller rooms mean more cells and less intra-cell contention.
+    pub stations_per_room: usize,
+    /// Center-to-center distance between adjacent rooms (ft).
+    pub room_pitch_ft: f64,
+    /// Width of the corridor strip between room rows (ft).
+    pub corridor_width_ft: f64,
+    /// Fraction of all stations placed in corridors instead of rooms.
+    pub walker_share: f64,
+    /// Probability that a pad or walker sources an uplink stream to its
+    /// base — the offered-load knob.
+    pub stream_load: f64,
+    /// Fraction of streaming pads that additionally receive a downlink
+    /// stream from their base.
+    pub downlink_share: f64,
+    /// Per-stream offered load (packets per second).
+    pub pps: u64,
+    /// Packet size (bytes).
+    pub bytes: u32,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            stations: 64,
+            stations_per_room: 8,
+            room_pitch_ft: 16.0,
+            corridor_width_ft: 8.0,
+            walker_share: 0.1,
+            stream_load: 0.75,
+            downlink_share: 0.25,
+            pps: 16,
+            bytes: 512,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// A config with `stations` stations and every other knob default.
+    pub fn with_stations(stations: usize) -> Self {
+        ScaleConfig {
+            stations,
+            ..ScaleConfig::default()
+        }
+    }
+}
+
+/// Generate a random office floor per `cfg`, every station running `mac`.
+///
+/// Rooms fill a near-square grid row-major until the station budget is
+/// spent: one base per room plus up to `stations_per_room - 1` pads at
+/// random interior offsets. Walkers land in the corridor strips below
+/// their row and stream to the nearest room base. Positions use whole-foot
+/// offsets, which cube-snapping then leaves alone.
+pub fn scale_topology(cfg: &ScaleConfig, mac: MacKind, seed: u64) -> Scenario {
+    assert!(cfg.stations >= 2, "a topology needs at least two stations");
+    assert!(
+        cfg.stations_per_room >= 2,
+        "a room is a base plus at least one pad"
+    );
+    let mut rng = SimRng::new(seed ^ 0x0FF1_CE00);
+    let mut sc = Scenario::new(seed);
+
+    let walkers = ((cfg.stations as f64 * cfg.walker_share) as usize)
+        .min(cfg.stations.saturating_sub(cfg.stations_per_room));
+    let roomed = cfg.stations - walkers;
+    let rooms = roomed.div_ceil(cfg.stations_per_room);
+    let rooms_per_row = (1..).find(|&w| w * w >= rooms).unwrap_or(1);
+    let pitch = cfg.room_pitch_ft;
+    let row_pitch = pitch + cfg.corridor_width_ft;
+
+    // Rooms row-major; remember each base so pads and walkers can stream
+    // to it.
+    let mut bases: Vec<(usize, Point)> = Vec::with_capacity(rooms);
+    let mut placed = 0usize;
+    let mut streams = 0usize;
+    for room in 0..rooms {
+        if placed >= roomed {
+            break;
+        }
+        let (row, col) = (room / rooms_per_row, room % rooms_per_row);
+        let origin = (col as f64 * pitch, row as f64 * row_pitch);
+        let center = Point::new(origin.0 + pitch / 2.0, origin.1 + pitch / 2.0, BASE_Z);
+        let base = sc.add_station(&format!("B{room}"), center, mac);
+        bases.push((base, center));
+        placed += 1;
+
+        let pads = (cfg.stations_per_room - 1).min(roomed - placed);
+        for p in 0..pads {
+            // Random whole-foot offset in the room interior, at least a
+            // foot from the walls; everything is within pitch/√2 of the
+            // base, i.e. in range for the default 16 ft pitch.
+            let span = (pitch as u64).saturating_sub(2).max(1);
+            let dx = rng.uniform_inclusive(1, span) as f64;
+            let dy = rng.uniform_inclusive(1, span) as f64;
+            let pos = Point::new(origin.0 + dx, origin.1 + dy, 0.0);
+            let pad = sc.add_station(&format!("P{room}_{p}"), pos, mac);
+            placed += 1;
+            if rng.chance(cfg.stream_load) {
+                sc.add_udp_stream(&format!("u{room}_{p}"), pad, base, cfg.pps, cfg.bytes);
+                streams += 1;
+                if rng.chance(cfg.downlink_share) {
+                    sc.add_udp_stream(&format!("d{room}_{p}"), base, pad, cfg.pps, cfg.bytes);
+                    streams += 1;
+                }
+            }
+        }
+    }
+
+    // Walkers roam the corridor strip below their room row and talk to
+    // whichever base is nearest from there.
+    let floor_w = (rooms_per_row as f64 * pitch).max(pitch);
+    let corridor_rows = rooms.div_ceil(rooms_per_row);
+    for w in 0..walkers {
+        let row = w % corridor_rows.max(1);
+        let x = rng.uniform_inclusive(1, floor_w as u64 - 1) as f64;
+        let y = row as f64 * row_pitch + pitch + cfg.corridor_width_ft / 2.0;
+        let pos = Point::new(x, y, 0.0);
+        let id = sc.add_station(&format!("W{w}"), pos, mac);
+        let nearest = bases
+            .iter()
+            .min_by(|a, b| {
+                a.1.distance(pos)
+                    .partial_cmp(&b.1.distance(pos))
+                    .expect("distances are finite")
+            })
+            .expect("at least one room exists")
+            .0;
+        if rng.chance(cfg.stream_load) {
+            sc.add_udp_stream(&format!("w{w}"), id, nearest, cfg.pps, cfg.bytes);
+            streams += 1;
+        }
+    }
+
+    // A silent floor measures nothing: guarantee at least one stream.
+    if streams == 0 {
+        let (base, _) = bases[0];
+        let pad = (0..cfg.stations)
+            .find(|&s| s != base)
+            .expect("more than one station");
+        sc.add_udp_stream("u_floor", pad, base, cfg.pps, cfg.bytes);
+    }
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macaw_phy::{Medium, StationId};
+
+    #[test]
+    fn station_budget_is_spent_exactly() {
+        for n in [2, 3, 16, 64, 257] {
+            let sc = scale_topology(&ScaleConfig::with_stations(n), MacKind::Macaw, 7);
+            assert_eq!(sc.station_count(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_reproducible() {
+        let cfg = ScaleConfig::with_stations(48);
+        let a = scale_topology(&cfg, MacKind::Macaw, 11);
+        let b = scale_topology(&cfg, MacKind::Macaw, 11);
+        assert_eq!(a.station_count(), b.station_count());
+        for s in 0..a.station_count() {
+            assert_eq!(a.station_position(s), b.station_position(s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_the_floor() {
+        let cfg = ScaleConfig::with_stations(48);
+        let a = scale_topology(&cfg, MacKind::Macaw, 1);
+        let b = scale_topology(&cfg, MacKind::Macaw, 2);
+        let moved = (0..48)
+            .filter(|&s| a.station_position(s) != b.station_position(s))
+            .count();
+        assert!(moved > 0, "the layout must actually be random");
+    }
+
+    #[test]
+    fn every_room_pad_is_in_range_of_its_base() {
+        let sc = scale_topology(&ScaleConfig::with_stations(64), MacKind::Macaw, 3);
+        let net = sc.build().expect("scale topology builds");
+        let m = net.medium();
+        // Base B0 is station 0; its room's pads follow it immediately.
+        for pad in 1..8 {
+            assert!(
+                m.in_range(StationId(0), StationId(pad)),
+                "pad {pad} must hear its own base"
+            );
+        }
+    }
+
+    #[test]
+    fn a_floor_always_offers_some_load() {
+        let mut cfg = ScaleConfig::with_stations(16);
+        cfg.stream_load = 0.0;
+        let sc = scale_topology(&cfg, MacKind::Macaw, 5);
+        sc.build().expect("a silent floor still gets one stream");
+    }
+}

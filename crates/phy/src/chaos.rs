@@ -1,13 +1,14 @@
 //! Deterministic fault-injection wrapper around the radio medium.
 //!
-//! [`ChaosMedium`] wraps a [`Medium`] and applies *corruption windows*: time
-//! intervals during which every sufficiently long frame crossing a specific
-//! directed link is marked corrupted at delivery. This models the paper's
-//! lossy-channel motivation (§3.3) — bursty per-link interference that
-//! damages data frames in flight — without touching the medium's signal
-//! model or its RNG stream: corruption is a pure post-filter on the
-//! deliveries [`Medium::end_tx_into`] produces, so a chaos run draws exactly
-//! the same random sequence as a clean run and stays bit-reproducible.
+//! [`ChaosMedium`] wraps any [`Medium`] implementation and applies
+//! *corruption windows*: time intervals during which every sufficiently long
+//! frame crossing a specific directed link is marked corrupted at delivery.
+//! This models the paper's lossy-channel motivation (§3.3) — bursty per-link
+//! interference that damages data frames in flight — without touching the
+//! medium's signal model or its RNG stream: corruption is a pure post-filter
+//! on the deliveries [`Medium::end_tx_into`] produces, so a chaos run draws
+//! exactly the same random sequence as a clean run and stays
+//! bit-reproducible.
 //!
 //! The `min_air` threshold on each window lets a schedule target long DATA
 //! frames (16 ms at 256 kbps) while sparing short control frames (under
@@ -16,7 +17,9 @@
 //!
 //! Everything else — positions, noise sources, link gains, transmissions —
 //! passes straight through to the inner medium via [`Deref`] (read-only
-//! queries) and explicit mutator delegates.
+//! queries) and explicit mutator delegates. The wrapper also implements
+//! [`Medium`] itself, so trait-generic harnesses can drive a fault-injected
+//! medium exactly like a bare one.
 
 use std::ops::Deref;
 
@@ -25,6 +28,7 @@ use macaw_sim::{SimDuration, SimTime};
 use crate::geometry::Point;
 use crate::medium::{Delivery, Medium, StationId, TxId};
 use crate::propagation::Propagation;
+use crate::sparse::SparseMedium;
 use macaw_sim::SimRng;
 
 /// A scheduled per-link corruption interval.
@@ -82,23 +86,29 @@ pub fn corrupt_deliveries(
 ///
 /// Derefs to the inner medium for all read-only queries; mutating calls are
 /// delegated explicitly. With no windows installed the wrapper is
-/// behaviorally identical to the bare medium.
-pub struct ChaosMedium {
-    inner: Medium,
+/// behaviorally identical to the bare medium. Defaults to wrapping the
+/// sparse cube-grid medium.
+pub struct ChaosMedium<M: Medium = SparseMedium> {
+    inner: M,
     windows: Vec<LinkWindow>,
 }
 
-impl ChaosMedium {
+impl<M: Medium> ChaosMedium<M> {
     /// Wrap a medium with an empty fault schedule.
-    pub fn new(inner: Medium) -> Self {
+    pub fn new(inner: M) -> Self {
         ChaosMedium {
             inner,
             windows: Vec::new(),
         }
     }
 
+    /// Build a fresh inner medium and wrap it (mirrors [`Medium::new`]).
+    pub fn with_new_medium(prop: Propagation, rng: SimRng) -> Self {
+        ChaosMedium::new(M::new(prop, rng))
+    }
+
     /// The wrapped medium (read-only; also available via deref).
-    pub fn inner(&self) -> &Medium {
+    pub fn inner(&self) -> &M {
         &self.inner
     }
 
@@ -179,20 +189,105 @@ impl ChaosMedium {
     }
 }
 
-impl Deref for ChaosMedium {
-    type Target = Medium;
+impl<M: Medium> Deref for ChaosMedium<M> {
+    type Target = M;
 
-    fn deref(&self) -> &Medium {
+    fn deref(&self) -> &M {
         &self.inner
     }
 }
 
-/// Convenience constructor mirroring `Medium::new` for call sites that build
-/// the wrapped medium in one go.
-impl ChaosMedium {
-    /// Build a fresh medium and wrap it.
-    pub fn with_new_medium(prop: Propagation, rng: SimRng) -> Self {
-        ChaosMedium::new(Medium::new(prop, rng))
+/// The wrapper is itself a [`Medium`] (with an initially empty fault
+/// schedule when built via [`Medium::new`]), so trait-generic code can use
+/// a fault-injected medium unchanged.
+impl<M: Medium> Medium for ChaosMedium<M> {
+    fn new(prop: Propagation, rng: SimRng) -> Self {
+        ChaosMedium::with_new_medium(prop, rng)
+    }
+
+    fn propagation(&self) -> &Propagation {
+        self.inner.propagation()
+    }
+
+    fn add_station(&mut self, pos: Point) -> StationId {
+        ChaosMedium::add_station(self, pos)
+    }
+
+    fn station_count(&self) -> usize {
+        self.inner.station_count()
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        self.inner.position(id)
+    }
+
+    fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        ChaosMedium::set_rx_error_rate(self, id, p)
+    }
+
+    fn set_tx_power(&mut self, id: StationId, power: f64) {
+        ChaosMedium::set_tx_power(self, id, power)
+    }
+
+    fn hears(&self, to: StationId, from: StationId) -> bool {
+        self.inner.hears(to, from)
+    }
+
+    fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        ChaosMedium::set_link_gain(self, src, dst, factor)
+    }
+
+    fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        self.inner.link_gain(src, dst)
+    }
+
+    fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        ChaosMedium::add_noise_source(self, pos, power)
+    }
+
+    fn set_noise_active(&mut self, index: usize, active: bool) {
+        ChaosMedium::set_noise_active(self, index, active)
+    }
+
+    fn set_position(&mut self, id: StationId, pos: Point) {
+        ChaosMedium::set_position(self, id, pos)
+    }
+
+    fn in_range(&self, a: StationId, b: StationId) -> bool {
+        self.inner.in_range(a, b)
+    }
+
+    fn is_transmitting(&self, id: StationId) -> bool {
+        self.inner.is_transmitting(id)
+    }
+
+    fn carrier_busy(&self, id: StationId) -> bool {
+        self.inner.carrier_busy(id)
+    }
+
+    fn active_count(&self) -> usize {
+        self.inner.active_count()
+    }
+
+    fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        ChaosMedium::start_tx(self, source, now)
+    }
+
+    fn end_tx_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Delivery>) {
+        ChaosMedium::end_tx_into(self, tx, now, out)
+    }
+
+    fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        self.inner.tx_start(tx)
+    }
+
+    fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        self.inner.tx_source(tx)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.inner.memory_footprint()
+            + self.windows.capacity() * std::mem::size_of::<LinkWindow>()
     }
 }
 
@@ -204,7 +299,7 @@ mod tests {
     fn chaos_pair() -> (ChaosMedium, StationId, StationId) {
         let prop = Propagation::new(PropagationConfig::default());
         let rng = SimRng::new(7);
-        let mut m = ChaosMedium::with_new_medium(prop, rng);
+        let mut m: ChaosMedium = ChaosMedium::with_new_medium(prop, rng);
         let a = m.add_station(Point::new(0.0, 0.0, 0.0));
         let b = m.add_station(Point::new(5.0, 0.0, 0.0));
         (m, a, b)
@@ -274,8 +369,8 @@ mod tests {
     #[test]
     fn no_windows_is_transparent_and_draws_same_rng() {
         let prop = Propagation::new(PropagationConfig::default());
-        let mut bare = Medium::new(prop, SimRng::new(11));
-        let mut chaos = ChaosMedium::with_new_medium(prop, SimRng::new(11));
+        let mut bare = SparseMedium::new(prop, SimRng::new(11));
+        let mut chaos: ChaosMedium = ChaosMedium::with_new_medium(prop, SimRng::new(11));
         let (a0, b0) = (
             bare.add_station(Point::new(0.0, 0.0, 0.0)),
             bare.add_station(Point::new(5.0, 0.0, 0.0)),
@@ -301,5 +396,20 @@ mod tests {
             }
         }
         let _ = (a1, b1);
+    }
+
+    #[test]
+    fn chaos_wrapper_works_through_the_medium_trait() {
+        fn drive<M: Medium>(m: &mut M) -> Vec<Delivery> {
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let _b = m.add_station(Point::new(5.0, 0.0, 0.0));
+            let tx = m.start_tx(a, ms(0));
+            m.end_tx(tx, ms(10))
+        }
+        let prop = Propagation::new(PropagationConfig::default());
+        let mut m: ChaosMedium = Medium::new(prop, SimRng::new(9));
+        let out = drive(&mut m);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].clean);
     }
 }

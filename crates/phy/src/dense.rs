@@ -1,0 +1,654 @@
+//! The dense cached medium: `N×N` pairwise matrices, kept as the oracle.
+//!
+//! [`DenseMedium`] implements [`Medium`] with fully materialized pairwise
+//! signal caches. Station geometry changes rarely (registration, mobility,
+//! power changes) while signal queries happen on every carrier-sense poll
+//! and every transmission start/end, so all pairwise signal quantities are
+//! precomputed and kept incrementally up to date:
+//!
+//! * `gain[a][b]` — path gain `power_at_distance(d(a,b))`; `int_gain[a][b]`
+//!   — the same with the interference cutoff applied; `range[a][b]` — the
+//!   in-range predicate. All symmetric, rebuilt only for the affected rows
+//!   on `set_position` / `add_station`.
+//! * `audible[src]` — ascending list of stations that can receive `src`'s
+//!   transmissions at its current power (`tx_power · gain ≥ threshold`);
+//!   rebuilt on position and power changes. `start_tx` opens receptions by
+//!   walking this list instead of scanning every station.
+//! * `ambient[b]` — summed spatial-noise power at each station, rebuilt when
+//!   noise sources are added or toggled; `incident[b]` — `ambient[b]` plus
+//!   the summed interference power of *all* active transmissions at `b`,
+//!   maintained by appending on `start_tx` and rebuilt on `end_tx` and
+//!   geometry changes.
+//!
+//! Every cached value is produced by the *same* floating-point operations on
+//! the same inputs as the naive implementation
+//! ([`ReferenceMedium`](crate::reference::ReferenceMedium)), so results are
+//! bit-identical, not merely approximately equal. Two details matter for
+//! that guarantee:
+//!
+//! * **Fold order.** IEEE-754 addition is not associative, so `incident[b]`
+//!   must be the exact left-to-right fold `ambient + c₁ + c₂ + …` in
+//!   active-list order that the reference computes per query. Appending a
+//!   new transmission's contribution preserves that fold; *removing* one
+//!   would not (`(a+b)−b ≠ a` in general), so `end_tx` rebuilds the sums
+//!   from scratch in the post-removal list order instead of subtracting.
+//! * **Exclusions.** Queries that exclude a specific transmission
+//!   (`interference_at`) cannot be answered from the running sum exactly,
+//!   and fall back to an O(active) fold over cached gains. The running sum
+//!   answers the common exclusion-free cases: carrier sense at an idle
+//!   station, and the interference seen by a not-currently-transmitting
+//!   receiver when a new transmission opens (the new transmission is the
+//!   *last* active entry, so "all but it" is exactly the pre-append sum).
+//!
+//! Debug builds re-derive each fast-path answer the slow way and assert
+//! bit-equality, so the unit suite exercises the equivalence on every query.
+//!
+//! # Why keep it
+//!
+//! The matrices cost O(N²) memory and every `set_position`/`end_tx` is
+//! O(N·active); [`SparseMedium`](crate::sparse::SparseMedium) replaces this
+//! with O(N·k) structures for large-N runs. The dense medium stays as the
+//! mid-fidelity oracle in the sparse medium's equivalence tests and as the
+//! baseline the `scale` bench measures its speedup against.
+
+use macaw_sim::{SimRng, SimTime};
+
+use crate::geometry::{cube_center, Point};
+use crate::medium::{Delivery, Medium, StationId, TxId};
+use crate::propagation::Propagation;
+
+struct StationEntry {
+    pos: Point,
+    transmitting: Option<TxId>,
+    /// Per-packet probability that a packet arriving at this station is
+    /// corrupted by intermittent noise (§3.3.1's model).
+    rx_error_rate: f64,
+    /// Transmit power multiplier. The paper's stations all transmit at the
+    /// same strength (1.0); §4 discusses — and declines — power variation
+    /// because it breaks the symmetry the CTS mechanism depends on. The
+    /// knob exists so that consequence can be demonstrated.
+    tx_power: f64,
+}
+
+struct ActiveTx {
+    id: TxId,
+    source: StationId,
+    start: SimTime,
+}
+
+struct Reception {
+    tx: TxId,
+    rx: StationId,
+    signal: f64,
+    clean: bool,
+}
+
+/// A fixed continuous noise emitter (e.g. the paper's electronic whiteboard,
+/// when modelled spatially rather than as a packet error rate).
+struct NoiseSource {
+    pos: Point,
+    power: f64,
+    active: bool,
+}
+
+/// The dense cached radio medium (see module docs).
+pub struct DenseMedium {
+    prop: Propagation,
+    stations: Vec<StationEntry>,
+    active: Vec<ActiveTx>,
+    receptions: Vec<Reception>,
+    noise: Vec<NoiseSource>,
+    rng: SimRng,
+    next_tx: u64,
+    /// `gain[a][b]` = `power_at_distance(d(a,b))` (symmetric).
+    gain: Vec<Vec<f64>>,
+    /// Per-direction link gain multiplier (`link[src][dst]`, default 1.0).
+    /// Models link asymmetry faults: an obstruction or fade that attenuates
+    /// `src`'s signal *at `dst`* without affecting the reverse direction.
+    /// Applied as `tx_power · link · gain` everywhere a signal or
+    /// interference power is formed; multiplying by the default 1.0 is an
+    /// exact identity, so an all-ones matrix is bit-identical to no matrix.
+    link: Vec<Vec<f64>>,
+    /// `int_gain[a][b]` = `interference_power(d(a,b))` (symmetric).
+    int_gain: Vec<Vec<f64>>,
+    /// `range[a][b]` = `prop.in_range(d(a,b))` (symmetric).
+    range: Vec<Vec<bool>>,
+    /// Ascending station indices with `tx_power[src] * gain[src][b]` at or
+    /// above the reception threshold — who hears `src` transmit.
+    audible: Vec<Vec<usize>>,
+    /// `noise_gain[n][b]` = `interference_power(d(noise n, station b))`.
+    noise_gain: Vec<Vec<f64>>,
+    /// Summed active spatial-noise power at each station, in noise order.
+    ambient: Vec<f64>,
+    /// `ambient[b]` plus every active transmission's interference power at
+    /// `b`, folded in active-list order (see module docs).
+    incident: Vec<f64>,
+}
+
+impl Medium for DenseMedium {
+    fn new(prop: Propagation, rng: SimRng) -> Self {
+        DenseMedium {
+            prop,
+            stations: Vec::new(),
+            active: Vec::new(),
+            receptions: Vec::new(),
+            noise: Vec::new(),
+            rng,
+            next_tx: 0,
+            gain: Vec::new(),
+            link: Vec::new(),
+            int_gain: Vec::new(),
+            range: Vec::new(),
+            audible: Vec::new(),
+            noise_gain: Vec::new(),
+            ambient: Vec::new(),
+            incident: Vec::new(),
+        }
+    }
+
+    fn propagation(&self) -> &Propagation {
+        &self.prop
+    }
+
+    fn add_station(&mut self, pos: Point) -> StationId {
+        let idx = self.stations.len();
+        let id = StationId(idx);
+        self.stations.push(StationEntry {
+            pos: cube_center(pos),
+            transmitting: None,
+            rx_error_rate: 0.0,
+            tx_power: 1.0,
+        });
+        let pos = self.stations[idx].pos;
+
+        // Grow the pairwise matrices by one row and one column.
+        let mut gain_row = Vec::with_capacity(idx + 1);
+        let mut int_row = Vec::with_capacity(idx + 1);
+        let mut range_row = Vec::with_capacity(idx + 1);
+        for (other_idx, other) in self.stations.iter().enumerate() {
+            let d = pos.distance(other.pos);
+            let g = self.prop.power_at_distance(d);
+            let ig = self.prop.interference_power(d);
+            let r = self.prop.in_range(d);
+            if other_idx < idx {
+                self.gain[other_idx].push(g);
+                self.link[other_idx].push(1.0);
+                self.int_gain[other_idx].push(ig);
+                self.range[other_idx].push(r);
+            }
+            gain_row.push(g);
+            int_row.push(ig);
+            range_row.push(r);
+        }
+        self.gain.push(gain_row);
+        self.link.push(vec![1.0; idx + 1]);
+        self.int_gain.push(int_row);
+        self.range.push(range_row);
+
+        // Audibility: the new station may hear others and be heard by them.
+        for src in 0..idx {
+            if self.stations[src].tx_power * self.link[src][idx] * self.gain[src][idx]
+                >= self.prop.threshold_power()
+            {
+                self.audible[src].push(idx); // largest index: stays ascending
+            }
+        }
+        self.audible.push(Vec::new());
+        self.rebuild_audible(idx);
+
+        for (n, src) in self.noise.iter().enumerate() {
+            self.noise_gain[n].push(self.prop.interference_power(src.pos.distance(pos)));
+        }
+        self.ambient.push(0.0);
+        self.rebuild_ambient_of(idx);
+        self.incident.push(0.0);
+        self.rebuild_incident_of(idx);
+        id
+    }
+
+    fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        self.stations[id.0].pos
+    }
+
+    fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "error rate must be in [0,1]");
+        self.stations[id.0].rx_error_rate = p;
+    }
+
+    fn set_tx_power(&mut self, id: StationId, power: f64) {
+        assert!(power > 0.0 && power.is_finite(), "power must be positive");
+        self.stations[id.0].tx_power = power;
+        self.rebuild_audible(id.0);
+        // If `id` is mid-transmission its interference contribution changed.
+        if self.stations[id.0].transmitting.is_some() {
+            self.rebuild_incident();
+        }
+    }
+
+    fn hears(&self, to: StationId, from: StationId) -> bool {
+        self.stations[from.0].tx_power * self.link[from.0][to.0] * self.gain[from.0][to.0]
+            >= self.prop.threshold_power()
+    }
+
+    fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "link gain must be finite and non-negative"
+        );
+        assert_ne!(src, dst, "link gain applies to a pair of distinct stations");
+        self.link[src.0][dst.0] = factor;
+        if let Some(tx) = self.stations[src.0].transmitting {
+            for r in &mut self.receptions {
+                if r.tx == tx && r.rx == dst {
+                    r.clean = false;
+                }
+            }
+        }
+        // Only `dst`'s membership in `audible[src]` can have flipped.
+        let qualifies = self.stations[src.0].tx_power
+            * self.link[src.0][dst.0]
+            * self.gain[src.0][dst.0]
+            >= self.prop.threshold_power();
+        let list = &mut self.audible[src.0];
+        match list.binary_search(&dst.0) {
+            Ok(at) if !qualifies => {
+                list.remove(at);
+            }
+            Err(at) if qualifies => {
+                list.insert(at, dst.0);
+            }
+            _ => {}
+        }
+        if self.stations[src.0].transmitting.is_some() {
+            // `src`'s interference contribution at `dst` changed.
+            self.rebuild_incident();
+        }
+        self.recheck_all_receptions();
+    }
+
+    fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        self.link[src.0][dst.0]
+    }
+
+    fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        let pos = cube_center(pos);
+        self.noise.push(NoiseSource {
+            pos,
+            power,
+            active: true,
+        });
+        self.noise_gain.push(
+            self.stations
+                .iter()
+                .map(|st| self.prop.interference_power(pos.distance(st.pos)))
+                .collect(),
+        );
+        self.rebuild_ambient();
+        self.rebuild_incident();
+        self.noise.len() - 1
+    }
+
+    fn set_noise_active(&mut self, index: usize, active: bool) {
+        self.noise[index].active = active;
+        self.rebuild_ambient();
+        self.rebuild_incident();
+        if active {
+            self.recheck_all_receptions();
+        }
+    }
+
+    fn set_position(&mut self, id: StationId, pos: Point) {
+        self.stations[id.0].pos = cube_center(pos);
+        let moving_tx = self.stations[id.0].transmitting;
+        for r in &mut self.receptions {
+            if r.rx == id || Some(r.tx) == moving_tx {
+                r.clean = false;
+            }
+        }
+
+        // Refresh every cache touching the moved station.
+        let moved = id.0;
+        let pos = self.stations[moved].pos;
+        for other in 0..self.stations.len() {
+            let d = pos.distance(self.stations[other].pos);
+            let g = self.prop.power_at_distance(d);
+            let ig = self.prop.interference_power(d);
+            let r = self.prop.in_range(d);
+            self.gain[moved][other] = g;
+            self.gain[other][moved] = g;
+            self.int_gain[moved][other] = ig;
+            self.int_gain[other][moved] = ig;
+            self.range[moved][other] = r;
+            self.range[other][moved] = r;
+        }
+        for (n, src) in self.noise.iter().enumerate() {
+            self.noise_gain[n][moved] = self.prop.interference_power(src.pos.distance(pos));
+        }
+        self.rebuild_audible(moved);
+        for src in 0..self.stations.len() {
+            if src == moved {
+                continue;
+            }
+            // Membership of the moved station in everyone else's audible
+            // list may have flipped; the cheap fix beats a full rebuild.
+            let qualifies = self.stations[src].tx_power
+                * self.link[src][moved]
+                * self.gain[src][moved]
+                >= self.prop.threshold_power();
+            let list = &mut self.audible[src];
+            match list.binary_search(&moved) {
+                Ok(at) if !qualifies => {
+                    list.remove(at);
+                }
+                Err(at) if qualifies => {
+                    list.insert(at, moved);
+                }
+                _ => {}
+            }
+        }
+        self.rebuild_ambient_of(moved);
+        self.rebuild_incident();
+
+        self.recheck_all_receptions();
+    }
+
+    fn in_range(&self, a: StationId, b: StationId) -> bool {
+        self.range[a.0][b.0]
+    }
+
+    fn is_transmitting(&self, id: StationId) -> bool {
+        self.stations[id.0].transmitting.is_some()
+    }
+
+    fn carrier_busy(&self, id: StationId) -> bool {
+        if self.stations[id.0].transmitting.is_none() {
+            // No exclusions apply, so the running sum answers in O(1).
+            debug_assert_eq!(
+                self.incident[id.0].to_bits(),
+                self.fold_incident(id.0).to_bits(),
+                "running incident sum diverged from the reference fold"
+            );
+            return self.incident[id.0] >= self.prop.threshold_power();
+        }
+        let mut power = self.ambient[id.0];
+        for tx in &self.active {
+            if tx.source == id {
+                continue;
+            }
+            power += self.stations[tx.source.0].tx_power
+                * self.link[tx.source.0][id.0]
+                * self.int_gain[tx.source.0][id.0];
+        }
+        power >= self.prop.threshold_power()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        assert!(
+            self.stations[source.0].transmitting.is_none(),
+            "station {source:?} is already transmitting"
+        );
+        let id = TxId::from_raw(self.next_tx);
+        self.next_tx += 1;
+        self.stations[source.0].transmitting = Some(id);
+
+        // Half-duplex: anything in flight *to* the new transmitter is lost.
+        for r in &mut self.receptions {
+            if r.rx == source {
+                r.clean = false;
+            }
+        }
+
+        self.active.push(ActiveTx {
+            id,
+            source,
+            start: now,
+        });
+
+        // The new signal may drown existing receptions elsewhere. The new
+        // transmission is already in `active`, so `interference_at` sees it.
+        let tx_power = self.stations[source.0].tx_power;
+        for i in 0..self.receptions.len() {
+            let rx = self.receptions[i].rx;
+            if !self.receptions[i].clean || rx == source {
+                continue;
+            }
+            let added = tx_power * self.link[source.0][rx.0] * self.int_gain[source.0][rx.0];
+            if added > 0.0 {
+                let interference = self.interference_at(rx, self.receptions[i].tx);
+                let signal = self.receptions[i].signal;
+                if !self.prop.clean(signal, interference) {
+                    self.receptions[i].clean = false;
+                }
+            }
+        }
+
+        // Open a reception record at every station that can hear `source`.
+        // `audible[source]` is exactly the set passing the reference's
+        // signal-threshold check, in the same ascending-index order.
+        for li in 0..self.audible[source.0].len() {
+            let idx = self.audible[source.0][li];
+            let rx = StationId(idx);
+            let signal = tx_power * self.link[source.0][idx] * self.gain[source.0][idx];
+            debug_assert!(signal >= self.prop.threshold_power());
+            let clean = self.stations[idx].transmitting.is_none() && {
+                // The new transmission is the last active entry, so the
+                // interference excluding it is the pre-append running sum.
+                debug_assert_eq!(
+                    self.incident[idx].to_bits(),
+                    self.interference_at(rx, id).to_bits(),
+                    "running incident sum diverged from the reference fold"
+                );
+                let interference = self.incident[idx];
+                self.prop.clean(signal, interference)
+            };
+            self.receptions.push(Reception {
+                tx: id,
+                rx,
+                signal,
+                clean,
+            });
+        }
+
+        // Append the new transmission's contribution to the running sums
+        // (kept for *all* stations: the cutoff set can be wider or narrower
+        // than the audible set once transmit powers differ from 1).
+        for b in 0..self.stations.len() {
+            self.incident[b] += tx_power * self.link[source.0][b] * self.int_gain[source.0][b];
+        }
+        id
+    }
+
+    fn end_tx_into(&mut self, tx: TxId, _now: SimTime, out: &mut Vec<Delivery>) {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx)
+            .expect("end_tx: transmission not in flight");
+        let source = self.active[idx].source;
+        self.active.swap_remove(idx);
+        debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
+        self.stations[source.0].transmitting = None;
+
+        // Extract this transmission's receptions and compact the rest in
+        // place, preserving their relative order.
+        out.clear();
+        let mut write = 0;
+        for read in 0..self.receptions.len() {
+            let r = &self.receptions[read];
+            if r.tx == tx {
+                out.push(Delivery {
+                    station: r.rx,
+                    clean: r.clean,
+                    signal: r.signal,
+                });
+            } else {
+                self.receptions.swap(write, read);
+                write += 1;
+            }
+        }
+        self.receptions.truncate(write);
+        // Already in ascending station order: `start_tx` opens this
+        // transmission's receptions by walking the ascending `audible` list,
+        // and the in-place compaction above preserves relative order.
+        debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
+
+        // The swap-remove above reordered the active list, so the running
+        // sums are rebuilt in the new fold order rather than subtracted
+        // (subtraction would drift from the reference; see module docs).
+        self.rebuild_incident();
+
+        // Per-packet intermittent noise (§3.3.1): each packet is corrupted
+        // at a receiving station with that station's error probability.
+        for d in out.iter_mut() {
+            let rate = self.stations[d.station.0].rx_error_rate;
+            if d.clean && rate > 0.0 && self.rng.chance(rate) {
+                d.clean = false;
+            }
+        }
+    }
+
+    fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+    }
+
+    fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let row_f64: usize = self.gain.iter().map(|r| r.capacity() * size_of::<f64>()).sum();
+        let row_link: usize = self.link.iter().map(|r| r.capacity() * size_of::<f64>()).sum();
+        let row_int: usize = self
+            .int_gain
+            .iter()
+            .map(|r| r.capacity() * size_of::<f64>())
+            .sum();
+        let row_range: usize = self.range.iter().map(|r| r.capacity()).sum();
+        let row_aud: usize = self
+            .audible
+            .iter()
+            .map(|r| r.capacity() * size_of::<usize>())
+            .sum();
+        let row_noise: usize = self
+            .noise_gain
+            .iter()
+            .map(|r| r.capacity() * size_of::<f64>())
+            .sum();
+        let spines = (self.gain.capacity()
+            + self.link.capacity()
+            + self.int_gain.capacity()
+            + self.range.capacity()
+            + self.audible.capacity()
+            + self.noise_gain.capacity())
+            * size_of::<Vec<f64>>();
+        let flat = (self.ambient.capacity() + self.incident.capacity()) * size_of::<f64>()
+            + self.stations.capacity() * size_of::<StationEntry>();
+        row_f64 + row_link + row_int + row_range + row_aud + row_noise + spines + flat
+    }
+}
+
+impl DenseMedium {
+    /// Summed interference power at station `rx` from all active
+    /// transmissions except `except`, plus spatial noise.
+    fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
+        let mut power = self.ambient[rx.0];
+        for t in &self.active {
+            if t.id == except || t.source == rx {
+                continue;
+            }
+            power += self.stations[t.source.0].tx_power
+                * self.link[t.source.0][rx.0]
+                * self.int_gain[t.source.0][rx.0];
+        }
+        power
+    }
+
+    /// The reference fold for `incident[b]`: ambient noise plus every active
+    /// transmission in list order. Used to (re)build the running sums and,
+    /// in debug builds, to check them.
+    fn fold_incident(&self, b: usize) -> f64 {
+        let mut power = self.ambient[b];
+        for t in &self.active {
+            power += self.stations[t.source.0].tx_power
+                * self.link[t.source.0][b]
+                * self.int_gain[t.source.0][b];
+        }
+        power
+    }
+
+    fn rebuild_incident(&mut self) {
+        for b in 0..self.stations.len() {
+            self.incident[b] = self.fold_incident(b);
+        }
+    }
+
+    fn rebuild_incident_of(&mut self, b: usize) {
+        self.incident[b] = self.fold_incident(b);
+    }
+
+    /// Recompute `ambient[b]` with the same filtered fold (noise-list order,
+    /// inactive sources skipped) the reference uses per query.
+    fn rebuild_ambient_of(&mut self, b: usize) {
+        self.ambient[b] = self
+            .noise
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.active)
+            .map(|(ni, n)| n.power * self.noise_gain[ni][b])
+            .sum();
+    }
+
+    fn rebuild_ambient(&mut self) {
+        for b in 0..self.stations.len() {
+            self.rebuild_ambient_of(b);
+        }
+    }
+
+    fn rebuild_audible(&mut self, src: usize) {
+        let power = self.stations[src].tx_power;
+        let threshold = self.prop.threshold_power();
+        let gain = &self.gain[src];
+        let link = &self.link[src];
+        let list = &mut self.audible[src];
+        list.clear();
+        list.extend(
+            (0..self.stations.len())
+                .filter(|&b| b != src && power * link[b] * gain[b] >= threshold),
+        );
+    }
+
+    /// Re-validate every in-flight reception against the current geometry
+    /// and interference (used after mobility / noise changes).
+    fn recheck_all_receptions(&mut self) {
+        for i in 0..self.receptions.len() {
+            if !self.receptions[i].clean {
+                continue;
+            }
+            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
+            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+                continue;
+            };
+            let signal =
+                self.stations[src.0].tx_power * self.link[src.0][rx.0] * self.gain[src.0][rx.0];
+            self.receptions[i].signal = signal;
+            let interference = self.interference_at(rx, tx);
+            if !self.prop.clean(signal, interference) {
+                self.receptions[i].clean = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod contract {
+    crate::medium::medium_contract_tests!(crate::dense::DenseMedium);
+}

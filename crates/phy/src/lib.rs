@@ -20,15 +20,25 @@
 //! scheduled end-of-transmission event fires, and receives the per-station
 //! delivery verdicts back. It owns no event queue of its own, which keeps it
 //! trivially unit-testable.
+//!
+//! [`Medium`] is a trait with three interchangeable, bit-identical
+//! implementations: [`SparseMedium`] (cube-grid spatial index, O(N·k), the
+//! default), [`DenseMedium`] (N×N cached matrices, the oracle for the sparse
+//! index and the baseline for the `scale` bench), and the `#[doc(hidden)]`
+//! naive reference both are checked against.
 
 pub mod chaos;
+pub mod dense;
 pub mod geometry;
 pub mod medium;
 pub mod propagation;
 #[doc(hidden)]
 pub mod reference;
+pub mod sparse;
 
 pub use chaos::{corrupt_deliveries, ChaosMedium, LinkWindow};
+pub use dense::DenseMedium;
 pub use geometry::{cube_center, Point};
 pub use medium::{Delivery, Medium, StationId, TxId};
 pub use propagation::{CutoffMode, Propagation, PropagationConfig};
+pub use sparse::SparseMedium;

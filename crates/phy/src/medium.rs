@@ -1,6 +1,6 @@
-//! The shared radio medium.
+//! The shared radio medium: common types and the [`Medium`] trait.
 //!
-//! [`Medium`] tracks every in-flight transmission and decides, per receiver,
+//! A medium tracks every in-flight transmission and decides, per receiver,
 //! whether each packet is received cleanly under the paper's rule:
 //!
 //! > "the designated receiving station can correctly receive the packet if
@@ -26,53 +26,26 @@
 //! [`Medium::start_tx`], schedules the end-of-frame event itself, and calls
 //! [`Medium::end_tx`] when that event fires, receiving the delivery verdicts.
 //!
-//! # Signal caches
+//! # Implementations
 //!
-//! Station geometry changes rarely (registration, mobility, power changes)
-//! while signal queries happen on every carrier-sense poll and every
-//! transmission start/end, so all pairwise signal quantities are precomputed
-//! and kept incrementally up to date:
+//! Three implementations share this trait and must produce *bit-identical*
+//! results — every [`Delivery`] (including the f64 signal), every
+//! `carrier_busy` / `hears` / `in_range` answer, and the same RNG draw
+//! sequence — on any schedule of operations:
 //!
-//! * `gain[a][b]` — path gain `power_at_distance(d(a,b))`; `int_gain[a][b]`
-//!   — the same with the interference cutoff applied; `range[a][b]` — the
-//!   in-range predicate. All symmetric, rebuilt only for the affected rows
-//!   on [`Medium::set_position`] / [`Medium::add_station`].
-//! * `audible[src]` — ascending list of stations that can receive `src`'s
-//!   transmissions at its current power (`tx_power · gain ≥ threshold`);
-//!   rebuilt on position and power changes. [`Medium::start_tx`] opens
-//!   receptions by walking this list instead of scanning every station.
-//! * `ambient[b]` — summed spatial-noise power at each station, rebuilt when
-//!   noise sources are added or toggled; `incident[b]` — `ambient[b]` plus
-//!   the summed interference power of *all* active transmissions at `b`,
-//!   maintained by appending on `start_tx` and rebuilt on `end_tx` and
-//!   geometry changes.
-//!
-//! Every cached value is produced by the *same* floating-point operations on
-//! the same inputs as the naive implementation
-//! ([`ReferenceMedium`](crate::reference::ReferenceMedium)), so results are
-//! bit-identical, not merely approximately equal. Two details matter for
-//! that guarantee:
-//!
-//! * **Fold order.** IEEE-754 addition is not associative, so `incident[b]`
-//!   must be the exact left-to-right fold `ambient + c₁ + c₂ + …` in
-//!   active-list order that the reference computes per query. Appending a
-//!   new transmission's contribution preserves that fold; *removing* one
-//!   would not (`(a+b)−b ≠ a` in general), so `end_tx` rebuilds the sums
-//!   from scratch in the post-removal list order instead of subtracting.
-//! * **Exclusions.** Queries that exclude a specific transmission
-//!   (`interference_at`) cannot be answered from the running sum exactly,
-//!   and fall back to an O(active) fold over cached gains. The running sum
-//!   answers the common exclusion-free cases: carrier sense at an idle
-//!   station, and the interference seen by a not-currently-transmitting
-//!   receiver when a new transmission opens (the new transmission is the
-//!   *last* active entry, so "all but it" is exactly the pre-append sum).
-//!
-//! Debug builds re-derive each fast-path answer the slow way and assert
-//! bit-equality, so the unit suite exercises the equivalence on every query.
+//! * [`SparseMedium`](crate::sparse::SparseMedium) — the default. A
+//!   cube-grid spatial hash keeps per-station neighbor sets so every
+//!   steady-state operation is O(k) in the local neighborhood size rather
+//!   than O(N) in the station count.
+//! * [`DenseMedium`](crate::dense::DenseMedium) — dense `N×N` cached
+//!   matrices, kept as the oracle the sparse medium is checked against and
+//!   as the baseline the `scale` bench measures speedups over.
+//! * [`ReferenceMedium`](crate::reference::ReferenceMedium) — the naive
+//!   uncached statement of the semantics, oracle for both of the above.
 
 use macaw_sim::{SimRng, SimTime};
 
-use crate::geometry::{cube_center, Point};
+use crate::geometry::Point;
 use crate::propagation::Propagation;
 
 /// Index of a station registered with the medium.
@@ -102,375 +75,84 @@ pub struct Delivery {
     pub signal: f64,
 }
 
-struct StationEntry {
-    pos: Point,
-    transmitting: Option<TxId>,
-    /// Per-packet probability that a packet arriving at this station is
-    /// corrupted by intermittent noise (§3.3.1's model).
-    rx_error_rate: f64,
-    /// Transmit power multiplier. The paper's stations all transmit at the
-    /// same strength (1.0); §4 discusses — and declines — power variation
-    /// because it breaks the symmetry the CTS mechanism depends on. The
-    /// knob exists so that consequence can be demonstrated.
-    tx_power: f64,
-}
-
-struct ActiveTx {
-    id: TxId,
-    source: StationId,
-    start: SimTime,
-}
-
-struct Reception {
-    tx: TxId,
-    rx: StationId,
-    signal: f64,
-    clean: bool,
-}
-
-/// A fixed continuous noise emitter (e.g. the paper's electronic whiteboard,
-/// when modelled spatially rather than as a packet error rate).
-struct NoiseSource {
-    pos: Point,
-    power: f64,
-    active: bool,
-}
-
-/// The shared single-channel radio medium.
-pub struct Medium {
-    prop: Propagation,
-    stations: Vec<StationEntry>,
-    active: Vec<ActiveTx>,
-    receptions: Vec<Reception>,
-    noise: Vec<NoiseSource>,
-    rng: SimRng,
-    next_tx: u64,
-    /// `gain[a][b]` = `power_at_distance(d(a,b))` (symmetric).
-    gain: Vec<Vec<f64>>,
-    /// Per-direction link gain multiplier (`link[src][dst]`, default 1.0).
-    /// Models link asymmetry faults: an obstruction or fade that attenuates
-    /// `src`'s signal *at `dst`* without affecting the reverse direction.
-    /// Applied as `tx_power · link · gain` everywhere a signal or
-    /// interference power is formed; multiplying by the default 1.0 is an
-    /// exact identity, so an all-ones matrix is bit-identical to no matrix.
-    link: Vec<Vec<f64>>,
-    /// `int_gain[a][b]` = `interference_power(d(a,b))` (symmetric).
-    int_gain: Vec<Vec<f64>>,
-    /// `range[a][b]` = `prop.in_range(d(a,b))` (symmetric).
-    range: Vec<Vec<bool>>,
-    /// Ascending station indices with `tx_power[src] * gain[src][b]` at or
-    /// above the reception threshold — who hears `src` transmit.
-    audible: Vec<Vec<usize>>,
-    /// `noise_gain[n][b]` = `interference_power(d(noise n, station b))`.
-    noise_gain: Vec<Vec<f64>>,
-    /// Summed active spatial-noise power at each station, in noise order.
-    ambient: Vec<f64>,
-    /// `ambient[b]` plus every active transmission's interference power at
-    /// `b`, folded in active-list order (see module docs).
-    incident: Vec<f64>,
-}
-
-impl Medium {
+/// The shared single-channel radio medium contract.
+///
+/// Every implementation must be a pure function of (operation schedule,
+/// seed): same calls, same answers, bit for bit. See the module docs for
+/// the reception rule and the list of implementations.
+pub trait Medium {
     /// Create a medium with the given propagation model and RNG stream
     /// (used only for per-packet noise draws).
-    pub fn new(prop: Propagation, rng: SimRng) -> Self {
-        Medium {
-            prop,
-            stations: Vec::new(),
-            active: Vec::new(),
-            receptions: Vec::new(),
-            noise: Vec::new(),
-            rng,
-            next_tx: 0,
-            gain: Vec::new(),
-            link: Vec::new(),
-            int_gain: Vec::new(),
-            range: Vec::new(),
-            audible: Vec::new(),
-            noise_gain: Vec::new(),
-            ambient: Vec::new(),
-            incident: Vec::new(),
-        }
-    }
+    fn new(prop: Propagation, rng: SimRng) -> Self
+    where
+        Self: Sized;
 
     /// The propagation model in use.
-    pub fn propagation(&self) -> &Propagation {
-        &self.prop
-    }
+    fn propagation(&self) -> &Propagation;
 
     /// Register a station; its position is snapped to the nearest cube
     /// center (stations "reside at the center of a cube").
-    pub fn add_station(&mut self, pos: Point) -> StationId {
-        let idx = self.stations.len();
-        let id = StationId(idx);
-        self.stations.push(StationEntry {
-            pos: cube_center(pos),
-            transmitting: None,
-            rx_error_rate: 0.0,
-            tx_power: 1.0,
-        });
-        let pos = self.stations[idx].pos;
-
-        // Grow the pairwise matrices by one row and one column.
-        let mut gain_row = Vec::with_capacity(idx + 1);
-        let mut int_row = Vec::with_capacity(idx + 1);
-        let mut range_row = Vec::with_capacity(idx + 1);
-        for (other_idx, other) in self.stations.iter().enumerate() {
-            let d = pos.distance(other.pos);
-            let g = self.prop.power_at_distance(d);
-            let ig = self.prop.interference_power(d);
-            let r = self.prop.in_range(d);
-            if other_idx < idx {
-                self.gain[other_idx].push(g);
-                self.link[other_idx].push(1.0);
-                self.int_gain[other_idx].push(ig);
-                self.range[other_idx].push(r);
-            }
-            gain_row.push(g);
-            int_row.push(ig);
-            range_row.push(r);
-        }
-        self.gain.push(gain_row);
-        self.link.push(vec![1.0; idx + 1]);
-        self.int_gain.push(int_row);
-        self.range.push(range_row);
-
-        // Audibility: the new station may hear others and be heard by them.
-        for src in 0..idx {
-            if self.stations[src].tx_power * self.link[src][idx] * self.gain[src][idx]
-                >= self.prop.threshold_power()
-            {
-                self.audible[src].push(idx); // largest index: stays ascending
-            }
-        }
-        self.audible.push(Vec::new());
-        self.rebuild_audible(idx);
-
-        for (n, src) in self.noise.iter().enumerate() {
-            self.noise_gain[n].push(self.prop.interference_power(src.pos.distance(pos)));
-        }
-        self.ambient.push(0.0);
-        self.rebuild_ambient_of(idx);
-        self.incident.push(0.0);
-        self.rebuild_incident_of(idx);
-        id
-    }
+    fn add_station(&mut self, pos: Point) -> StationId;
 
     /// Number of registered stations.
-    pub fn station_count(&self) -> usize {
-        self.stations.len()
-    }
+    fn station_count(&self) -> usize;
 
     /// Current (cube-snapped) position of a station.
-    pub fn position(&self, id: StationId) -> Point {
-        self.stations[id.0].pos
-    }
+    fn position(&self, id: StationId) -> Point;
 
     /// Set the per-packet noise corruption probability for packets received
     /// at `id`.
-    pub fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "error rate must be in [0,1]");
-        self.stations[id.0].rx_error_rate = p;
-    }
+    fn set_rx_error_rate(&mut self, id: StationId, p: f64);
 
     /// Set a station's transmit power multiplier (default 1.0). §4 declines
     /// power variation because it breaks radio symmetry — with unequal
     /// powers, "A hears B" no longer implies "B hears A" and the CTS can no
-    /// longer silence every potential collider.
-    pub fn set_tx_power(&mut self, id: StationId, power: f64) {
-        assert!(power > 0.0 && power.is_finite(), "power must be positive");
-        self.stations[id.0].tx_power = power;
-        self.rebuild_audible(id.0);
-        // If `id` is mid-transmission its interference contribution changed.
-        if self.stations[id.0].transmitting.is_some() {
-            self.rebuild_incident();
-        }
-    }
+    /// longer silence every potential collider. The knob exists so that
+    /// consequence can be demonstrated.
+    fn set_tx_power(&mut self, id: StationId, power: f64);
 
     /// `true` iff a transmission by `from` is receivable at `to`
     /// (directional once transmit powers or link gains differ).
-    pub fn hears(&self, to: StationId, from: StationId) -> bool {
-        self.stations[from.0].tx_power * self.link[from.0][to.0] * self.gain[from.0][to.0]
-            >= self.prop.threshold_power()
-    }
+    fn hears(&self, to: StationId, from: StationId) -> bool;
 
     /// Set the directional gain multiplier on the `src → dst` link (default
     /// 1.0; the reverse direction is untouched). Models link-asymmetry
-    /// faults — §4 notes unequal link budgets break the symmetry the CTS
-    /// mechanism depends on. A packet from `src` in flight *to `dst`* when
-    /// the factor changes is conservatively lost (the link faded
-    /// mid-packet), and all other in-flight receptions are re-checked
-    /// against the changed interference geometry.
-    pub fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
-        assert!(
-            factor >= 0.0 && factor.is_finite(),
-            "link gain must be finite and non-negative"
-        );
-        assert_ne!(src, dst, "link gain applies to a pair of distinct stations");
-        self.link[src.0][dst.0] = factor;
-        if let Some(tx) = self.stations[src.0].transmitting {
-            for r in &mut self.receptions {
-                if r.tx == tx && r.rx == dst {
-                    r.clean = false;
-                }
-            }
-        }
-        // Only `dst`'s membership in `audible[src]` can have flipped.
-        let qualifies = self.stations[src.0].tx_power
-            * self.link[src.0][dst.0]
-            * self.gain[src.0][dst.0]
-            >= self.prop.threshold_power();
-        let list = &mut self.audible[src.0];
-        match list.binary_search(&dst.0) {
-            Ok(at) if !qualifies => {
-                list.remove(at);
-            }
-            Err(at) if qualifies => {
-                list.insert(at, dst.0);
-            }
-            _ => {}
-        }
-        if self.stations[src.0].transmitting.is_some() {
-            // `src`'s interference contribution at `dst` changed.
-            self.rebuild_incident();
-        }
-        self.recheck_all_receptions();
-    }
+    /// faults. A packet from `src` in flight *to `dst`* when the factor
+    /// changes is conservatively lost (the link faded mid-packet), and all
+    /// other in-flight receptions are re-checked against the changed
+    /// interference geometry.
+    fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64);
 
     /// The current directional gain multiplier on the `src → dst` link.
-    pub fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
-        self.link[src.0][dst.0]
-    }
+    fn link_gain(&self, src: StationId, dst: StationId) -> f64;
 
     /// Add a continuous spatial noise emitter. Returns an index usable with
     /// [`Medium::set_noise_active`].
-    pub fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
-        let pos = cube_center(pos);
-        self.noise.push(NoiseSource {
-            pos,
-            power,
-            active: true,
-        });
-        self.noise_gain.push(
-            self.stations
-                .iter()
-                .map(|st| self.prop.interference_power(pos.distance(st.pos)))
-                .collect(),
-        );
-        self.rebuild_ambient();
-        self.rebuild_incident();
-        self.noise.len() - 1
-    }
+    fn add_noise_source(&mut self, pos: Point, power: f64) -> usize;
 
     /// Enable or disable a spatial noise emitter. Turning one **on**
     /// invalidates any in-flight reception it now drowns out.
-    pub fn set_noise_active(&mut self, index: usize, active: bool) {
-        self.noise[index].active = active;
-        self.rebuild_ambient();
-        self.rebuild_incident();
-        if active {
-            self.recheck_all_receptions();
-        }
-    }
+    fn set_noise_active(&mut self, index: usize, active: bool);
 
     /// Move a station (mobility). Any packet in flight to or from a moving
     /// station is corrupted (the paper's pads move between packets; this is
     /// a conservative rule for the general case), and all other in-flight
     /// receptions are re-checked against the new interference geometry.
-    pub fn set_position(&mut self, id: StationId, pos: Point) {
-        self.stations[id.0].pos = cube_center(pos);
-        let moving_tx = self.stations[id.0].transmitting;
-        for r in &mut self.receptions {
-            if r.rx == id || Some(r.tx) == moving_tx {
-                r.clean = false;
-            }
-        }
-
-        // Refresh every cache touching the moved station.
-        let moved = id.0;
-        let pos = self.stations[moved].pos;
-        for other in 0..self.stations.len() {
-            let d = pos.distance(self.stations[other].pos);
-            let g = self.prop.power_at_distance(d);
-            let ig = self.prop.interference_power(d);
-            let r = self.prop.in_range(d);
-            self.gain[moved][other] = g;
-            self.gain[other][moved] = g;
-            self.int_gain[moved][other] = ig;
-            self.int_gain[other][moved] = ig;
-            self.range[moved][other] = r;
-            self.range[other][moved] = r;
-        }
-        for (n, src) in self.noise.iter().enumerate() {
-            self.noise_gain[n][moved] = self.prop.interference_power(src.pos.distance(pos));
-        }
-        self.rebuild_audible(moved);
-        for src in 0..self.stations.len() {
-            if src == moved {
-                continue;
-            }
-            // Membership of the moved station in everyone else's audible
-            // list may have flipped; the cheap fix beats a full rebuild.
-            let qualifies = self.stations[src].tx_power
-                * self.link[src][moved]
-                * self.gain[src][moved]
-                >= self.prop.threshold_power();
-            let list = &mut self.audible[src];
-            match list.binary_search(&moved) {
-                Ok(at) if !qualifies => {
-                    list.remove(at);
-                }
-                Err(at) if qualifies => {
-                    list.insert(at, moved);
-                }
-                _ => {}
-            }
-        }
-        self.rebuild_ambient_of(moved);
-        self.rebuild_incident();
-
-        self.recheck_all_receptions();
-    }
+    fn set_position(&mut self, id: StationId, pos: Point);
 
     /// `true` iff stations `a` and `b` are within reception range.
-    pub fn in_range(&self, a: StationId, b: StationId) -> bool {
-        self.range[a.0][b.0]
-    }
+    fn in_range(&self, a: StationId, b: StationId) -> bool;
 
     /// `true` iff station `id` is currently transmitting.
-    pub fn is_transmitting(&self, id: StationId) -> bool {
-        self.stations[id.0].transmitting.is_some()
-    }
+    fn is_transmitting(&self, id: StationId) -> bool;
 
     /// Carrier sense at station `id`: `true` iff the summed power of all
     /// other active transmissions (plus spatial noise) at `id` exceeds the
     /// reception threshold.
-    pub fn carrier_busy(&self, id: StationId) -> bool {
-        if self.stations[id.0].transmitting.is_none() {
-            // No exclusions apply, so the running sum answers in O(1).
-            debug_assert_eq!(
-                self.incident[id.0].to_bits(),
-                self.fold_incident(id.0).to_bits(),
-                "running incident sum diverged from the reference fold"
-            );
-            return self.incident[id.0] >= self.prop.threshold_power();
-        }
-        let mut power = self.ambient[id.0];
-        for tx in &self.active {
-            if tx.source == id {
-                continue;
-            }
-            power += self.stations[tx.source.0].tx_power
-                * self.link[tx.source.0][id.0]
-                * self.int_gain[tx.source.0][id.0];
-        }
-        power >= self.prop.threshold_power()
-    }
+    fn carrier_busy(&self, id: StationId) -> bool;
 
     /// Number of transmissions currently in flight.
-    pub fn active_count(&self) -> usize {
-        self.active.len()
-    }
+    fn active_count(&self) -> usize;
 
     /// Key station `source` up at time `now`. The caller must schedule the
     /// end-of-frame event and call [`Medium::end_tx`] when it fires.
@@ -478,655 +160,438 @@ impl Medium {
     /// # Panics
     /// Panics if the station is already transmitting (the MAC layer must
     /// serialize its own transmissions).
-    pub fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
-        assert!(
-            self.stations[source.0].transmitting.is_none(),
-            "station {source:?} is already transmitting"
-        );
-        let id = TxId(self.next_tx);
-        self.next_tx += 1;
-        self.stations[source.0].transmitting = Some(id);
-
-        // Half-duplex: anything in flight *to* the new transmitter is lost.
-        for r in &mut self.receptions {
-            if r.rx == source {
-                r.clean = false;
-            }
-        }
-
-        self.active.push(ActiveTx {
-            id,
-            source,
-            start: now,
-        });
-
-        // The new signal may drown existing receptions elsewhere. The new
-        // transmission is already in `active`, so `interference_at` sees it.
-        let tx_power = self.stations[source.0].tx_power;
-        for i in 0..self.receptions.len() {
-            let rx = self.receptions[i].rx;
-            if !self.receptions[i].clean || rx == source {
-                continue;
-            }
-            let added = tx_power * self.link[source.0][rx.0] * self.int_gain[source.0][rx.0];
-            if added > 0.0 {
-                let interference = self.interference_at(rx, self.receptions[i].tx);
-                let signal = self.receptions[i].signal;
-                if !self.prop.clean(signal, interference) {
-                    self.receptions[i].clean = false;
-                }
-            }
-        }
-
-        // Open a reception record at every station that can hear `source`.
-        // `audible[source]` is exactly the set passing the reference's
-        // signal-threshold check, in the same ascending-index order.
-        for li in 0..self.audible[source.0].len() {
-            let idx = self.audible[source.0][li];
-            let rx = StationId(idx);
-            let signal = tx_power * self.link[source.0][idx] * self.gain[source.0][idx];
-            debug_assert!(signal >= self.prop.threshold_power());
-            let clean = self.stations[idx].transmitting.is_none() && {
-                // The new transmission is the last active entry, so the
-                // interference excluding it is the pre-append running sum.
-                debug_assert_eq!(
-                    self.incident[idx].to_bits(),
-                    self.interference_at(rx, id).to_bits(),
-                    "running incident sum diverged from the reference fold"
-                );
-                let interference = self.incident[idx];
-                self.prop.clean(signal, interference)
-            };
-            self.receptions.push(Reception {
-                tx: id,
-                rx,
-                signal,
-                clean,
-            });
-        }
-
-        // Append the new transmission's contribution to the running sums
-        // (kept for *all* stations: the cutoff set can be wider or narrower
-        // than the audible set once transmit powers differ from 1).
-        for b in 0..self.stations.len() {
-            self.incident[b] += tx_power * self.link[source.0][b] * self.int_gain[source.0][b];
-        }
-        id
-    }
+    fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId;
 
     /// Finish transmission `tx` at time `now`, returning one delivery per
-    /// in-range station (in station order, for determinism).
+    /// in-range station (in ascending station order, for determinism).
     ///
     /// Allocates a fresh `Vec` per call; event loops should prefer
     /// [`Medium::end_tx_into`] and reuse one buffer.
     ///
     /// # Panics
     /// Panics if `tx` is not in flight.
-    pub fn end_tx(&mut self, tx: TxId, now: SimTime) -> Vec<Delivery> {
+    fn end_tx(&mut self, tx: TxId, now: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
         self.end_tx_into(tx, now, &mut out);
         out
     }
 
     /// Finish transmission `tx` at time `now`, writing one delivery per
-    /// in-range station (in station order) into `out`, which is cleared
-    /// first. Reuses `out`'s capacity and compacts the internal reception
-    /// list in place, so steady-state event processing allocates nothing.
+    /// in-range station (in ascending station order) into `out`, which is
+    /// cleared first. Reuses `out`'s capacity, so steady-state event
+    /// processing allocates nothing.
     ///
     /// # Panics
     /// Panics if `tx` is not in flight.
-    pub fn end_tx_into(&mut self, tx: TxId, _now: SimTime, out: &mut Vec<Delivery>) {
-        let idx = self
-            .active
-            .iter()
-            .position(|t| t.id == tx)
-            .expect("end_tx: transmission not in flight");
-        let source = self.active[idx].source;
-        self.active.swap_remove(idx);
-        debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
-        self.stations[source.0].transmitting = None;
-
-        // Extract this transmission's receptions and compact the rest in
-        // place, preserving their relative order.
-        out.clear();
-        let mut write = 0;
-        for read in 0..self.receptions.len() {
-            let r = &self.receptions[read];
-            if r.tx == tx {
-                out.push(Delivery {
-                    station: r.rx,
-                    clean: r.clean,
-                    signal: r.signal,
-                });
-            } else {
-                self.receptions.swap(write, read);
-                write += 1;
-            }
-        }
-        self.receptions.truncate(write);
-        // Already in ascending station order: `start_tx` opens this
-        // transmission's receptions by walking the ascending `audible` list,
-        // and the in-place compaction above preserves relative order.
-        debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
-
-        // The swap-remove above reordered the active list, so the running
-        // sums are rebuilt in the new fold order rather than subtracted
-        // (subtraction would drift from the reference; see module docs).
-        self.rebuild_incident();
-
-        // Per-packet intermittent noise (§3.3.1): each packet is corrupted
-        // at a receiving station with that station's error probability.
-        for d in out.iter_mut() {
-            let rate = self.stations[d.station.0].rx_error_rate;
-            if d.clean && rate > 0.0 && self.rng.chance(rate) {
-                d.clean = false;
-            }
-        }
-    }
+    fn end_tx_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Delivery>);
 
     /// Time at which transmission `tx` started, if still in flight.
-    pub fn tx_start(&self, tx: TxId) -> Option<SimTime> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
-    }
-
-    /// Summed interference power at station `rx` from all active
-    /// transmissions except `except`, plus spatial noise.
-    fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
-        let mut power = self.ambient[rx.0];
-        for t in &self.active {
-            if t.id == except || t.source == rx {
-                continue;
-            }
-            power += self.stations[t.source.0].tx_power
-                * self.link[t.source.0][rx.0]
-                * self.int_gain[t.source.0][rx.0];
-        }
-        power
-    }
+    fn tx_start(&self, tx: TxId) -> Option<SimTime>;
 
     /// The station transmitting `tx`, if it is still in flight. Lets
     /// wrappers ([`crate::chaos::ChaosMedium`]) attribute deliveries to a
     /// link before ending the transmission.
-    pub fn tx_source(&self, tx: TxId) -> Option<StationId> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
-    }
+    fn tx_source(&self, tx: TxId) -> Option<StationId>;
 
-    /// The reference fold for `incident[b]`: ambient noise plus every active
-    /// transmission in list order. Used to (re)build the running sums and,
-    /// in debug builds, to check them.
-    fn fold_incident(&self, b: usize) -> f64 {
-        let mut power = self.ambient[b];
-        for t in &self.active {
-            power += self.stations[t.source.0].tx_power
-                * self.link[t.source.0][b]
-                * self.int_gain[t.source.0][b];
-        }
-        power
-    }
-
-    fn rebuild_incident(&mut self) {
-        for b in 0..self.stations.len() {
-            self.incident[b] = self.fold_incident(b);
-        }
-    }
-
-    fn rebuild_incident_of(&mut self, b: usize) {
-        self.incident[b] = self.fold_incident(b);
-    }
-
-    /// Recompute `ambient[b]` with the same filtered fold (noise-list order,
-    /// inactive sources skipped) the reference uses per query.
-    fn rebuild_ambient_of(&mut self, b: usize) {
-        self.ambient[b] = self
-            .noise
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.active)
-            .map(|(ni, n)| n.power * self.noise_gain[ni][b])
-            .sum();
-    }
-
-    fn rebuild_ambient(&mut self) {
-        for b in 0..self.stations.len() {
-            self.rebuild_ambient_of(b);
-        }
-    }
-
-    fn rebuild_audible(&mut self, src: usize) {
-        let power = self.stations[src].tx_power;
-        let threshold = self.prop.threshold_power();
-        let gain = &self.gain[src];
-        let link = &self.link[src];
-        let list = &mut self.audible[src];
-        list.clear();
-        list.extend(
-            (0..self.stations.len())
-                .filter(|&b| b != src && power * link[b] * gain[b] >= threshold),
-        );
-    }
-
-    /// Re-validate every in-flight reception against the current geometry
-    /// and interference (used after mobility / noise changes).
-    fn recheck_all_receptions(&mut self) {
-        for i in 0..self.receptions.len() {
-            if !self.receptions[i].clean {
-                continue;
-            }
-            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
-            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
-                continue;
-            };
-            let signal =
-                self.stations[src.0].tx_power * self.link[src.0][rx.0] * self.gain[src.0][rx.0];
-            self.receptions[i].signal = signal;
-            let interference = self.interference_at(rx, tx);
-            if !self.prop.clean(signal, interference) {
-                self.receptions[i].clean = false;
-            }
-        }
-    }
+    /// Approximate heap bytes held by the medium's station-dependent state
+    /// (geometry caches, neighbor tables, running sums). The `scale` bench
+    /// reports this to show O(N·k) sparse growth against O(N²) dense.
+    fn memory_footprint(&self) -> usize;
 }
 
+/// The medium contract test suite, instantiated per implementation.
+///
+/// Every behavioral unit test runs against both [`DenseMedium`] and
+/// [`SparseMedium`](crate::sparse::SparseMedium) — the contract is the
+/// semantics, not one implementation's internals.
+///
+/// [`DenseMedium`]: crate::dense::DenseMedium
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::propagation::PropagationConfig;
-    use macaw_sim::{SimDuration, SimRng};
+macro_rules! medium_contract_tests {
+    ($M:ty) => {
+        use crate::geometry::Point;
+        use crate::medium::{Medium, StationId};
+        use crate::propagation::{Propagation, PropagationConfig};
+        use macaw_sim::{SimDuration, SimRng, SimTime};
 
-    fn t(us: u64) -> SimTime {
-        SimTime::ZERO + SimDuration::from_micros(us)
-    }
-
-    /// Classic Figure-1 line: A — B — C with A/B and B/C in range but A/C
-    /// out of range.
-    fn line_medium() -> (Medium, StationId, StationId, StationId) {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(1),
-        );
-        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
-        let c = m.add_station(Point::new(16.0, 0.0, 0.0));
-        assert!(m.in_range(a, b) && m.in_range(b, c) && !m.in_range(a, c));
-        (m, a, b, c)
-    }
-
-    #[test]
-    fn lone_transmission_is_received_cleanly_in_range_only() {
-        let (mut m, a, b, c) = line_medium();
-        let tx = m.start_tx(a, t(0));
-        let deliveries = m.end_tx(tx, t(1000));
-        assert_eq!(deliveries.len(), 1, "only B is in range of A");
-        assert_eq!(deliveries[0].station, b);
-        assert!(deliveries[0].clean);
-        let _ = c;
-    }
-
-    #[test]
-    fn hidden_terminal_collision_at_middle_station() {
-        // A and C transmit simultaneously; B hears both and receives neither.
-        let (mut m, a, _b, c) = line_medium();
-        let ta = m.start_tx(a, t(0));
-        let tc = m.start_tx(c, t(100));
-        let da = m.end_tx(ta, t(1000));
-        let dc = m.end_tx(tc, t(1100));
-        assert!(!da[0].clean, "A's packet collides at B");
-        assert!(!dc[0].clean, "C's packet collides at B");
-    }
-
-    #[test]
-    fn exposed_terminal_does_not_corrupt() {
-        // B transmits to A while C transmits "outward": C is in range of B
-        // only, so C's signal never reaches A and B's packet at A is clean.
-        let (mut m, a, b, c) = line_medium();
-        let tb = m.start_tx(b, t(0));
-        let tc = m.start_tx(c, t(50));
-        let db = m.end_tx(tb, t(1000));
-        let a_delivery = db.iter().find(|d| d.station == a).unwrap();
-        assert!(a_delivery.clean, "C is out of range of A; no interference");
-        let _ = m.end_tx(tc, t(1050));
-    }
-
-    #[test]
-    fn collision_condition_holds_for_entire_packet() {
-        // Interference that starts mid-packet and even *ends* before the
-        // packet does must still corrupt it.
-        let (mut m, a, _b, c) = line_medium();
-        let ta = m.start_tx(a, t(0));
-        let tc = m.start_tx(c, t(200));
-        let _ = m.end_tx(tc, t(400)); // interferer ends early
-        let da = m.end_tx(ta, t(1000));
-        assert!(!da[0].clean, "margin was violated during [200,400]us");
-    }
-
-    #[test]
-    fn interference_arriving_after_packet_end_is_harmless() {
-        let (mut m, _a, b, c) = line_medium();
-        let tb = m.start_tx(b, t(0));
-        let db = m.end_tx(tb, t(1000));
-        assert!(db.iter().all(|d| d.clean));
-        let tc = m.start_tx(c, t(1000));
-        let _ = m.end_tx(tc, t(2000));
-    }
-
-    #[test]
-    fn half_duplex_receiver_keying_up_loses_packet() {
-        let (mut m, a, b, _c) = line_medium();
-        let ta = m.start_tx(a, t(0));
-        let tb = m.start_tx(b, t(500)); // B keys up mid-reception
-        let da = m.end_tx(ta, t(1000));
-        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
-        let _ = m.end_tx(tb, t(1500));
-    }
-
-    #[test]
-    fn receiver_already_transmitting_never_hears() {
-        let (mut m, a, b, _c) = line_medium();
-        let tb = m.start_tx(b, t(0));
-        let ta = m.start_tx(a, t(100));
-        let da = m.end_tx(ta, t(600));
-        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
-        let _ = m.end_tx(tb, t(1000));
-    }
-
-    #[test]
-    fn capture_lets_much_closer_station_win() {
-        // Receiver 2 ft from near transmitter, 9 ft from far one: distance
-        // ratio 4.5 ≫ 10^(1/γ), so the near signal captures.
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(2),
-        );
-        let near = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
-        let far = m.add_station(Point::new(11.0, 0.0, 0.0));
-        assert!(m.in_range(rx, far));
-        let tn = m.start_tx(near, t(0));
-        let tf = m.start_tx(far, t(10));
-        let dn = m.end_tx(tn, t(1000));
-        assert!(dn.iter().find(|d| d.station == rx).unwrap().clean);
-        let df = m.end_tx(tf, t(1010));
-        assert!(!df.iter().find(|d| d.station == rx).unwrap().clean);
-    }
-
-    #[test]
-    fn symmetry_in_range_is_reflexive_pairwise() {
-        let (m, a, b, c) = line_medium();
-        assert_eq!(m.in_range(a, b), m.in_range(b, a));
-        assert_eq!(m.in_range(a, c), m.in_range(c, a));
-    }
-
-    #[test]
-    fn carrier_sense_sees_in_range_transmitters_only() {
-        let (mut m, a, b, c) = line_medium();
-        assert!(!m.carrier_busy(b));
-        let ta = m.start_tx(a, t(0));
-        assert!(m.carrier_busy(b), "B hears A");
-        assert!(!m.carrier_busy(c), "C does not hear A");
-        assert!(!m.carrier_busy(a), "own transmission is not carrier");
-        let _ = m.end_tx(ta, t(100));
-        assert!(!m.carrier_busy(b));
-    }
-
-    #[test]
-    fn rx_error_rate_corrupts_that_fraction_of_packets() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(3),
-        );
-        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let b = m.add_station(Point::new(5.0, 0.0, 0.0));
-        m.set_rx_error_rate(b, 0.1);
-        let mut lost = 0;
-        let mut clock = 0u64;
-        for _ in 0..5_000 {
-            let tx = m.start_tx(a, t(clock));
-            clock += 100;
-            let d = m.end_tx(tx, t(clock));
-            if !d[0].clean {
-                lost += 1;
-            }
+        fn t(us: u64) -> SimTime {
+            SimTime::ZERO + SimDuration::from_micros(us)
         }
-        let rate = lost as f64 / 5_000.0;
-        assert!((rate - 0.1).abs() < 0.02, "observed loss rate {rate}");
-    }
 
-    #[test]
-    fn spatial_noise_source_blocks_nearby_receiver() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(4),
-        );
-        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
-        let n = m.add_noise_source(Point::new(9.0, 0.0, 0.0), 1.0);
-        let tx = m.start_tx(a, t(0));
-        let d = m.end_tx(tx, t(1000));
-        assert!(!d[0].clean, "noise adjacent to B drowns A's signal");
-        m.set_noise_active(n, false);
-        let tx = m.start_tx(a, t(2000));
-        let d = m.end_tx(tx, t(3000));
-        assert!(d[0].clean, "noise off: clean again");
-        let _ = b;
-    }
-
-    #[test]
-    fn mobility_moves_station_between_cells() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(5),
-        );
-        let base1 = m.add_station(Point::new(0.0, 0.0, 6.0));
-        let base2 = m.add_station(Point::new(40.0, 0.0, 6.0));
-        let pad = m.add_station(Point::new(3.0, 0.0, 0.0));
-        assert!(m.in_range(pad, base1) && !m.in_range(pad, base2));
-        m.set_position(pad, Point::new(37.0, 0.0, 0.0));
-        assert!(!m.in_range(pad, base1) && m.in_range(pad, base2));
-    }
-
-    #[test]
-    fn moving_receiver_mid_packet_loses_it() {
-        let (mut m, a, b, _c) = line_medium();
-        let ta = m.start_tx(a, t(0));
-        m.set_position(b, Point::new(9.0, 0.0, 0.0));
-        let da = m.end_tx(ta, t(1000));
-        assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
-    }
-
-    #[test]
-    #[should_panic(expected = "already transmitting")]
-    fn double_start_panics() {
-        let (mut m, a, _b, _c) = line_medium();
-        let _ = m.start_tx(a, t(0));
-        let _ = m.start_tx(a, t(1));
-    }
-
-    #[test]
-    fn deliveries_are_sorted_by_station_for_determinism() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(6),
-        );
-        let mut ids = Vec::new();
-        for i in 0..5 {
-            ids.push(m.add_station(Point::new(i as f64, 0.0, 0.0)));
+        fn mk(seed: u64) -> $M {
+            <$M as Medium>::new(Propagation::new(PropagationConfig::default()), SimRng::new(seed))
         }
-        let tx = m.start_tx(ids[2], t(0));
-        let d = m.end_tx(tx, t(100));
-        let stations: Vec<_> = d.iter().map(|x| x.station).collect();
-        let mut sorted = stations.clone();
-        sorted.sort();
-        assert_eq!(stations, sorted);
-        assert_eq!(stations.len(), 4);
-    }
 
-    #[test]
-    fn end_tx_into_reuses_buffer_and_matches_end_tx() {
-        let (mut m, a, b, _c) = line_medium();
-        let mut buf = Vec::new();
-        let tx = m.start_tx(a, t(0));
-        m.end_tx_into(tx, t(1000), &mut buf);
-        assert_eq!(buf.len(), 1);
-        assert_eq!(buf[0].station, b);
-        assert!(buf[0].clean);
-        let cap = buf.capacity();
-        let tx = m.start_tx(a, t(2000));
-        m.end_tx_into(tx, t(3000), &mut buf);
-        assert_eq!(buf.len(), 1);
-        assert_eq!(buf.capacity(), cap, "the buffer must be reused, not reallocated");
-    }
+        /// Classic Figure-1 line: A — B — C with A/B and B/C in range but A/C
+        /// out of range.
+        fn line_medium() -> ($M, StationId, StationId, StationId) {
+            let mut m = mk(1);
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+            let c = m.add_station(Point::new(16.0, 0.0, 0.0));
+            assert!(m.in_range(a, b) && m.in_range(b, c) && !m.in_range(a, c));
+            (m, a, b, c)
+        }
 
-    #[test]
-    fn power_change_refreshes_audibility_cache() {
-        let (mut m, a, _b, c) = line_medium();
-        assert!(!m.hears(c, a));
-        m.set_tx_power(a, 1000.0);
-        assert!(m.hears(c, a), "louder A now reaches C");
-        let tx = m.start_tx(a, t(0));
-        let d = m.end_tx(tx, t(1000));
-        assert!(
-            d.iter().any(|x| x.station == c && x.clean),
-            "the cached audible list must include C after the power change"
-        );
-        m.set_tx_power(a, 1.0);
-        let tx = m.start_tx(a, t(2000));
-        let d = m.end_tx(tx, t(3000));
-        assert!(!d.iter().any(|x| x.station == c));
-    }
+        #[test]
+        fn lone_transmission_is_received_cleanly_in_range_only() {
+            let (mut m, a, b, c) = line_medium();
+            let tx = m.start_tx(a, t(0));
+            let deliveries = m.end_tx(tx, t(1000));
+            assert_eq!(deliveries.len(), 1, "only B is in range of A");
+            assert_eq!(deliveries[0].station, b);
+            assert!(deliveries[0].clean);
+            let _ = c;
+        }
 
-    #[test]
-    fn mobility_refreshes_audibility_and_carrier_sense() {
-        let (mut m, a, b, c) = line_medium();
-        // Move A to the far side of C: C now hears A's carrier, B no longer does.
-        m.set_position(a, Point::new(24.0, 0.0, 0.0));
-        let ta = m.start_tx(a, t(0));
-        assert!(m.carrier_busy(c), "C hears the moved A");
-        assert!(!m.carrier_busy(b), "B is now out of range of A");
-        let d = m.end_tx(ta, t(1000));
-        assert!(d.iter().any(|x| x.station == c && x.clean));
-        assert!(!d.iter().any(|x| x.station == b));
-    }
+        #[test]
+        fn hidden_terminal_collision_at_middle_station() {
+            // A and C transmit simultaneously; B hears both and receives neither.
+            let (mut m, a, _b, c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            let tc = m.start_tx(c, t(100));
+            let da = m.end_tx(ta, t(1000));
+            let dc = m.end_tx(tc, t(1100));
+            assert!(!da[0].clean, "A's packet collides at B");
+            assert!(!dc[0].clean, "C's packet collides at B");
+        }
 
-    #[test]
-    fn link_gain_is_directional_and_reversible() {
-        let (mut m, a, b, _c) = line_medium();
-        m.set_link_gain(a, b, 0.0);
-        assert!(!m.hears(b, a), "the faded direction is dead");
-        assert!(m.hears(a, b), "the reverse direction is untouched");
-        let tx = m.start_tx(a, t(0));
-        let d = m.end_tx(tx, t(1000));
-        assert!(
-            !d.iter().any(|x| x.station == b),
-            "B is no longer in A's audible set"
-        );
-        m.set_link_gain(a, b, 1.0);
-        assert!(m.hears(b, a), "restoring the factor restores the link");
-        let tx = m.start_tx(a, t(2000));
-        let d = m.end_tx(tx, t(3000));
-        assert!(d.iter().any(|x| x.station == b && x.clean));
-    }
+        #[test]
+        fn exposed_terminal_does_not_corrupt() {
+            // B transmits to A while C transmits "outward": C is in range of B
+            // only, so C's signal never reaches A and B's packet at A is clean.
+            let (mut m, a, b, c) = line_medium();
+            let tb = m.start_tx(b, t(0));
+            let tc = m.start_tx(c, t(50));
+            let db = m.end_tx(tb, t(1000));
+            let a_delivery = db.iter().find(|d| d.station == a).unwrap();
+            assert!(a_delivery.clean, "C is out of range of A; no interference");
+            let _ = m.end_tx(tc, t(1050));
+        }
 
-    #[test]
-    fn link_fade_mid_packet_loses_that_packet() {
-        let (mut m, a, b, _c) = line_medium();
-        let tx = m.start_tx(a, t(0));
-        m.set_link_gain(a, b, 0.01);
-        let d = m.end_tx(tx, t(1000));
-        assert!(
-            !d.iter().find(|x| x.station == b).unwrap().clean,
-            "a fade during the flight corrupts the packet"
-        );
-    }
+        #[test]
+        fn collision_condition_holds_for_entire_packet() {
+            // Interference that starts mid-packet and even *ends* before the
+            // packet does must still corrupt it.
+            let (mut m, a, _b, c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            let tc = m.start_tx(c, t(200));
+            let _ = m.end_tx(tc, t(400)); // interferer ends early
+            let da = m.end_tx(ta, t(1000));
+            assert!(!da[0].clean, "margin was violated during [200,400]us");
+        }
 
-    #[test]
-    fn tx_source_reports_in_flight_transmissions_only() {
-        let (mut m, a, _b, _c) = line_medium();
-        let tx = m.start_tx(a, t(0));
-        assert_eq!(m.tx_source(tx), Some(a));
-        let _ = m.end_tx(tx, t(100));
-        assert_eq!(m.tx_source(tx), None);
-    }
+        #[test]
+        fn interference_arriving_after_packet_end_is_harmless() {
+            let (mut m, _a, b, c) = line_medium();
+            let tb = m.start_tx(b, t(0));
+            let db = m.end_tx(tb, t(1000));
+            assert!(db.iter().all(|d| d.clean));
+            let tc = m.start_tx(c, t(1000));
+            let _ = m.end_tx(tc, t(2000));
+        }
 
-    #[test]
-    fn station_added_mid_flight_sees_consistent_interference() {
-        let (mut m, a, _b, _c) = line_medium();
-        let ta = m.start_tx(a, t(0));
-        // Registering a new station while a transmission is in flight must
-        // fold the active interference into the newcomer's running sums.
-        let d = m.add_station(Point::new(4.0, 0.0, 0.0));
-        assert!(m.carrier_busy(d), "the newcomer hears the in-flight carrier");
-        let _ = m.end_tx(ta, t(1000));
-        assert!(!m.carrier_busy(d));
-    }
-}
+        #[test]
+        fn half_duplex_receiver_keying_up_loses_packet() {
+            let (mut m, a, b, _c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            let tb = m.start_tx(b, t(500)); // B keys up mid-reception
+            let da = m.end_tx(ta, t(1000));
+            assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+            let _ = m.end_tx(tb, t(1500));
+        }
 
-#[cfg(test)]
-mod power_tests {
-    use super::*;
-    use crate::propagation::PropagationConfig;
-    use macaw_sim::{SimDuration, SimRng};
+        #[test]
+        fn receiver_already_transmitting_never_hears() {
+            let (mut m, a, b, _c) = line_medium();
+            let tb = m.start_tx(b, t(0));
+            let ta = m.start_tx(a, t(100));
+            let da = m.end_tx(ta, t(600));
+            assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+            let _ = m.end_tx(tb, t(1000));
+        }
 
-    fn t(us: u64) -> SimTime {
-        SimTime::ZERO + SimDuration::from_micros(us)
-    }
-
-    /// §4's reason for declining power variation, demonstrated: with unequal
-    /// transmit powers the radio is no longer symmetric, so "A hears B" no
-    /// longer implies "B hears A" — the property the CTS mechanism needs.
-    #[test]
-    fn unequal_power_breaks_symmetry() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(1),
-        );
-        let loud = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let quiet = m.add_station(Point::new(12.0, 0.0, 0.0));
-        assert!(!m.hears(quiet, loud) && !m.hears(loud, quiet), "baseline: both out of range");
-        // Boost the loud station ~3x in range terms.
-        m.set_tx_power(loud, 1000.0);
-        assert!(m.hears(quiet, loud), "the loud station now reaches further");
-        assert!(!m.hears(loud, quiet), "...but cannot hear the reply");
-        // And its packets actually arrive.
-        let tx = m.start_tx(loud, t(0));
-        let d = m.end_tx(tx, t(1000));
-        assert!(d.iter().any(|x| x.station == quiet && x.clean));
-        // While the quiet station's never do.
-        let tx = m.start_tx(quiet, t(2000));
-        let d = m.end_tx(tx, t(3000));
-        assert!(!d.iter().any(|x| x.station == loud));
-    }
-
-    /// A louder interferer needs proportionally more distance to be
-    /// captured over.
-    #[test]
-    fn loud_interferer_defeats_capture() {
-        let mk = |interferer_power: f64| {
-            let mut m = Medium::new(
-                Propagation::new(PropagationConfig::default()),
-                SimRng::new(2),
-            );
+        #[test]
+        fn capture_lets_much_closer_station_win() {
+            // Receiver 2 ft from near transmitter, 9 ft from far one: distance
+            // ratio 4.5 ≫ 10^(1/γ), so the near signal captures.
+            let mut m = mk(2);
             let near = m.add_station(Point::new(0.0, 0.0, 0.0));
             let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
-            let far = m.add_station(Point::new(9.0, 0.0, 0.0));
-            m.set_tx_power(far, interferer_power);
+            let far = m.add_station(Point::new(11.0, 0.0, 0.0));
+            assert!(m.in_range(rx, far));
             let tn = m.start_tx(near, t(0));
-            let _tf = m.start_tx(far, t(10));
+            let tf = m.start_tx(far, t(10));
             let dn = m.end_tx(tn, t(1000));
-            dn.iter().find(|d| d.station == rx).unwrap().clean
-        };
-        assert!(mk(1.0), "at equal power the near signal captures");
-        assert!(!mk(1000.0), "a 30 dB louder interferer defeats capture");
-    }
+            assert!(dn.iter().find(|d| d.station == rx).unwrap().clean);
+            let df = m.end_tx(tf, t(1010));
+            assert!(!df.iter().find(|d| d.station == rx).unwrap().clean);
+        }
 
-    #[test]
-    fn equal_powers_keep_hears_symmetric() {
-        let mut m = Medium::new(
-            Propagation::new(PropagationConfig::default()),
-            SimRng::new(3),
-        );
-        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
-        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
-        assert_eq!(m.hears(a, b), m.hears(b, a));
-        assert!(m.hears(a, b));
-    }
+        #[test]
+        fn symmetry_in_range_is_reflexive_pairwise() {
+            let (m, a, b, c) = line_medium();
+            assert_eq!(m.in_range(a, b), m.in_range(b, a));
+            assert_eq!(m.in_range(a, c), m.in_range(c, a));
+        }
+
+        #[test]
+        fn carrier_sense_sees_in_range_transmitters_only() {
+            let (mut m, a, b, c) = line_medium();
+            assert!(!m.carrier_busy(b));
+            let ta = m.start_tx(a, t(0));
+            assert!(m.carrier_busy(b), "B hears A");
+            assert!(!m.carrier_busy(c), "C does not hear A");
+            assert!(!m.carrier_busy(a), "own transmission is not carrier");
+            let _ = m.end_tx(ta, t(100));
+            assert!(!m.carrier_busy(b));
+        }
+
+        #[test]
+        fn rx_error_rate_corrupts_that_fraction_of_packets() {
+            let mut m = mk(3);
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let b = m.add_station(Point::new(5.0, 0.0, 0.0));
+            m.set_rx_error_rate(b, 0.1);
+            let mut lost = 0;
+            let mut clock = 0u64;
+            for _ in 0..5_000 {
+                let tx = m.start_tx(a, t(clock));
+                clock += 100;
+                let d = m.end_tx(tx, t(clock));
+                if !d[0].clean {
+                    lost += 1;
+                }
+            }
+            let rate = lost as f64 / 5_000.0;
+            assert!((rate - 0.1).abs() < 0.02, "observed loss rate {rate}");
+        }
+
+        #[test]
+        fn spatial_noise_source_blocks_nearby_receiver() {
+            let mut m = mk(4);
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+            let n = m.add_noise_source(Point::new(9.0, 0.0, 0.0), 1.0);
+            let tx = m.start_tx(a, t(0));
+            let d = m.end_tx(tx, t(1000));
+            assert!(!d[0].clean, "noise adjacent to B drowns A's signal");
+            m.set_noise_active(n, false);
+            let tx = m.start_tx(a, t(2000));
+            let d = m.end_tx(tx, t(3000));
+            assert!(d[0].clean, "noise off: clean again");
+            let _ = b;
+        }
+
+        #[test]
+        fn mobility_moves_station_between_cells() {
+            let mut m = mk(5);
+            let base1 = m.add_station(Point::new(0.0, 0.0, 6.0));
+            let base2 = m.add_station(Point::new(40.0, 0.0, 6.0));
+            let pad = m.add_station(Point::new(3.0, 0.0, 0.0));
+            assert!(m.in_range(pad, base1) && !m.in_range(pad, base2));
+            m.set_position(pad, Point::new(37.0, 0.0, 0.0));
+            assert!(!m.in_range(pad, base1) && m.in_range(pad, base2));
+        }
+
+        #[test]
+        fn moving_receiver_mid_packet_loses_it() {
+            let (mut m, a, b, _c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            m.set_position(b, Point::new(9.0, 0.0, 0.0));
+            let da = m.end_tx(ta, t(1000));
+            assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+        }
+
+        #[test]
+        #[should_panic(expected = "already transmitting")]
+        fn double_start_panics() {
+            let (mut m, a, _b, _c) = line_medium();
+            let _ = m.start_tx(a, t(0));
+            let _ = m.start_tx(a, t(1));
+        }
+
+        #[test]
+        fn deliveries_are_sorted_by_station_for_determinism() {
+            let mut m = mk(6);
+            let mut ids = Vec::new();
+            for i in 0..5 {
+                ids.push(m.add_station(Point::new(i as f64, 0.0, 0.0)));
+            }
+            let tx = m.start_tx(ids[2], t(0));
+            let d = m.end_tx(tx, t(100));
+            let stations: Vec<_> = d.iter().map(|x| x.station).collect();
+            let mut sorted = stations.clone();
+            sorted.sort();
+            assert_eq!(stations, sorted);
+            assert_eq!(stations.len(), 4);
+        }
+
+        #[test]
+        fn end_tx_into_reuses_buffer_and_matches_end_tx() {
+            let (mut m, a, b, _c) = line_medium();
+            let mut buf = Vec::new();
+            let tx = m.start_tx(a, t(0));
+            m.end_tx_into(tx, t(1000), &mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf[0].station, b);
+            assert!(buf[0].clean);
+            let cap = buf.capacity();
+            let tx = m.start_tx(a, t(2000));
+            m.end_tx_into(tx, t(3000), &mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf.capacity(), cap, "the buffer must be reused, not reallocated");
+        }
+
+        #[test]
+        fn power_change_refreshes_audibility_cache() {
+            let (mut m, a, _b, c) = line_medium();
+            assert!(!m.hears(c, a));
+            m.set_tx_power(a, 1000.0);
+            assert!(m.hears(c, a), "louder A now reaches C");
+            let tx = m.start_tx(a, t(0));
+            let d = m.end_tx(tx, t(1000));
+            assert!(
+                d.iter().any(|x| x.station == c && x.clean),
+                "the cached audible list must include C after the power change"
+            );
+            m.set_tx_power(a, 1.0);
+            let tx = m.start_tx(a, t(2000));
+            let d = m.end_tx(tx, t(3000));
+            assert!(!d.iter().any(|x| x.station == c));
+        }
+
+        #[test]
+        fn mobility_refreshes_audibility_and_carrier_sense() {
+            let (mut m, a, b, c) = line_medium();
+            // Move A to the far side of C: C now hears A's carrier, B no longer does.
+            m.set_position(a, Point::new(24.0, 0.0, 0.0));
+            let ta = m.start_tx(a, t(0));
+            assert!(m.carrier_busy(c), "C hears the moved A");
+            assert!(!m.carrier_busy(b), "B is now out of range of A");
+            let d = m.end_tx(ta, t(1000));
+            assert!(d.iter().any(|x| x.station == c && x.clean));
+            assert!(!d.iter().any(|x| x.station == b));
+        }
+
+        #[test]
+        fn link_gain_is_directional_and_reversible() {
+            let (mut m, a, b, _c) = line_medium();
+            m.set_link_gain(a, b, 0.0);
+            assert!(!m.hears(b, a), "the faded direction is dead");
+            assert!(m.hears(a, b), "the reverse direction is untouched");
+            let tx = m.start_tx(a, t(0));
+            let d = m.end_tx(tx, t(1000));
+            assert!(
+                !d.iter().any(|x| x.station == b),
+                "B is no longer in A's audible set"
+            );
+            m.set_link_gain(a, b, 1.0);
+            assert!(m.hears(b, a), "restoring the factor restores the link");
+            let tx = m.start_tx(a, t(2000));
+            let d = m.end_tx(tx, t(3000));
+            assert!(d.iter().any(|x| x.station == b && x.clean));
+        }
+
+        #[test]
+        fn link_fade_mid_packet_loses_that_packet() {
+            let (mut m, a, b, _c) = line_medium();
+            let tx = m.start_tx(a, t(0));
+            m.set_link_gain(a, b, 0.01);
+            let d = m.end_tx(tx, t(1000));
+            assert!(
+                !d.iter().find(|x| x.station == b).unwrap().clean,
+                "a fade during the flight corrupts the packet"
+            );
+        }
+
+        #[test]
+        fn tx_source_reports_in_flight_transmissions_only() {
+            let (mut m, a, _b, _c) = line_medium();
+            let tx = m.start_tx(a, t(0));
+            assert_eq!(m.tx_source(tx), Some(a));
+            let _ = m.end_tx(tx, t(100));
+            assert_eq!(m.tx_source(tx), None);
+        }
+
+        #[test]
+        fn station_added_mid_flight_sees_consistent_interference() {
+            let (mut m, a, _b, _c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            // Registering a new station while a transmission is in flight must
+            // fold the active interference into the newcomer's running sums.
+            let d = m.add_station(Point::new(4.0, 0.0, 0.0));
+            assert!(m.carrier_busy(d), "the newcomer hears the in-flight carrier");
+            let _ = m.end_tx(ta, t(1000));
+            assert!(!m.carrier_busy(d));
+        }
+
+        #[test]
+        fn memory_footprint_is_positive_and_grows() {
+            let mut m = mk(8);
+            for i in 0..8 {
+                m.add_station(Point::new((i * 3) as f64, 0.0, 0.0));
+            }
+            let small = m.memory_footprint();
+            assert!(small > 0);
+            for i in 8..64 {
+                m.add_station(Point::new((i * 3) as f64, 0.0, 0.0));
+            }
+            assert!(m.memory_footprint() > small);
+        }
+
+        /// §4's reason for declining power variation, demonstrated: with unequal
+        /// transmit powers the radio is no longer symmetric, so "A hears B" no
+        /// longer implies "B hears A" — the property the CTS mechanism needs.
+        #[test]
+        fn unequal_power_breaks_symmetry() {
+            let mut m = mk(11);
+            let loud = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let quiet = m.add_station(Point::new(12.0, 0.0, 0.0));
+            assert!(!m.hears(quiet, loud) && !m.hears(loud, quiet), "baseline: both out of range");
+            // Boost the loud station ~3x in range terms.
+            m.set_tx_power(loud, 1000.0);
+            assert!(m.hears(quiet, loud), "the loud station now reaches further");
+            assert!(!m.hears(loud, quiet), "...but cannot hear the reply");
+            // And its packets actually arrive.
+            let tx = m.start_tx(loud, t(0));
+            let d = m.end_tx(tx, t(1000));
+            assert!(d.iter().any(|x| x.station == quiet && x.clean));
+            // While the quiet station's never do.
+            let tx = m.start_tx(quiet, t(2000));
+            let d = m.end_tx(tx, t(3000));
+            assert!(!d.iter().any(|x| x.station == loud));
+        }
+
+        /// A louder interferer needs proportionally more distance to be
+        /// captured over.
+        #[test]
+        fn loud_interferer_defeats_capture() {
+            let go = |interferer_power: f64| {
+                let mut m = mk(12);
+                let near = m.add_station(Point::new(0.0, 0.0, 0.0));
+                let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
+                let far = m.add_station(Point::new(9.0, 0.0, 0.0));
+                m.set_tx_power(far, interferer_power);
+                let tn = m.start_tx(near, t(0));
+                let _tf = m.start_tx(far, t(10));
+                let dn = m.end_tx(tn, t(1000));
+                dn.iter().find(|d| d.station == rx).unwrap().clean
+            };
+            assert!(go(1.0), "at equal power the near signal captures");
+            assert!(!go(1000.0), "a 30 dB louder interferer defeats capture");
+        }
+
+        #[test]
+        fn equal_powers_keep_hears_symmetric() {
+            let mut m = mk(13);
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+            assert_eq!(m.hears(a, b), m.hears(b, a));
+            assert!(m.hears(a, b));
+        }
+    };
 }
+
+#[cfg(test)]
+pub(crate) use medium_contract_tests;

@@ -377,3 +377,100 @@ impl ReferenceMedium {
         }
     }
 }
+
+// The trait impl below is pure delegation so trait-generic harnesses can
+// drive the reference directly; it adds no caching and changes no behavior.
+impl crate::medium::Medium for ReferenceMedium {
+    fn new(prop: Propagation, rng: SimRng) -> Self {
+        ReferenceMedium::new(prop, rng)
+    }
+
+    fn propagation(&self) -> &Propagation {
+        ReferenceMedium::propagation(self)
+    }
+
+    fn add_station(&mut self, pos: Point) -> StationId {
+        ReferenceMedium::add_station(self, pos)
+    }
+
+    fn station_count(&self) -> usize {
+        ReferenceMedium::station_count(self)
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        ReferenceMedium::position(self, id)
+    }
+
+    fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        ReferenceMedium::set_rx_error_rate(self, id, p)
+    }
+
+    fn set_tx_power(&mut self, id: StationId, power: f64) {
+        ReferenceMedium::set_tx_power(self, id, power)
+    }
+
+    fn hears(&self, to: StationId, from: StationId) -> bool {
+        ReferenceMedium::hears(self, to, from)
+    }
+
+    fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        ReferenceMedium::set_link_gain(self, src, dst, factor)
+    }
+
+    fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        ReferenceMedium::link_gain(self, src, dst)
+    }
+
+    fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        ReferenceMedium::add_noise_source(self, pos, power)
+    }
+
+    fn set_noise_active(&mut self, index: usize, active: bool) {
+        ReferenceMedium::set_noise_active(self, index, active)
+    }
+
+    fn set_position(&mut self, id: StationId, pos: Point) {
+        ReferenceMedium::set_position(self, id, pos)
+    }
+
+    fn in_range(&self, a: StationId, b: StationId) -> bool {
+        ReferenceMedium::in_range(self, a, b)
+    }
+
+    fn is_transmitting(&self, id: StationId) -> bool {
+        ReferenceMedium::is_transmitting(self, id)
+    }
+
+    fn carrier_busy(&self, id: StationId) -> bool {
+        ReferenceMedium::carrier_busy(self, id)
+    }
+
+    fn active_count(&self) -> usize {
+        ReferenceMedium::active_count(self)
+    }
+
+    fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        ReferenceMedium::start_tx(self, source, now)
+    }
+
+    fn end_tx(&mut self, tx: TxId, now: SimTime) -> Vec<Delivery> {
+        ReferenceMedium::end_tx(self, tx, now)
+    }
+
+    fn end_tx_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Delivery>) {
+        *out = ReferenceMedium::end_tx(self, tx, now);
+    }
+
+    fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        ReferenceMedium::tx_start(self, tx)
+    }
+
+    fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        ReferenceMedium::tx_source(self, tx)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.link.iter().map(|r| r.capacity() * 8).sum::<usize>()
+            + self.stations.capacity() * std::mem::size_of::<StationEntry>()
+    }
+}

@@ -1,0 +1,1121 @@
+//! The sparse cube-grid medium: O(N·k) scaling for large station counts.
+//!
+//! [`SparseMedium`] implements [`Medium`] with the same bit-exact semantics
+//! as [`DenseMedium`](crate::dense::DenseMedium) but without any `N×N`
+//! state. The paper's near-field radio makes that possible: under the hard
+//! interference cutoff ([`CutoffMode::Hard`]), a transmission contributes
+//! *exactly zero* interference beyond the reception range (10 ft), so only
+//! a small geometric neighborhood of each station can ever carry or corrupt
+//! a packet. The medium exploits that with three structures:
+//!
+//! * A [`BucketGrid`] spatial hash over the paper's own 1 ft³ cube grid,
+//!   coarsened to the reception radius (10 ft cells): every station lives
+//!   in one bucket, and any ball of radius ≤ one cell edge is covered by
+//!   the 3³ ring of cells around its center. Stations sit at cube centers,
+//!   so pairwise coordinate deltas are integers and the one-ring bound is
+//!   exact even at the knife-edge 10.0 ft distance.
+//! * `nbrs[b]` — the ascending list of stations within the cutoff ball of
+//!   `b`, with their path gains cached. Under the hard cutoff this is
+//!   *exactly* the set with nonzero interference gain at `b`, independent
+//!   of transmit powers and link factors (the cutoff tests the raw
+//!   geometric power before either multiplier is applied).
+//! * Sparse per-station link-override lists replacing the dense `N×N` link
+//!   matrix (absent entry ⇒ factor 1.0, a multiplicative identity).
+//!
+//! # Bit-exactness
+//!
+//! The dense medium folds interference sums left-to-right over its active
+//! transmission list; IEEE-754 addition is not associative, so the sparse
+//! medium replays the *same* fold — it walks the same global active list in
+//! the same order and looks each source up in the receiver's neighbor list.
+//! A source absent from the list would contribute `tx_power · link · 0.0 =
+//! +0.0`, and adding `+0.0` to a non-negative partial sum is a bit-exact
+//! identity, so skipping absent sources changes nothing. The same identity
+//! makes every O(k)-localized update exact: an operation only needs to
+//! refold stations whose *nonzero* fold terms changed membership or order,
+//! because all other stations' folds are term-for-term bit-identical.
+//!
+//! Per-operation refold sets (station counts, not matrix rows):
+//!
+//! * `start_tx` appends one fold term — add the contribution to the running
+//!   sums of the transmitter and its neighbors (append preserves the fold).
+//! * `end_tx` swap-removes an active entry, removing one term and moving
+//!   another — refold around the ended source and the swapped-in source.
+//! * `set_position` changes terms involving the mover only — refold the
+//!   mover, plus its old and new neighborhoods if it is mid-transmission.
+//! * `set_tx_power` / `set_link_gain` scale one source's terms — refold its
+//!   neighborhood / the one affected destination.
+//!
+//! Audibility (`audible[src]`, who can *receive* `src`, no cutoff applied)
+//! is the one structure that stretches with transmit power: its radius is
+//! `10 · (power · link)^(1/γ)` ft. Candidate searches size their ring count
+//! from monotone upper bounds (`max_tx_power`, `max_link` never decrease),
+//! so a lowered power costs a few extra empty cells, never a missed
+//! station.
+//!
+//! Under [`CutoffMode::Physical`] every station interferes everywhere; the
+//! neighbor lists then simply hold all stations and the medium degrades to
+//! the dense medium's complexity while staying bit-exact. The paper's
+//! experiments all use the hard cutoff.
+//!
+//! [`CutoffMode::Hard`]: crate::propagation::CutoffMode::Hard
+//! [`CutoffMode::Physical`]: crate::propagation::CutoffMode::Physical
+//! [`BucketGrid`]: macaw_sim::BucketGrid
+
+use macaw_sim::{BucketGrid, SimRng, SimTime};
+
+use crate::geometry::{cube_center, Point};
+use crate::medium::{Delivery, Medium, StationId, TxId};
+use crate::propagation::{CutoffMode, Propagation};
+
+struct StationEntry {
+    pos: Point,
+    transmitting: Option<TxId>,
+    rx_error_rate: f64,
+    tx_power: f64,
+}
+
+struct ActiveTx {
+    id: TxId,
+    source: StationId,
+    start: SimTime,
+}
+
+struct Reception {
+    tx: TxId,
+    rx: StationId,
+    signal: f64,
+    clean: bool,
+}
+
+struct NoiseSource {
+    pos: Point,
+    power: f64,
+    active: bool,
+}
+
+/// One station inside another's interference-cutoff ball, with the
+/// geometry-derived gains cached (these change only when one of the pair
+/// moves, at which point the entry is rebuilt).
+#[derive(Clone, Copy)]
+struct Neighbor {
+    idx: usize,
+    /// `power_at_distance(d)` — no cutoff; signal-strength computations.
+    gain: f64,
+    /// `interference_power(d)` — cutoff applied; interference folds.
+    int_gain: f64,
+}
+
+/// The sparse cube-grid radio medium (see module docs).
+pub struct SparseMedium {
+    prop: Propagation,
+    /// `CutoffMode::Physical`: interference has no cutoff, so neighbor
+    /// lists hold every station and ring searches enumerate all of them.
+    physical: bool,
+    /// Grid cell edge in feet (the reception radius, rounded up).
+    cell_edge: i64,
+    stations: Vec<StationEntry>,
+    active: Vec<ActiveTx>,
+    receptions: Vec<Reception>,
+    noise: Vec<NoiseSource>,
+    rng: SimRng,
+    next_tx: u64,
+    grid: BucketGrid,
+    /// Ascending interference neighbors of each station (excluding itself).
+    nbrs: Vec<Vec<Neighbor>>,
+    /// Sparse link overrides: ascending `(dst, factor)` per source. Entries
+    /// persist once created (a factor reset to 1.0 is an exact identity).
+    link_out: Vec<Vec<(usize, f64)>>,
+    /// Ascending station indices that can receive `src`'s transmissions at
+    /// its current power — who hears `src` transmit.
+    audible: Vec<Vec<usize>>,
+    /// Summed active spatial-noise power at each station, in noise order.
+    ambient: Vec<f64>,
+    /// `ambient[b]` plus every active transmission's interference power at
+    /// `b`, folded in active-list order (see module docs).
+    incident: Vec<f64>,
+    /// `interference_power(0.0)` — a transmitter's own fold term.
+    self_gain: f64,
+    /// Monotone upper bound on every power ever set (ring-search sizing).
+    max_tx_power: f64,
+    /// Monotone upper bound on every link factor ever set.
+    max_link: f64,
+    /// Reusable candidate buffers (no steady-state allocation).
+    scratch_a: Vec<usize>,
+    scratch_b: Vec<usize>,
+    /// Each station's index in `active` (`usize::MAX` while idle), so a
+    /// refold can enumerate the nearby active transmissions in list order
+    /// without scanning the whole list.
+    active_pos: Vec<usize>,
+    /// Reusable `(active index, source, int_gain)` buffer for
+    /// [`Self::fold_incident_fast`].
+    scratch_fold: Vec<(usize, usize, f64)>,
+    /// Stamp-marked scatter of one station's neighbor list: `mark[b]`
+    /// holds `(mark_stamp, int_gain, gain)` when `b` was a neighbor of the
+    /// last stamped station — an O(1) replacement for the `nbrs` binary
+    /// search on hot per-reception loops.
+    mark: Vec<(u64, f64, f64)>,
+    mark_stamp: u64,
+    /// How many stations in `{b} ∪ nbrs[b]` are currently transmitting —
+    /// lets a refold skip idle neighborhoods and stop its neighbor scan
+    /// as soon as every active one has been found.
+    near_count: Vec<u32>,
+}
+
+impl Medium for SparseMedium {
+    fn new(prop: Propagation, rng: SimRng) -> Self {
+        let physical = matches!(prop.config().cutoff, CutoffMode::Physical);
+        let cell_edge = (prop.config().threshold_distance_ft.ceil() as i64).max(1);
+        let self_gain = prop.interference_power(0.0);
+        SparseMedium {
+            prop,
+            physical,
+            cell_edge,
+            stations: Vec::new(),
+            active: Vec::new(),
+            receptions: Vec::new(),
+            noise: Vec::new(),
+            rng,
+            next_tx: 0,
+            grid: BucketGrid::new(),
+            nbrs: Vec::new(),
+            link_out: Vec::new(),
+            audible: Vec::new(),
+            ambient: Vec::new(),
+            incident: Vec::new(),
+            self_gain,
+            max_tx_power: 1.0,
+            max_link: 1.0,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+            active_pos: Vec::new(),
+            scratch_fold: Vec::new(),
+            mark: Vec::new(),
+            mark_stamp: 0,
+            near_count: Vec::new(),
+        }
+    }
+
+    fn propagation(&self) -> &Propagation {
+        &self.prop
+    }
+
+    fn add_station(&mut self, pos: Point) -> StationId {
+        let idx = self.stations.len();
+        let id = StationId(idx);
+        self.stations.push(StationEntry {
+            pos: cube_center(pos),
+            transmitting: None,
+            rx_error_rate: 0.0,
+            tx_power: 1.0,
+        });
+        let pos = self.stations[idx].pos;
+        self.grid.insert(self.cell_of(pos), idx);
+        self.link_out.push(Vec::new());
+
+        // Interference neighbors: symmetric, within the cutoff ball (one
+        // grid ring), power-independent. Register the newcomer in each
+        // neighbor's list too.
+        let mut cands = std::mem::take(&mut self.scratch_a);
+        self.collect_candidates(pos, 1, &mut cands);
+        let mut list = Vec::new();
+        for &o in &cands {
+            if o == idx {
+                continue;
+            }
+            let d = pos.distance(self.stations[o].pos);
+            let ig = self.prop.interference_power(d);
+            if self.physical || ig > 0.0 {
+                let g = self.prop.power_at_distance(d);
+                list.push(Neighbor {
+                    idx: o,
+                    gain: g,
+                    int_gain: ig,
+                });
+                let olist = &mut self.nbrs[o];
+                let at = olist
+                    .binary_search_by_key(&idx, |n| n.idx)
+                    .expect_err("newcomer cannot already be a neighbor");
+                olist.insert(
+                    at,
+                    Neighbor {
+                        idx,
+                        gain: g,
+                        int_gain: ig,
+                    },
+                );
+            }
+        }
+        self.nbrs.push(list); // candidates were ascending, so this is too
+
+        // Audibility: existing stations may hear the newcomer transmit and
+        // vice versa. Ring radius comes from the monotone power bound, so
+        // every source loud enough to reach the newcomer is enumerated.
+        let rings = self.rings_for(self.max_tx_power * self.max_link);
+        self.collect_candidates(pos, rings, &mut cands);
+        let threshold = self.prop.threshold_power();
+        for &src in &cands {
+            if src == idx {
+                continue;
+            }
+            let g = self
+                .prop
+                .power_at_distance(self.stations[src].pos.distance(pos));
+            if self.stations[src].tx_power * self.link_of(src, idx) * g >= threshold {
+                self.audible[src].push(idx); // largest index: stays ascending
+            }
+        }
+        self.scratch_a = cands;
+        self.audible.push(Vec::new());
+        self.rebuild_audible(idx);
+
+        self.ambient.push(0.0);
+        self.rebuild_ambient_of(idx);
+        self.incident.push(0.0);
+        self.incident[idx] = self.fold_incident(idx);
+        self.active_pos.push(usize::MAX);
+        self.mark.push((0, 0.0, 0.0));
+        let near = self.nbrs[idx]
+            .iter()
+            .filter(|n| self.active_pos[n.idx] != usize::MAX)
+            .count() as u32;
+        self.near_count.push(near);
+        id
+    }
+
+    fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        self.stations[id.0].pos
+    }
+
+    fn set_rx_error_rate(&mut self, id: StationId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "error rate must be in [0,1]");
+        self.stations[id.0].rx_error_rate = p;
+    }
+
+    fn set_tx_power(&mut self, id: StationId, power: f64) {
+        assert!(power > 0.0 && power.is_finite(), "power must be positive");
+        self.stations[id.0].tx_power = power;
+        self.max_tx_power = self.max_tx_power.max(power);
+        self.rebuild_audible(id.0);
+        // If `id` is mid-transmission its fold term changed — but only at
+        // stations where the term is nonzero: itself and its neighbors.
+        if self.stations[id.0].transmitting.is_some() {
+            self.refold_around(id.0);
+        }
+    }
+
+    fn hears(&self, to: StationId, from: StationId) -> bool {
+        self.stations[from.0].tx_power
+            * self.link_of(from.0, to.0)
+            * self.gain_of(from.0, to.0)
+            >= self.prop.threshold_power()
+    }
+
+    fn set_link_gain(&mut self, src: StationId, dst: StationId, factor: f64) {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "link gain must be finite and non-negative"
+        );
+        assert_ne!(src, dst, "link gain applies to a pair of distinct stations");
+        let list = &mut self.link_out[src.0];
+        match list.binary_search_by_key(&dst.0, |&(d, _)| d) {
+            Ok(at) => list[at].1 = factor,
+            Err(at) => list.insert(at, (dst.0, factor)),
+        }
+        self.max_link = self.max_link.max(factor);
+        if let Some(tx) = self.stations[src.0].transmitting {
+            for r in &mut self.receptions {
+                if r.tx == tx && r.rx == dst {
+                    r.clean = false;
+                }
+            }
+        }
+        // Only `dst`'s membership in `audible[src]` can have flipped.
+        let qualifies = self.stations[src.0].tx_power
+            * self.link_of(src.0, dst.0)
+            * self.gain_of(src.0, dst.0)
+            >= self.prop.threshold_power();
+        let list = &mut self.audible[src.0];
+        match list.binary_search(&dst.0) {
+            Ok(at) if !qualifies => {
+                list.remove(at);
+            }
+            Err(at) if qualifies => {
+                list.insert(at, dst.0);
+            }
+            _ => {}
+        }
+        if self.stations[src.0].transmitting.is_some() {
+            // `src`'s fold term changed at `dst` and nowhere else.
+            self.incident[dst.0] = self.fold_incident(dst.0);
+        }
+        self.recheck_all_receptions();
+    }
+
+    fn link_gain(&self, src: StationId, dst: StationId) -> f64 {
+        self.link_of(src.0, dst.0)
+    }
+
+    fn add_noise_source(&mut self, pos: Point, power: f64) -> usize {
+        let pos = cube_center(pos);
+        self.noise.push(NoiseSource {
+            pos,
+            power,
+            active: true,
+        });
+        // The raw-power cutoff bounds a noise source's reach at one grid
+        // ring regardless of its power multiplier; stations further away
+        // gain an exactly-zero ambient term, which changes nothing.
+        self.refresh_noise_neighborhood(pos);
+        self.noise.len() - 1
+    }
+
+    fn set_noise_active(&mut self, index: usize, active: bool) {
+        self.noise[index].active = active;
+        let pos = self.noise[index].pos;
+        self.refresh_noise_neighborhood(pos);
+        if active {
+            self.recheck_all_receptions();
+        }
+    }
+
+    fn set_position(&mut self, id: StationId, pos: Point) {
+        let moved = id.0;
+        let old_pos = self.stations[moved].pos;
+        self.stations[moved].pos = cube_center(pos);
+        let new_pos = self.stations[moved].pos;
+        let moving_tx = self.stations[moved].transmitting;
+        for r in &mut self.receptions {
+            if r.rx == id || Some(r.tx) == moving_tx {
+                r.clean = false;
+            }
+        }
+
+        // Re-home in the grid and rebuild the symmetric neighbor entries:
+        // drop the mover from its old neighbors, recompute its own list at
+        // the new position, register it with the new neighbors.
+        self.grid.remove(self.cell_of(old_pos), moved);
+        self.grid.insert(self.cell_of(new_pos), moved);
+        let mut old_nbrs = std::mem::take(&mut self.scratch_b);
+        old_nbrs.clear();
+        old_nbrs.extend(self.nbrs[moved].iter().map(|n| n.idx));
+        for &o in &old_nbrs {
+            let olist = &mut self.nbrs[o];
+            let at = olist
+                .binary_search_by_key(&moved, |n| n.idx)
+                .expect("neighbor lists must be symmetric");
+            olist.remove(at);
+        }
+        {
+            let mut cands = std::mem::take(&mut self.scratch_a);
+            self.collect_candidates(new_pos, 1, &mut cands);
+            let mut list = std::mem::take(&mut self.nbrs[moved]);
+            list.clear();
+            for &o in &cands {
+                if o == moved {
+                    continue;
+                }
+                let d = new_pos.distance(self.stations[o].pos);
+                let ig = self.prop.interference_power(d);
+                if self.physical || ig > 0.0 {
+                    let g = self.prop.power_at_distance(d);
+                    list.push(Neighbor {
+                        idx: o,
+                        gain: g,
+                        int_gain: ig,
+                    });
+                    let olist = &mut self.nbrs[o];
+                    let at = olist
+                        .binary_search_by_key(&moved, |n| n.idx)
+                        .expect_err("mover was removed from all old lists");
+                    olist.insert(
+                        at,
+                        Neighbor {
+                            idx: moved,
+                            gain: g,
+                            int_gain: ig,
+                        },
+                    );
+                }
+            }
+            self.nbrs[moved] = list;
+            self.scratch_a = cands;
+        }
+
+        // Active-neighbor counts: the mover's own count follows its new
+        // ball; other stations' counts change only if the mover is
+        // mid-transmission and entered or left their ball.
+        if moving_tx.is_some() {
+            for &o in &old_nbrs {
+                self.near_count[o] -= 1;
+            }
+            for i in 0..self.nbrs[moved].len() {
+                let o = self.nbrs[moved][i].idx;
+                self.near_count[o] += 1;
+            }
+        }
+        self.near_count[moved] = (moving_tx.is_some() as u32)
+            + self.nbrs[moved]
+                .iter()
+                .filter(|n| self.active_pos[n.idx] != usize::MAX)
+                .count() as u32;
+
+        // Audibility: the mover's own list, plus its membership in every
+        // list whose owner is close enough to either endpoint to possibly
+        // reach it (the monotone power bound sizes the search).
+        self.rebuild_audible(moved);
+        let rings = self.rings_for(self.max_tx_power * self.max_link);
+        let mut cands = std::mem::take(&mut self.scratch_a);
+        cands.clear();
+        if self.physical {
+            cands.extend(0..self.stations.len());
+        } else {
+            self.grid
+                .for_each_in_rings(self.cell_of(old_pos), rings, |i| cands.push(i));
+            self.grid
+                .for_each_in_rings(self.cell_of(new_pos), rings, |i| cands.push(i));
+            cands.sort_unstable();
+            cands.dedup();
+        }
+        let threshold = self.prop.threshold_power();
+        for &src in &cands {
+            if src == moved {
+                continue;
+            }
+            let qualifies = self.stations[src].tx_power
+                * self.link_of(src, moved)
+                * self.gain_of(src, moved)
+                >= threshold;
+            let list = &mut self.audible[src];
+            match list.binary_search(&moved) {
+                Ok(at) if !qualifies => {
+                    list.remove(at);
+                }
+                Err(at) if qualifies => {
+                    list.insert(at, moved);
+                }
+                _ => {}
+            }
+        }
+        self.scratch_a = cands;
+
+        self.rebuild_ambient_of(moved);
+        // Fold terms changed only on pairs involving the mover: its own sum
+        // always, and — if it is mid-transmission — the sums of its old and
+        // new neighborhoods.
+        self.incident[moved] = self.fold_incident(moved);
+        if moving_tx.is_some() {
+            for &b in &old_nbrs {
+                self.incident[b] = self.fold_incident(b);
+            }
+            for i in 0..self.nbrs[moved].len() {
+                let b = self.nbrs[moved][i].idx;
+                self.incident[b] = self.fold_incident(b);
+            }
+        }
+        old_nbrs.clear();
+        self.scratch_b = old_nbrs;
+
+        self.recheck_all_receptions();
+    }
+
+    fn in_range(&self, a: StationId, b: StationId) -> bool {
+        self.prop
+            .in_range(self.stations[a.0].pos.distance(self.stations[b.0].pos))
+    }
+
+    fn is_transmitting(&self, id: StationId) -> bool {
+        self.stations[id.0].transmitting.is_some()
+    }
+
+    fn carrier_busy(&self, id: StationId) -> bool {
+        if self.stations[id.0].transmitting.is_none() {
+            // No exclusions apply, so the running sum answers in O(1).
+            debug_assert_eq!(
+                self.incident[id.0].to_bits(),
+                self.fold_incident(id.0).to_bits(),
+                "running incident sum diverged from the reference fold"
+            );
+            return self.incident[id.0] >= self.prop.threshold_power();
+        }
+        let mut power = self.ambient[id.0];
+        for tx in &self.active {
+            if tx.source == id {
+                continue;
+            }
+            power += self.contribution(tx.source.0, id.0);
+        }
+        power >= self.prop.threshold_power()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
+        assert!(
+            self.stations[source.0].transmitting.is_none(),
+            "station {source:?} is already transmitting"
+        );
+        let id = TxId::from_raw(self.next_tx);
+        self.next_tx += 1;
+        self.stations[source.0].transmitting = Some(id);
+
+        self.active.push(ActiveTx {
+            id,
+            source,
+            start: now,
+        });
+        self.active_pos[source.0] = self.active.len() - 1;
+
+        // Stamp-scatter the transmitter's neighbor gains so the hot loops
+        // below replace every `nbrs` binary search with one load (neighbor
+        // lists are symmetric with bit-identical gains, so `nbrs[source]`
+        // carries the same `int_gain` as `nbrs[rx]`).
+        let tx_power = self.stations[source.0].tx_power;
+        self.mark_stamp += 1;
+        for i in 0..self.nbrs[source.0].len() {
+            let n = self.nbrs[source.0][i];
+            self.mark[n.idx] = (self.mark_stamp, n.int_gain, n.gain);
+        }
+
+        // One pass over the in-flight receptions: half-duplex (anything
+        // addressed *to* the new transmitter is lost) and drowning (the new
+        // signal may push a nearby reception's interference over its
+        // threshold; `interference_at` already sees the pushed entry). The
+        // half-duplex kill never feeds the drown check — drowning skips
+        // `rx == source` — so fusing the reference's two passes is exact.
+        for i in 0..self.receptions.len() {
+            let rx = self.receptions[i].rx;
+            if rx == source {
+                self.receptions[i].clean = false;
+                continue;
+            }
+            if !self.receptions[i].clean {
+                continue;
+            }
+            let (stamp, int_gain, _) = self.mark[rx.0];
+            if stamp != self.mark_stamp {
+                continue;
+            }
+            let added = tx_power * self.link_of(source.0, rx.0) * int_gain;
+            debug_assert_eq!(added.to_bits(), self.contribution(source.0, rx.0).to_bits());
+            if added > 0.0 {
+                let interference = self.interference_at(rx, self.receptions[i].tx);
+                let signal = self.receptions[i].signal;
+                if !self.prop.clean(signal, interference) {
+                    self.receptions[i].clean = false;
+                }
+            }
+        }
+
+        // Open a reception record at every station that can hear `source`.
+        // `audible[source]` is exactly the set passing the reference's
+        // signal-threshold check, in the same ascending-index order. The
+        // path gain comes from the stamp scatter when the listener is a
+        // cutoff neighbor (`Neighbor::gain` is the same
+        // `power_at_distance` value `gain_of` would find or recompute).
+        for li in 0..self.audible[source.0].len() {
+            let idx = self.audible[source.0][li];
+            let rx = StationId(idx);
+            let gain = match self.mark[idx] {
+                (stamp, _, g) if stamp == self.mark_stamp => g,
+                _ => self.gain_of(source.0, idx),
+            };
+            debug_assert_eq!(gain.to_bits(), self.gain_of(source.0, idx).to_bits());
+            let signal = tx_power * self.link_of(source.0, idx) * gain;
+            debug_assert!(signal >= self.prop.threshold_power());
+            let clean = self.stations[idx].transmitting.is_none() && {
+                // The new transmission is the last active entry, so the
+                // interference excluding it is the pre-append running sum.
+                debug_assert_eq!(
+                    self.incident[idx].to_bits(),
+                    self.interference_at(rx, id).to_bits(),
+                    "running incident sum diverged from the reference fold"
+                );
+                let interference = self.incident[idx];
+                self.prop.clean(signal, interference)
+            };
+            self.receptions.push(Reception {
+                tx: id,
+                rx,
+                signal,
+                clean,
+            });
+        }
+
+        // Append the new fold term to the running sums. The term is nonzero
+        // only at the transmitter itself and its cutoff neighbors; appending
+        // an exactly-zero term anywhere else would change nothing.
+        self.incident[source.0] += tx_power * self.self_gain;
+        self.near_count[source.0] += 1;
+        for i in 0..self.nbrs[source.0].len() {
+            let n = self.nbrs[source.0][i];
+            self.incident[n.idx] += tx_power * self.link_of(source.0, n.idx) * n.int_gain;
+            self.near_count[n.idx] += 1;
+        }
+        id
+    }
+
+    fn end_tx_into(&mut self, tx: TxId, _now: SimTime, out: &mut Vec<Delivery>) {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx)
+            .expect("end_tx: transmission not in flight");
+        let source = self.active[idx].source;
+        self.active.swap_remove(idx);
+        self.active_pos[source.0] = usize::MAX;
+        let swapped_in = self.active.get(idx).map(|t| t.source.0);
+        if let Some(m) = swapped_in {
+            self.active_pos[m] = idx;
+        }
+        debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
+        self.stations[source.0].transmitting = None;
+
+        // Extract this transmission's receptions and compact the rest in
+        // place, preserving their relative order.
+        out.clear();
+        let mut write = 0;
+        for read in 0..self.receptions.len() {
+            let r = &self.receptions[read];
+            if r.tx == tx {
+                out.push(Delivery {
+                    station: r.rx,
+                    clean: r.clean,
+                    signal: r.signal,
+                });
+            } else {
+                self.receptions.swap(write, read);
+                write += 1;
+            }
+        }
+        self.receptions.truncate(write);
+        debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
+
+        self.near_count[source.0] -= 1;
+        for i in 0..self.nbrs[source.0].len() {
+            let n = self.nbrs[source.0][i].idx;
+            self.near_count[n] -= 1;
+        }
+
+        // The swap-remove deleted one fold term and moved another to a new
+        // position. Both are exactly zero outside their source's
+        // neighborhood, so only those stations' folds can have changed; all
+        // others are term-for-term identical and keep their running sums.
+        self.refold_around(source.0);
+        if let Some(m) = swapped_in {
+            if m != source.0 {
+                self.refold_around(m);
+            }
+        }
+
+        // Per-packet intermittent noise (§3.3.1): each packet is corrupted
+        // at a receiving station with that station's error probability.
+        for d in out.iter_mut() {
+            let rate = self.stations[d.station.0].rx_error_rate;
+            if d.clean && rate > 0.0 && self.rng.chance(rate) {
+                d.clean = false;
+            }
+        }
+    }
+
+    fn tx_start(&self, tx: TxId) -> Option<SimTime> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+    }
+
+    fn tx_source(&self, tx: TxId) -> Option<StationId> {
+        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let nbr_rows: usize = self
+            .nbrs
+            .iter()
+            .map(|r| r.capacity() * size_of::<Neighbor>())
+            .sum();
+        let aud_rows: usize = self
+            .audible
+            .iter()
+            .map(|r| r.capacity() * size_of::<usize>())
+            .sum();
+        let link_rows: usize = self
+            .link_out
+            .iter()
+            .map(|r| r.capacity() * size_of::<(usize, f64)>())
+            .sum();
+        let spines = (self.nbrs.capacity() + self.audible.capacity() + self.link_out.capacity())
+            * size_of::<Vec<usize>>();
+        let flat = (self.ambient.capacity() + self.incident.capacity()) * size_of::<f64>()
+            + self.stations.capacity() * size_of::<StationEntry>();
+        nbr_rows + aud_rows + link_rows + spines + flat + self.grid.memory_footprint()
+    }
+}
+
+impl SparseMedium {
+    /// The grid cell containing `p` (positions are cube-center snapped, so
+    /// coordinate floors are exact integers).
+    fn cell_of(&self, p: Point) -> [i64; 3] {
+        [
+            (p.x.floor() as i64).div_euclid(self.cell_edge),
+            (p.y.floor() as i64).div_euclid(self.cell_edge),
+            (p.z.floor() as i64).div_euclid(self.cell_edge),
+        ]
+    }
+
+    /// Ring count covering a ball of radius `threshold_distance ·
+    /// effective^(1/γ)` — the audible radius at an effective (power · link)
+    /// product. One ring always covers the unstretched radius; the `+ 1` on
+    /// the stretched path insures against `powf` rounding at cell borders.
+    fn rings_for(&self, effective: f64) -> i64 {
+        if effective <= 1.0 {
+            return 1;
+        }
+        let cfg = self.prop.config();
+        let reach = cfg.threshold_distance_ft * effective.powf(1.0 / cfg.gamma);
+        (reach / self.cell_edge as f64).ceil() as i64 + 1
+    }
+
+    /// Collect the ascending station indices within `rings` grid cells of
+    /// `center` (all stations in physical-cutoff mode) into `out`.
+    fn collect_candidates(&self, center: Point, rings: i64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.physical {
+            out.extend(0..self.stations.len());
+            return;
+        }
+        self.grid
+            .for_each_in_rings(self.cell_of(center), rings, |i| out.push(i));
+        out.sort_unstable();
+    }
+
+    /// The `src → dst` link factor (1.0 unless explicitly overridden).
+    fn link_of(&self, src: usize, dst: usize) -> f64 {
+        let list = &self.link_out[src];
+        if list.is_empty() {
+            return 1.0;
+        }
+        match list.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(at) => list[at].1,
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Path gain `power_at_distance(d(a, b))` — cached when `b` is in `a`'s
+    /// cutoff ball, recomputed (same function, same inputs, same bits)
+    /// otherwise. `a == b` takes the recompute path (distance 0.0), like
+    /// the reference's dense-matrix diagonal.
+    fn gain_of(&self, a: usize, b: usize) -> f64 {
+        match self.nbrs[a].binary_search_by_key(&b, |n| n.idx) {
+            Ok(at) => self.nbrs[a][at].gain,
+            Err(_) => self
+                .prop
+                .power_at_distance(self.stations[a].pos.distance(self.stations[b].pos)),
+        }
+    }
+
+    /// Source `s`'s term in station `b`'s interference fold:
+    /// `tx_power · link · int_gain`, which is exactly `+0.0` whenever `s`
+    /// is outside `b`'s cutoff ball.
+    fn contribution(&self, s: usize, b: usize) -> f64 {
+        if s == b {
+            // link[s][s] ≡ 1.0; the self term uses the zero-distance gain.
+            return self.stations[s].tx_power * self.self_gain;
+        }
+        match self.nbrs[b].binary_search_by_key(&s, |n| n.idx) {
+            Ok(at) => {
+                self.stations[s].tx_power * self.link_of(s, b) * self.nbrs[b][at].int_gain
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Summed interference power at station `rx` from all active
+    /// transmissions except `except`, plus spatial noise — the reference's
+    /// exact left-to-right fold over the active list.
+    fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
+        let mut power = self.ambient[rx.0];
+        for t in &self.active {
+            if t.id == except || t.source == rx {
+                continue;
+            }
+            power += self.contribution(t.source.0, rx.0);
+        }
+        power
+    }
+
+    /// The reference fold for `incident[b]`: ambient noise plus every
+    /// active transmission in list order.
+    fn fold_incident(&self, b: usize) -> f64 {
+        let mut power = self.ambient[b];
+        for t in &self.active {
+            power += self.contribution(t.source.0, b);
+        }
+        power
+    }
+
+    /// [`Self::fold_incident`] restricted to the active transmissions whose
+    /// term at `b` can be nonzero — `b` itself and its cutoff neighbors —
+    /// visited in active-list order via `active_pos`. Every skipped term is
+    /// exactly `+0.0` and the running sum is never `-0.0` (ambient folds
+    /// seed with `+0.0`), so adding the skipped terms would change no bits:
+    /// the result is identical to the full fold, in O(k log k) instead of
+    /// O(A·log k).
+    fn fold_incident_fast(&self, b: usize, near: &mut Vec<(usize, usize, f64)>) -> f64 {
+        near.clear();
+        let mut remaining = self.near_count[b];
+        if self.active_pos[b] != usize::MAX {
+            near.push((self.active_pos[b], b, self.self_gain));
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            for n in &self.nbrs[b] {
+                if self.active_pos[n.idx] != usize::MAX {
+                    near.push((self.active_pos[n.idx], n.idx, n.int_gain));
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0, "near_count diverged from active_pos");
+        near.sort_unstable_by_key(|&(pos, _, _)| pos);
+        let mut power = self.ambient[b];
+        for &(_, s, int_gain) in near.iter() {
+            // The same product `contribution` computes, with the gain taken
+            // from the already-found `nbrs[b]` entry (self term: link ≡ 1).
+            let term = if s == b {
+                self.stations[s].tx_power * int_gain
+            } else {
+                self.stations[s].tx_power * self.link_of(s, b) * int_gain
+            };
+            debug_assert_eq!(term.to_bits(), self.contribution(s, b).to_bits());
+            power += term;
+        }
+        debug_assert_eq!(
+            power.to_bits(),
+            self.fold_incident(b).to_bits(),
+            "restricted fold diverged from the full reference fold"
+        );
+        power
+    }
+
+    /// Refold the running sums of `s` and every station in its cutoff ball
+    /// — the only stations where `s`'s fold term is nonzero.
+    fn refold_around(&mut self, s: usize) {
+        let mut near: Vec<(usize, usize, f64)> = std::mem::take(&mut self.scratch_fold);
+        self.incident[s] = self.fold_incident_fast(s, &mut near);
+        for i in 0..self.nbrs[s].len() {
+            let b = self.nbrs[s][i].idx;
+            self.incident[b] = self.fold_incident_fast(b, &mut near);
+        }
+        self.scratch_fold = near;
+    }
+
+    /// Recompute `ambient[b]` with the same filtered fold (noise-list
+    /// order, inactive sources skipped) the reference uses per query.
+    fn rebuild_ambient_of(&mut self, b: usize) {
+        let pos = self.stations[b].pos;
+        // Explicit 0.0-seeded fold: `Iterator::sum` seeds with -0.0, which
+        // would make an empty sum bitwise-differ from the reference's.
+        let mut power = 0.0;
+        for n in self.noise.iter().filter(|n| n.active) {
+            power += n.power * self.prop.interference_power(n.pos.distance(pos));
+        }
+        self.ambient[b] = power;
+    }
+
+    /// A noise source at `pos` changed: refresh ambient and incident sums
+    /// for the stations inside its cutoff ball (everyone else's fold gained
+    /// or lost an exactly-zero term).
+    fn refresh_noise_neighborhood(&mut self, pos: Point) {
+        let mut cands = std::mem::take(&mut self.scratch_a);
+        self.collect_candidates(pos, 1, &mut cands);
+        for &b in &cands {
+            self.rebuild_ambient_of(b);
+            self.incident[b] = self.fold_incident(b);
+        }
+        self.scratch_a = cands;
+    }
+
+    /// Rebuild who hears `src` transmit. Candidates come from a ring search
+    /// sized by `src`'s power times the monotone link bound, so the search
+    /// covers the stretched audible radius; each candidate is then tested
+    /// with the exact per-link criterion.
+    fn rebuild_audible(&mut self, src: usize) {
+        let power = self.stations[src].tx_power;
+        let threshold = self.prop.threshold_power();
+        let rings = self.rings_for(power * self.max_link);
+        let pos = self.stations[src].pos;
+        let mut cands = std::mem::take(&mut self.scratch_a);
+        self.collect_candidates(pos, rings, &mut cands);
+        let mut list = std::mem::take(&mut self.audible[src]);
+        list.clear();
+        for &b in &cands {
+            if b == src {
+                continue;
+            }
+            let g = self.prop.power_at_distance(pos.distance(self.stations[b].pos));
+            if power * self.link_of(src, b) * g >= threshold {
+                list.push(b);
+            }
+        }
+        self.audible[src] = list;
+        self.scratch_a = cands;
+    }
+
+    /// Re-validate every in-flight reception against the current geometry
+    /// and interference (used after mobility / noise changes).
+    fn recheck_all_receptions(&mut self) {
+        for i in 0..self.receptions.len() {
+            if !self.receptions[i].clean {
+                continue;
+            }
+            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
+            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+                continue;
+            };
+            let signal = self.stations[src.0].tx_power
+                * self.link_of(src.0, rx.0)
+                * self.gain_of(src.0, rx.0);
+            self.receptions[i].signal = signal;
+            let interference = self.interference_at(rx, tx);
+            if !self.prop.clean(signal, interference) {
+                self.receptions[i].clean = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod contract {
+    crate::medium::medium_contract_tests!(crate::sparse::SparseMedium);
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use crate::propagation::PropagationConfig;
+    use macaw_sim::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn mk(seed: u64) -> SparseMedium {
+        SparseMedium::new(Propagation::new(PropagationConfig::default()), SimRng::new(seed))
+    }
+
+    /// A row of well-separated clusters: memory must grow like N·k, not N².
+    #[test]
+    fn memory_grows_subquadratically() {
+        let footprint = |n: usize| {
+            let mut m = mk(1);
+            for i in 0..n {
+                // Clusters of 4 stations every 30 ft: constant k.
+                let cluster = (i / 4) as f64 * 30.0;
+                let off = (i % 4) as f64 * 2.0;
+                m.add_station(Point::new(cluster + off, 0.0, 0.0));
+            }
+            m.memory_footprint()
+        };
+        let small = footprint(64);
+        let large = footprint(1024);
+        // 16x the stations must cost far less than 256x the bytes; allow
+        // generous slack over the ideal 16x for allocator rounding.
+        assert!(
+            large < small * 64,
+            "64 stations: {small} B, 1024 stations: {large} B"
+        );
+    }
+
+    /// The knife edge: 10.0 ft is exactly in range and exactly at the last
+    /// cell the one-ring search covers (stations (0.5,…) and (10.5,…) sit
+    /// in adjacent 10 ft cells at distance exactly 10).
+    #[test]
+    fn boundary_distance_is_found_across_cells() {
+        let mut m = mk(2);
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(10.0, 0.0, 0.0));
+        assert_eq!(m.position(a).distance(m.position(b)), 10.0);
+        assert!(m.in_range(a, b));
+        let tx = m.start_tx(a, t(0));
+        let d = m.end_tx(tx, t(1000));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].station, b);
+        assert!(d[0].clean);
+        assert!(!m.carrier_busy(b));
+    }
+
+    /// Far-apart stations share no state: transmissions in one cluster are
+    /// invisible in the other.
+    #[test]
+    fn distant_clusters_are_independent() {
+        let mut m = mk(3);
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(5.0, 0.0, 0.0));
+        let c = m.add_station(Point::new(500.0, 0.0, 0.0));
+        let d = m.add_station(Point::new(505.0, 0.0, 0.0));
+        let t1 = m.start_tx(a, t(0));
+        let t2 = m.start_tx(c, t(1));
+        assert!(m.carrier_busy(b) && m.carrier_busy(d));
+        let d1 = m.end_tx(t1, t(1000));
+        let d2 = m.end_tx(t2, t(1001));
+        assert_eq!(d1.len(), 1);
+        assert!(d1[0].clean && d1[0].station == b);
+        assert_eq!(d2.len(), 1);
+        assert!(d2[0].clean && d2[0].station == d);
+    }
+
+    /// Physical cutoff mode falls back to all-stations neighbor lists and
+    /// keeps the out-of-range interference tail.
+    #[test]
+    fn physical_mode_keeps_the_interference_tail() {
+        let prop = Propagation::new(PropagationConfig {
+            cutoff: CutoffMode::Physical,
+            ..PropagationConfig::default()
+        });
+        let mut m = SparseMedium::new(prop, SimRng::new(4));
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+        // A distant station: out of reception range, but its tail still
+        // raises the incident power at B under the physical model.
+        let far = m.add_station(Point::new(30.0, 0.0, 0.0));
+        let before = m.fold_incident(b.0);
+        let tx = m.start_tx(far, t(0));
+        assert!(m.fold_incident(b.0) > before, "the r^-γ tail must be felt");
+        let _ = m.end_tx(tx, t(10));
+        let _ = a;
+    }
+
+    /// Mobility across many cells keeps grid and neighbor lists symmetric.
+    #[test]
+    fn repeated_moves_keep_neighbor_lists_symmetric() {
+        let mut m = mk(5);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(m.add_station(Point::new((i * 4) as f64, 0.0, 0.0)));
+        }
+        // Walk one station across the whole row and back.
+        for step in 0..40 {
+            let x = (step % 20) as f64 * 3.0;
+            m.set_position(ids[5], Point::new(x, 1.0, 0.0));
+            for (a, row) in m.nbrs.iter().enumerate() {
+                assert!(row.windows(2).all(|w| w[0].idx < w[1].idx), "ascending");
+                for n in row {
+                    assert!(
+                        m.nbrs[n.idx].binary_search_by_key(&a, |x| x.idx).is_ok(),
+                        "neighbor lists must stay symmetric after moves"
+                    );
+                }
+            }
+            assert_eq!(m.grid.len(), 12);
+        }
+    }
+}

@@ -55,7 +55,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 /// Compare every query surface of the two media.
-fn assert_same_views(fast: &Medium, slow: &ReferenceMedium) -> Result<(), TestCaseError> {
+fn assert_same_views<M: Medium>(fast: &M, slow: &ReferenceMedium) -> Result<(), TestCaseError> {
     let n = fast.station_count();
     prop_assert_eq!(n, slow.station_count());
     prop_assert_eq!(fast.active_count(), slow.active_count());
@@ -89,9 +89,9 @@ fn assert_same_views(fast: &Medium, slow: &ReferenceMedium) -> Result<(), TestCa
     Ok(())
 }
 
-fn run_schedule(seed: u64, points: Vec<Point>, ops: Vec<Op>) -> Result<(), TestCaseError> {
+fn run_schedule<M: Medium>(seed: u64, points: Vec<Point>, ops: Vec<Op>) -> Result<(), TestCaseError> {
     let prop = Propagation::new(PropagationConfig::default());
-    let mut fast = Medium::new(prop, SimRng::new(seed));
+    let mut fast = M::new(prop, SimRng::new(seed));
     let mut slow = ReferenceMedium::new(prop, SimRng::new(seed));
     for p in &points {
         prop_assert_eq!(fast.add_station(*p), slow.add_station(*p));
@@ -185,7 +185,10 @@ proptest! {
         points in proptest::collection::vec(arb_point(), 2..9),
         ops in proptest::collection::vec(arb_op(), 1..48),
     ) {
-        run_schedule(seed, points, ops)?;
+        // Both cached media replay the identical schedule against the same
+        // reference with the same seed, so this also pins sparse == dense.
+        run_schedule::<macaw_phy::SparseMedium>(seed, points.clone(), ops.clone())?;
+        run_schedule::<macaw_phy::DenseMedium>(seed, points, ops)?;
     }
 
     /// Focused variant: no mobility or power ops, heavy start/end churn
@@ -202,7 +205,8 @@ proptest! {
                 if start { Op::Start(i) } else { Op::End(i) }
             }))
             .collect();
-        run_schedule(seed, points, ops)?;
+        run_schedule::<macaw_phy::SparseMedium>(seed, points.clone(), ops.clone())?;
+        run_schedule::<macaw_phy::DenseMedium>(seed, points, ops)?;
     }
 
     /// `ChaosMedium` under a random fault schedule must match the naive
@@ -218,7 +222,7 @@ proptest! {
         rate in 0u32..25,
     ) {
         let prop = Propagation::new(PropagationConfig::default());
-        let mut fast = ChaosMedium::with_new_medium(prop, SimRng::new(seed));
+        let mut fast: ChaosMedium = ChaosMedium::with_new_medium(prop, SimRng::new(seed));
         let mut slow = ReferenceMedium::new(prop, SimRng::new(seed));
         let n = points.len();
         for p in &points {

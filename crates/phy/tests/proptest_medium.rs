@@ -1,7 +1,7 @@
 //! Property tests for the radio medium: symmetry, monotonicity and the
 //! collision rule hold for arbitrary geometries.
 
-use macaw_phy::{Medium, Point, Propagation, PropagationConfig, StationId};
+use macaw_phy::{Medium, Point, Propagation, PropagationConfig, SparseMedium, StationId};
 use macaw_sim::{SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
@@ -17,7 +17,7 @@ proptest! {
     /// Radio symmetry (§2.1): if A hears B then B hears A.
     #[test]
     fn in_range_is_symmetric(points in proptest::collection::vec(arb_point(), 2..12)) {
-        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(1));
+        let mut m = SparseMedium::new(Propagation::new(PropagationConfig::default()), SimRng::new(1));
         let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
         for &a in &ids {
             for &b in &ids {
@@ -32,7 +32,7 @@ proptest! {
     fn lone_transmission_reaches_exactly_in_range(
         points in proptest::collection::vec(arb_point(), 2..12)
     ) {
-        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(2));
+        let mut m = SparseMedium::new(Propagation::new(PropagationConfig::default()), SimRng::new(2));
         let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
         let src = ids[0];
         let in_range: Vec<_> = ids[1..].iter().filter(|&&s| m.in_range(src, s)).copied().collect();
@@ -51,7 +51,7 @@ proptest! {
     fn at_most_one_clean_reception_under_overlap(
         points in proptest::collection::vec(arb_point(), 3..10)
     ) {
-        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(3));
+        let mut m = SparseMedium::new(Propagation::new(PropagationConfig::default()), SimRng::new(3));
         let ids: Vec<_> = points.iter().map(|p| m.add_station(*p)).collect();
         let (a, b) = (ids[0], ids[1]);
         let ta = m.start_tx(a, t(0));
@@ -81,7 +81,7 @@ proptest! {
     /// Per-packet noise: an error rate of 0 never corrupts, 1 always does.
     #[test]
     fn noise_extremes_behave(seed in 0u64..1000) {
-        let mut m = Medium::new(Propagation::new(PropagationConfig::default()), SimRng::new(seed));
+        let mut m = SparseMedium::new(Propagation::new(PropagationConfig::default()), SimRng::new(seed));
         let a = m.add_station(Point::new(0.0, 0.0, 0.0));
         let b = m.add_station(Point::new(5.0, 0.0, 0.0));
         let _ = a;

@@ -31,11 +31,13 @@
 //! ```
 
 pub mod event;
+pub mod grid;
 pub mod hash;
 pub mod rng;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
+pub use grid::BucketGrid;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -8,7 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
-cargo build --release
+cargo build --release --workspace
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -21,5 +21,8 @@ cargo run --release -p macaw-bench --bin perf -- --quick
 
 echo "== faults smoke =="
 cargo run --release -p macaw-bench --bin faults -- --smoke
+
+echo "== scale smoke =="
+cargo run --release -p macaw-bench --bin scale -- --quick
 
 echo "verify: OK"
