@@ -52,6 +52,11 @@ struct Probe {
     name: &'static str,
     events: u64,
     secs: f64,
+    /// FEL operation counters for the run: schedules, live pops,
+    /// cancellations hitting queued events, and the live-depth high-water
+    /// mark — these attribute a throughput change to queue traffic (or
+    /// rule it out).
+    queue: macaw_sim::QueueStats,
 }
 
 fn engine_probe(seed: u64) -> Vec<Probe> {
@@ -68,6 +73,7 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
             name,
             events: report.events_processed,
             secs,
+            queue: report.queue_stats,
         });
     };
     go("figure10-maca", figures::figure10(MacKind::Maca, seed), dur);
@@ -167,11 +173,17 @@ fn main() {
     for p in &probes {
         let evps = p.events as f64 / p.secs;
         println!("  {:<16} {:>9} events in {:>7.1} ms = {:.2} Mev/s", p.name, p.events, p.secs * 1e3, evps / 1e6);
+        println!(
+            "  {:<16} queue: {} pushes, {} pops, {} cancels, depth high-water {}",
+            "", p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water
+        );
         tot_ev += p.events;
         tot_secs += p.secs;
         probe_json.push_str(&format!(
-            "    {{ \"scenario\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0} }},\n",
-            p.name, p.events, p.secs, evps
+            "    {{ \"scenario\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_high_water\": {} }},\n",
+            p.name, p.events, p.secs, evps,
+            p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water
         ));
     }
     let total_evps = tot_ev as f64 / tot_secs;

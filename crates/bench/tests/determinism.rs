@@ -131,6 +131,74 @@ fn scale_topology_sparse_matches_dense_bitwise() {
     }
 }
 
+/// The ladder-queue FEL is unobservable: every scenario family behind the
+/// paper tables, run under the ladder queue and under the plain 4-ary
+/// heap oracle, produces bitwise-identical `RunReport`s — every f64 bit
+/// pattern, every counter, the FEL operation stats included. Each table's
+/// published numbers are pure functions of these reports (the `table*`
+/// functions only read stream throughputs out of them), so report
+/// equality here is full-table equality under both queues.
+#[test]
+fn ladder_and_heap_queue_reports_are_bitwise_identical() {
+    use macaw_core::Scenario;
+    use macaw_phy::SparseMedium;
+    use macaw_sim::{HeapFel, LadderFel};
+    let dur = SimDuration::from_secs(15);
+    let warm = SimDuration::from_secs(3);
+    let arrive = SimTime::ZERO + SimDuration::from_secs(5);
+    let off_at = SimTime::ZERO + SimDuration::from_secs(5);
+    type Mk = Box<dyn Fn() -> Scenario>;
+    let cases: Vec<(&str, Mk)> = vec![
+        ("figure1-csma", Box::new(|| figures::figure1_hidden(MacKind::Csma(Default::default()), 1))),
+        ("figure2-maca", Box::new(|| figures::figure2(MacKind::Maca, 1))),
+        ("figure3-macaw", Box::new(|| figures::figure3(MacKind::Macaw, 1))),
+        ("figure4-macaw", Box::new(|| figures::figure4(MacKind::Macaw, 1))),
+        ("table4-noise", Box::new(|| figures::table4(MacKind::Macaw, 1, 0.01))),
+        ("figure5-macaw", Box::new(|| figures::figure5(MacKind::Macaw, 1))),
+        ("figure6-macaw", Box::new(|| figures::figure6(MacKind::Macaw, 1))),
+        ("figure7-macaw", Box::new(|| figures::figure7(MacKind::Macaw, 1))),
+        ("figure9-macaw", Box::new(move || figures::figure9(MacKind::Macaw, 1, off_at))),
+        ("figure10-maca", Box::new(|| figures::figure10(MacKind::Maca, 1))),
+        ("figure10-macaw", Box::new(|| figures::figure10(MacKind::Macaw, 1))),
+        ("figure11-macaw", Box::new(move || figures::figure11(MacKind::Macaw, 1, arrive))),
+    ];
+    for (name, mk) in &cases {
+        let ladder = mk().run_with_queue::<SparseMedium, LadderFel>(dur, warm).unwrap();
+        let heap = mk().run_with_queue::<SparseMedium, HeapFel>(dur, warm).unwrap();
+        assert_eq!(ladder, heap, "{name}: reports differ structurally across FEL backends");
+        assert_eq!(
+            format!("{ladder:?}"),
+            format!("{heap:?}"),
+            "{name}: reports differ in f64 bit patterns across FEL backends"
+        );
+        assert!(
+            ladder.queue_stats.popped > 0,
+            "{name}: queue stats empty — the comparison would be vacuous"
+        );
+    }
+}
+
+/// Queue-backend equivalence holds at scale too (the cube-grid medium and
+/// hundreds of stations drive the ladder's bucket resizing much harder
+/// than the paper figures do).
+#[test]
+fn ladder_and_heap_agree_on_the_scale_floor() {
+    use macaw_core::prelude::{scale_topology, ScaleConfig};
+    use macaw_phy::SparseMedium;
+    use macaw_sim::{HeapFel, LadderFel};
+    let dur = SimDuration::from_secs(3);
+    let warm = SimDuration::from_millis(500);
+    let cfg = ScaleConfig::with_stations(96);
+    let ladder = scale_topology(&cfg, MacKind::Macaw, 11)
+        .run_with_queue::<SparseMedium, LadderFel>(dur, warm)
+        .unwrap();
+    let heap = scale_topology(&cfg, MacKind::Macaw, 11)
+        .run_with_queue::<SparseMedium, HeapFel>(dur, warm)
+        .unwrap();
+    assert_eq!(ladder, heap, "scale-96: reports differ across FEL backends");
+    assert_eq!(format!("{ladder:?}"), format!("{heap:?}"));
+}
+
 /// A chaos run is still a pure function of (topology, plan, seed): the
 /// same generated `FaultPlan` applied to the same scenario produces a
 /// bitwise-identical report, crashes and corruption windows included.

@@ -34,7 +34,9 @@ use std::collections::VecDeque;
 use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
 use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, SparseMedium, StationId, TxId};
-use macaw_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use macaw_sim::{
+    EventQueue, Fel, FelChoice, LadderFel, NextFire, QueueStats, SimDuration, SimRng, SimTime,
+};
 use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
 
@@ -101,39 +103,154 @@ type PendingTimer = (SimTime, u64);
 /// Sentinel for an idle timer slot; loses every `<` comparison.
 const NO_TIMER: PendingTimer = (SimTime::from_nanos(u64::MAX), u64::MAX);
 
-/// Identifies which slot the earliest pending timer lives in.
-#[derive(Clone, Copy)]
-enum TimerOwner {
-    Mac(usize),
-    Transport(usize, Side),
-}
-
-/// Bit marking a [`TimerCache`] slot index as a transport (not MAC) slot.
+/// Bit marking a [`TimerIndex`] slot index as a transport (not MAC) slot.
 const TP_SLOT: u32 = 1 << 31;
 
-/// Incremental index of pending timers: a lazy-deletion min-heap over
-/// timer *writes*. Every armed slot's current value was pushed when it was
-/// written, so the heap's smallest entry that still matches its slot is
-/// the true minimum; entries whose slot has since been re-armed or cleared
-/// fail that check and are popped. Sort keys come from
+/// Marker for "this slot has no heap node" in the [`TimerIndex`] position
+/// maps.
+const TIMER_ABSENT: u32 = u32::MAX;
+
+/// [`TimerIndex`] heap arity (same fan-out as the simulator's FEL heaps).
+const TIMER_ARITY: usize = 4;
+
+/// Incremental index of pending timers: an array-backed 4-ary min-heap
+/// with decrease-key support. Each armed slot owns at most one heap node,
+/// found through a dense position map (`pos_mac` by station, `pos_tp` by
+/// transport slot), so re-arming a timer moves its node in place and
+/// clearing one deletes it — [`TimerIndex::peek`] is O(1) and exact, with
+/// no stale entries to drain. The lazy-deletion predecessor of this index
+/// pushed a fresh node on every write and left the superseded one to be
+/// popped later; with a busy MAC re-arming its defer timer on nearly
+/// every overheard frame, that cost ~1.6 pushes plus ~0.9 dead pops per
+/// simulation event and dominated the run loop. Sort keys come from
 /// [`EventQueue::alloc_key`]'s globally unique counter, so the minimum is
-/// unambiguous and the fire order is identical to a full linear scan —
-/// the predecessor of this index, which rescanned every station and
-/// transport slot each time the front timer moved and dominated the event
-/// loop on large (1000+ station) floors.
+/// unambiguous and fire order is identical to a full linear scan (kept as
+/// the `scan_timers` debug oracle).
 #[derive(Default)]
-struct TimerCache {
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32)>>,
+struct TimerIndex {
+    /// Heap nodes `(deadline, sort key, slot)`, minimum at index 0.
+    heap: Vec<(SimTime, u64, u32)>,
+    /// Station index → heap position, or [`TIMER_ABSENT`].
+    pos_mac: Vec<u32>,
+    /// Transport slot index → heap position, or [`TIMER_ABSENT`].
+    pos_tp: Vec<u32>,
 }
 
-impl TimerCache {
-    /// Account for `slot` being overwritten with `tk` (possibly
-    /// [`NO_TIMER`]). Clears need no entry: the stale one is dropped the
-    /// next time it reaches the front.
+impl TimerIndex {
+    /// Register one MAC timer slot (a new station).
+    fn add_mac_slot(&mut self) {
+        self.pos_mac.push(TIMER_ABSENT);
+    }
+
+    /// Register `n` transport timer slots (a new stream adds two).
+    fn add_tp_slots(&mut self, n: usize) {
+        let len = self.pos_tp.len() + n;
+        self.pos_tp.resize(len, TIMER_ABSENT);
+    }
+
+    /// The earliest pending timer across every slot, O(1).
     #[inline]
+    fn peek(&self) -> Option<(SimTime, u64, u32)> {
+        self.heap.first().copied()
+    }
+
+    #[inline]
+    fn pos(&mut self, slot: u32) -> &mut u32 {
+        if slot & TP_SLOT != 0 {
+            &mut self.pos_tp[(slot & !TP_SLOT) as usize]
+        } else {
+            &mut self.pos_mac[slot as usize]
+        }
+    }
+
+    /// Account for `slot` being overwritten with `tk` (possibly
+    /// [`NO_TIMER`]): insert, move, or delete the slot's node in place.
     fn note_write(&mut self, slot: u32, tk: PendingTimer) {
-        if tk != NO_TIMER {
-            self.heap.push(std::cmp::Reverse((tk.0, tk.1, slot)));
+        let p = *self.pos(slot);
+        if tk == NO_TIMER {
+            if p != TIMER_ABSENT {
+                self.remove(p as usize);
+            }
+        } else if p != TIMER_ABSENT {
+            let i = p as usize;
+            self.heap[i].0 = tk.0;
+            self.heap[i].1 = tk.1;
+            self.restore(i);
+        } else {
+            self.heap.push((tk.0, tk.1, slot));
+            let i = self.heap.len() - 1;
+            *self.pos(slot) = i as u32;
+            self.sift_up(i);
+        }
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> (SimTime, u64) {
+        (self.heap[i].0, self.heap[i].1)
+    }
+
+    /// Point the position map at the node currently sitting at `i`.
+    #[inline]
+    fn place(&mut self, i: usize) {
+        let slot = self.heap[i].2;
+        *self.pos(slot) = i as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / TIMER_ARITY;
+            if self.key(parent) <= self.key(i) {
+                break;
+            }
+            self.heap.swap(parent, i);
+            self.place(i);
+            i = parent;
+        }
+        self.place(i);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = i * TIMER_ARITY + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + TIMER_ARITY).min(self.heap.len());
+            let mut min = first;
+            for c in first + 1..last {
+                if self.key(c) < self.key(min) {
+                    min = c;
+                }
+            }
+            if self.key(i) <= self.key(min) {
+                break;
+            }
+            self.heap.swap(i, min);
+            self.place(i);
+            i = min;
+        }
+        self.place(i);
+    }
+
+    /// Re-establish the heap property around `i` after its key changed.
+    fn restore(&mut self, i: usize) {
+        if i > 0 && self.key((i - 1) / TIMER_ARITY) > self.key(i) {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        let slot = self.heap[i].2;
+        *self.pos(slot) = TIMER_ABSENT;
+        let last = self.heap.len() - 1;
+        if i != last {
+            self.heap.swap(i, last);
+            self.heap.pop();
+            self.restore(i);
+        } else {
+            self.heap.pop();
         }
     }
 }
@@ -242,10 +359,13 @@ struct StreamState {
 ///
 /// Generic over the [`Medium`] implementation so the same event loop can
 /// run on the cube-grid [`SparseMedium`] (the default) or the dense-matrix
-/// oracle — the `scale` bench and the oracle tests exercise both.
-pub struct Network<M: Medium = SparseMedium> {
+/// oracle — the `scale` bench and the oracle tests exercise both. Likewise
+/// generic over the future-event-list family ([`FelChoice`]): the ladder
+/// queue by default, the plain 4-ary heap as the oracle the equivalence
+/// tests compare against.
+pub struct Network<M: Medium = SparseMedium, Q: FelChoice = LadderFel> {
     pub(crate) medium: ChaosMedium<M>,
-    queue: EventQueue<Event>,
+    queue: EventQueue<Event, Q::Fel<Event>>,
     timing: Timing,
     stations: Vec<StationSlot>,
     streams: Vec<StreamState>,
@@ -254,8 +374,8 @@ pub struct Network<M: Medium = SparseMedium> {
     /// Transport timer slots, two per stream (`2*stream + side`, sender
     /// first). Multicast streams' receiver slots simply stay idle.
     tp_timers: Vec<PendingTimer>,
-    /// Earliest-pending-timer memo over `mac_timers` + `tp_timers`.
-    timer_cache: TimerCache,
+    /// Earliest-pending-timer index over `mac_timers` + `tp_timers`.
+    timer_index: TimerIndex,
     actions: Vec<ScheduledAction>,
     effects: VecDeque<Effect>,
     warmup_end: SimTime,
@@ -276,7 +396,7 @@ pub struct Network<M: Medium = SparseMedium> {
     tracer: Option<Box<dyn FnMut(TraceEvent)>>,
 }
 
-impl<M: Medium> std::fmt::Debug for Network<M> {
+impl<M: Medium, Q: FelChoice> std::fmt::Debug for Network<M, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("stations", &self.stations.len())
@@ -287,7 +407,7 @@ impl<M: Medium> std::fmt::Debug for Network<M> {
     }
 }
 
-impl<M: Medium> Network<M> {
+impl<M: Medium, Q: FelChoice> Network<M, Q> {
     pub(crate) fn new(medium: M, timing: Timing) -> Self {
         Network {
             medium: ChaosMedium::new(medium),
@@ -297,7 +417,7 @@ impl<M: Medium> Network<M> {
             streams: Vec::new(),
             mac_timers: Vec::new(),
             tp_timers: Vec::new(),
-            timer_cache: TimerCache::default(),
+            timer_index: TimerIndex::default(),
             actions: Vec::new(),
             effects: VecDeque::new(),
             warmup_end: SimTime::ZERO,
@@ -347,6 +467,7 @@ impl<M: Medium> Network<M> {
             mac_drops: 0,
         });
         self.mac_timers.push(NO_TIMER);
+        self.timer_index.add_mac_slot();
         self.stations.len() - 1
     }
 
@@ -387,6 +508,7 @@ impl<M: Medium> Network<M> {
         });
         self.tp_timers.push(NO_TIMER);
         self.tp_timers.push(NO_TIMER);
+        self.timer_index.add_tp_slots(2);
         self.streams.len() - 1
     }
 
@@ -424,6 +546,7 @@ impl<M: Medium> Network<M> {
         });
         self.tp_timers.push(NO_TIMER);
         self.tp_timers.push(NO_TIMER);
+        self.timer_index.add_tp_slots(2);
         self.streams.len() - 1
     }
 
@@ -476,34 +599,25 @@ impl<M: Medium> Network<M> {
     /// guard tripped, so [`Network::report`] still works for post-mortems.
     pub fn run_until(&mut self, end: SimTime) -> Result<(), SimError> {
         loop {
-            let queued = self.queue.peek_key();
-            let timer = self.peek_timer();
             // Fire whichever of the queue head and the earliest pending
             // timer sorts first; `(time, key)` tuples from both sides share
             // one insertion-sequence space, so this interleaving is
-            // identical to having queued the timers.
-            let fire_timer = match (queued, &timer) {
-                (None, None) => break,
-                (Some(_), None) => false,
-                (None, Some(_)) => true,
-                (Some(qk), Some((tt, tk, _))) => (*tt, *tk) < qk,
-            };
-            if fire_timer {
-                let (t, _, owner) = timer.expect("timer vanished");
-                if t > end {
-                    break;
+            // identical to having queued the timers. The fused dispatch
+            // resolves the race, drains cancelled heads, and advances the
+            // queue's "now" in one descent instead of the peek-compare-pop
+            // double traversal the loop used to do.
+            let timer = self.peek_timer();
+            match self.queue.pop_next(timer.map(|(t, k, _)| (t, k)), end) {
+                NextFire::Queued(t, ev) => {
+                    self.check_watchdog(t)?;
+                    self.handle(ev);
                 }
-                self.queue.advance_to(t);
-                self.check_watchdog(t)?;
-                self.fire_timer(owner);
-            } else {
-                let (t, _) = queued.expect("queued event vanished");
-                if t > end {
-                    break;
+                NextFire::External(t) => {
+                    let (_, _, slot) = timer.expect("external fire without a pending timer");
+                    self.check_watchdog(t)?;
+                    self.fire_timer(slot);
                 }
-                let (_, ev) = self.queue.pop().expect("peeked event vanished");
-                self.check_watchdog(t)?;
-                self.handle(ev);
+                NextFire::Idle => break,
             }
             self.drain_effects();
         }
@@ -565,45 +679,21 @@ impl<M: Medium> Network<M> {
     }
 
     /// The earliest pending timer across all stations and transport
-    /// endpoints, from the lazy-deletion heap (see [`TimerCache`]): pop
-    /// entries whose slot has moved on until one matches its slot's
-    /// current value — that entry is the minimum, since every armed slot's
-    /// value is in the heap.
-    fn peek_timer(&mut self) -> Option<(SimTime, u64, TimerOwner)> {
-        let (best, slot) = loop {
-            let Some(&std::cmp::Reverse((t, k, slot))) = self.timer_cache.heap.peek() else {
-                debug_assert!(
-                    self.scan_timers().0 == NO_TIMER,
-                    "timer index lost a pending timer"
-                );
-                return None;
-            };
-            let current = if slot & TP_SLOT != 0 {
-                self.tp_timers[(slot & !TP_SLOT) as usize]
-            } else {
-                self.mac_timers[slot as usize]
-            };
-            if current == (t, k) {
-                break ((t, k), slot);
-            }
-            self.timer_cache.heap.pop();
-        };
-        debug_assert!(
-            (best, slot) == self.scan_timers(),
-            "timer index diverged from a full scan"
-        );
-        let owner = if slot & TP_SLOT != 0 {
-            let i = (slot & !TP_SLOT) as usize;
-            let side = if i.is_multiple_of(2) {
-                Side::Sender
-            } else {
-                Side::Receiver
-            };
-            TimerOwner::Transport(i / 2, side)
-        } else {
-            TimerOwner::Mac(slot as usize)
-        };
-        Some((best.0, best.1, owner))
+    /// endpoints: the head of the decrease-key [`TimerIndex`], O(1) and
+    /// always exact (every armed slot owns exactly one node).
+    fn peek_timer(&self) -> Option<(SimTime, u64, u32)> {
+        let head = self.timer_index.peek();
+        match head {
+            None => debug_assert!(
+                self.scan_timers().0 == NO_TIMER,
+                "timer index lost a pending timer"
+            ),
+            Some((t, k, slot)) => debug_assert!(
+                ((t, k), slot) == self.scan_timers(),
+                "timer index diverged from a full scan"
+            ),
+        }
+        head
     }
 
     /// Debug oracle for [`Network::peek_timer`]: the full linear min scan
@@ -627,29 +717,34 @@ impl<M: Medium> Network<M> {
         (best, slot)
     }
 
-    fn fire_timer(&mut self, owner: TimerOwner) {
-        match owner {
-            TimerOwner::Mac(station) => {
-                self.mac_timers[station] = NO_TIMER;
-                self.timer_cache.note_write(station as u32, NO_TIMER);
-                debug_assert!(
-                    self.stations[station].on,
-                    "powered-off stations have their timer cleared"
-                );
-                if let Some(t) = self.tracer.as_mut() {
-                    t(TraceEvent::MacTimer {
-                        at: self.queue.now(),
-                        station,
-                    });
-                }
-                self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
+    /// Fire the timer living in `slot` (a [`TimerIndex`] slot id): clear
+    /// the slot, then dispatch to the owning MAC or transport endpoint.
+    fn fire_timer(&mut self, slot: u32) {
+        if slot & TP_SLOT != 0 {
+            let i = (slot & !TP_SLOT) as usize;
+            self.tp_timers[i] = NO_TIMER;
+            self.timer_index.note_write(slot, NO_TIMER);
+            let side = if i.is_multiple_of(2) {
+                Side::Sender
+            } else {
+                Side::Receiver
+            };
+            self.with_transport(i / 2, side, |tp, ctx| tp.on_timer(ctx));
+        } else {
+            let station = slot as usize;
+            self.mac_timers[station] = NO_TIMER;
+            self.timer_index.note_write(slot, NO_TIMER);
+            debug_assert!(
+                self.stations[station].on,
+                "powered-off stations have their timer cleared"
+            );
+            if let Some(t) = self.tracer.as_mut() {
+                t(TraceEvent::MacTimer {
+                    at: self.queue.now(),
+                    station,
+                });
             }
-            TimerOwner::Transport(stream, side) => {
-                let slot = 2 * stream + (side == Side::Receiver) as usize;
-                self.tp_timers[slot] = NO_TIMER;
-                self.timer_cache.note_write(TP_SLOT | slot as u32, NO_TIMER);
-                self.with_transport(stream, side, |tp, ctx| tp.on_timer(ctx));
-            }
+            self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
         }
     }
 
@@ -657,6 +752,11 @@ impl<M: Medium> Network<M> {
     /// unit for engine throughput: events per wall-clock second).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Operation counters of the underlying future-event list.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     fn handle(&mut self, ev: Event) {
@@ -755,7 +855,7 @@ impl<M: Medium> Network<M> {
             ActionKind::PowerOff { station } => {
                 self.stations[station].on = false;
                 self.mac_timers[station] = NO_TIMER;
-                self.timer_cache.note_write(station as u32, NO_TIMER);
+                self.timer_index.note_write(station as u32, NO_TIMER);
             }
             ActionKind::PowerOn { station } => {
                 self.stations[station].on = true;
@@ -783,7 +883,7 @@ impl<M: Medium> Network<M> {
                     self.delivery_buf = deliveries;
                 }
                 self.mac_timers[station] = NO_TIMER;
-                self.timer_cache.note_write(station as u32, NO_TIMER);
+                self.timer_index.note_write(station as u32, NO_TIMER);
                 if let Some(mac) = self.stations[station].mac.as_mut() {
                     mac.reset(preserve_queues);
                 }
@@ -812,7 +912,7 @@ impl<M: Medium> Network<M> {
     fn with_mac(
         &mut self,
         station: usize,
-        f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx<M>),
+        f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx<M, Q::Fel<Event>>),
     ) {
         let mut mac = self.stations[station]
             .mac
@@ -830,7 +930,7 @@ impl<M: Medium> Network<M> {
                 medium: &mut self.medium,
                 rng: &mut slot.rng,
                 mac_timer: &mut self.mac_timers[station],
-                timer_cache: &mut self.timer_cache,
+                timer_index: &mut self.timer_index,
                 tx: &mut slot.tx,
                 effects: &mut self.effects,
             };
@@ -843,7 +943,7 @@ impl<M: Medium> Network<M> {
         &mut self,
         stream: usize,
         side: Side,
-        f: impl FnOnce(&mut dyn Transport, &mut CoreTransportCtx),
+        f: impl FnOnce(&mut dyn Transport, &mut CoreTransportCtx<Q::Fel<Event>>),
     ) {
         let now = self.queue.now();
         let st = &mut self.streams[stream];
@@ -863,7 +963,7 @@ impl<M: Medium> Network<M> {
                 now,
                 queue: &mut self.queue,
                 timer: &mut self.tp_timers[2 * stream + (side == Side::Receiver) as usize],
-                timer_cache: &mut self.timer_cache,
+                timer_index: &mut self.timer_index,
                 effects: &mut self.effects,
                 stream,
                 side,
@@ -1085,6 +1185,7 @@ impl<M: Medium> Network<M> {
             data_air_secs: self.data_air_ns as f64 / 1e9,
             total_air_secs: self.air_ns as f64 / 1e9,
             events_processed: self.events_processed,
+            queue_stats: self.queue.stats(),
         }
     }
 
@@ -1108,22 +1209,22 @@ impl<M: Medium> Network<M> {
 // Context implementations
 // ----------------------------------------------------------------------
 
-struct CoreMacCtx<'a, M: Medium> {
+struct CoreMacCtx<'a, M: Medium, F: Fel<Event>> {
     now: SimTime,
     station: usize,
     /// The station's current incarnation, stamped into scheduled TxEnds.
     epoch: u32,
     timing: Timing,
-    queue: &'a mut EventQueue<Event>,
+    queue: &'a mut EventQueue<Event, F>,
     medium: &'a mut ChaosMedium<M>,
     rng: &'a mut SimRng,
     mac_timer: &'a mut PendingTimer,
-    timer_cache: &'a mut TimerCache,
+    timer_index: &'a mut TimerIndex,
     tx: &'a mut Option<(TxId, Frame)>,
     effects: &'a mut VecDeque<Effect>,
 }
 
-impl<M: Medium> MacContext for CoreMacCtx<'_, M> {
+impl<M: Medium, F: Fel<Event>> MacContext for CoreMacCtx<'_, M, F> {
     fn now(&self) -> SimTime {
         self.now
     }
@@ -1134,13 +1235,13 @@ impl<M: Medium> MacContext for CoreMacCtx<'_, M> {
 
     fn set_timer(&mut self, delay: SimDuration) {
         *self.mac_timer = (self.now + delay, self.queue.alloc_key(PRIO_TIMER));
-        self.timer_cache
+        self.timer_index
             .note_write(self.station as u32, *self.mac_timer);
     }
 
     fn clear_timer(&mut self) {
         *self.mac_timer = NO_TIMER;
-        self.timer_cache.note_write(self.station as u32, NO_TIMER);
+        self.timer_index.note_write(self.station as u32, NO_TIMER);
     }
 
     fn transmit(&mut self, frame: Frame) {
@@ -1181,17 +1282,17 @@ impl<M: Medium> MacContext for CoreMacCtx<'_, M> {
     }
 }
 
-struct CoreTransportCtx<'a> {
+struct CoreTransportCtx<'a, F: Fel<Event>> {
     now: SimTime,
-    queue: &'a mut EventQueue<Event>,
+    queue: &'a mut EventQueue<Event, F>,
     timer: &'a mut PendingTimer,
-    timer_cache: &'a mut TimerCache,
+    timer_index: &'a mut TimerIndex,
     effects: &'a mut VecDeque<Effect>,
     stream: usize,
     side: Side,
 }
 
-impl TransportContext for CoreTransportCtx<'_> {
+impl<F: Fel<Event>> TransportContext for CoreTransportCtx<'_, F> {
     fn now(&self) -> SimTime {
         self.now
     }
@@ -1202,13 +1303,13 @@ impl TransportContext for CoreTransportCtx<'_> {
     fn set_timer(&mut self, delay: SimDuration) {
         *self.timer = (self.now + delay, self.queue.alloc_key(PRIO_TIMER));
         let slot = TP_SLOT | (2 * self.stream + (self.side == Side::Receiver) as usize) as u32;
-        self.timer_cache.note_write(slot, *self.timer);
+        self.timer_index.note_write(slot, *self.timer);
     }
 
     fn clear_timer(&mut self) {
         *self.timer = NO_TIMER;
         let slot = TP_SLOT | (2 * self.stream + (self.side == Side::Receiver) as usize) as u32;
-        self.timer_cache.note_write(slot, NO_TIMER);
+        self.timer_index.note_write(slot, NO_TIMER);
     }
 
     fn send_segment(&mut self, seg: Segment) {

@@ -485,8 +485,20 @@ impl Scenario {
         self.build_with()
     }
 
-    /// Assemble the network on any [`Medium`] implementation.
-    pub fn build_with<M: Medium>(mut self) -> Result<Network<M>, SimError> {
+    /// Assemble the network on any [`Medium`] implementation (with the
+    /// default ladder-queue future-event list).
+    pub fn build_with<M: Medium>(self) -> Result<Network<M>, SimError> {
+        self.build_with_queue::<M, macaw_sim::LadderFel>()
+    }
+
+    /// Assemble the network on any [`Medium`] and any future-event-list
+    /// family ([`macaw_sim::FelChoice`]). The FEL is unobservable by
+    /// construction — every backend pops the same total order — so this
+    /// exists for the queue-equivalence tests and engine benchmarks that
+    /// prove it.
+    pub fn build_with_queue<M: Medium, Q: macaw_sim::FelChoice>(
+        mut self,
+    ) -> Result<Network<M, Q>, SimError> {
         if let Some(msg) = self.defect.take() {
             return Err(SimError::InvalidScenario(msg));
         }
@@ -612,12 +624,23 @@ impl Scenario {
         duration: SimDuration,
         warmup: SimDuration,
     ) -> Result<RunReport, SimError> {
+        self.run_with_queue::<M, macaw_sim::LadderFel>(duration, warmup)
+    }
+
+    /// [`Scenario::run_with`] on an explicit future-event-list family.
+    /// Produces a bitwise-identical [`RunReport`] for the same scenario
+    /// and seed whichever FEL backend runs it.
+    pub fn run_with_queue<M: Medium, Q: macaw_sim::FelChoice>(
+        self,
+        duration: SimDuration,
+        warmup: SimDuration,
+    ) -> Result<RunReport, SimError> {
         if warmup >= duration {
             return Err(SimError::InvalidScenario(
                 "warmup must end before the run does".to_string(),
             ));
         }
-        let mut net = self.build_with::<M>()?;
+        let mut net = self.build_with_queue::<M, Q>()?;
         let warmup_end = SimTime::ZERO + warmup;
         let end = SimTime::ZERO + duration;
         net.set_warmup(warmup_end);

@@ -8,6 +8,7 @@
 //! criterion) and channel utilization.
 
 use macaw_mac::wmac::MacStats;
+use macaw_sim::QueueStats;
 
 /// Per-stream measurements over the post-warm-up window.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +52,12 @@ pub struct RunReport {
     /// Total simulation events processed over the whole run (including
     /// warm-up) — the numerator of engine events-per-second throughput.
     pub events_processed: u64,
+    /// Future-event-list operation counters (schedules, pops,
+    /// cancellations, live-depth high-water mark). Pure functions of the
+    /// event trajectory, so they are identical across FEL backends — the
+    /// queue-equivalence tests compare them bitwise along with everything
+    /// else.
+    pub queue_stats: QueueStats,
 }
 
 impl RunReport {
@@ -193,6 +200,7 @@ mod tests {
             data_air_secs: 4.0,
             total_air_secs: 5.0,
             events_processed: 0,
+            queue_stats: QueueStats::default(),
         }
     }
 

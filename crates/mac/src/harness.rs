@@ -32,6 +32,12 @@ pub struct ScriptedContext {
     pub carrier: bool,
     /// Everything the MAC did, in order.
     pub actions: Vec<Action>,
+    /// Number of `set_timer` calls. Every set is a decrease-key write into
+    /// the engine's timer index, so tests assert on this to bound a MAC's
+    /// re-arm traffic, not just its final timer state.
+    pub timer_sets: u64,
+    /// Number of `clear_timer` calls (whether or not a timer was armed).
+    pub timer_clears: u64,
 }
 
 impl ScriptedContext {
@@ -43,6 +49,8 @@ impl ScriptedContext {
             timer: None,
             carrier: false,
             actions: Vec::new(),
+            timer_sets: 0,
+            timer_clears: 0,
         }
     }
 
@@ -119,10 +127,12 @@ impl MacContext for ScriptedContext {
     }
 
     fn set_timer(&mut self, delay: SimDuration) {
+        self.timer_sets += 1;
         self.timer = Some(self.now + delay);
     }
 
     fn clear_timer(&mut self) {
+        self.timer_clears += 1;
         self.timer = None;
     }
 
@@ -144,5 +154,27 @@ impl MacContext for ScriptedContext {
 
     fn feedback(&mut self, event: MacFeedback) {
         self.actions.push(Action::Feedback(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_write_counters_track_every_call() {
+        let mut ctx = ScriptedContext::new(1);
+        ctx.set_timer(SimDuration::from_micros(10));
+        ctx.set_timer(SimDuration::from_micros(20)); // re-arm overwrites
+        assert_eq!(ctx.timer, Some(SimTime::ZERO + SimDuration::from_micros(20)));
+        assert_eq!(ctx.timer_sets, 2);
+        ctx.clear_timer();
+        ctx.clear_timer(); // clearing an unarmed timer still counts the call
+        assert_eq!(ctx.timer, None);
+        assert_eq!(ctx.timer_clears, 2);
+        // Firing consumes the deadline without counting as a write.
+        ctx.set_timer(SimDuration::from_micros(5));
+        assert!(ctx.fire_timer());
+        assert_eq!((ctx.timer_sets, ctx.timer_clears), (3, 2));
     }
 }

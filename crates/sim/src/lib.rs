@@ -36,7 +36,10 @@ pub mod hash;
 pub mod rng;
 pub mod time;
 
-pub use event::{EventId, EventQueue};
+pub use event::{
+    EventId, EventQueue, Fel, FelChoice, HeapFel, HeapQueue, LadderFel, LadderQueue, NextFire,
+    QueueStats,
+};
 pub use grid::BucketGrid;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use rng::SimRng;

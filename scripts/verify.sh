@@ -19,6 +19,11 @@ cargo test -q --workspace
 echo "== perf smoke =="
 cargo run --release -p macaw-bench --bin perf -- --quick
 
+echo "== engine smoke (FEL microbench + queue-backend equivalence) =="
+cargo run --release -p macaw-bench --bin engine -- --quick
+cargo test -q --release -p macaw-sim --test proptest_queue
+cargo test -q --release -p macaw-bench --test determinism ladder_and_heap
+
 echo "== faults smoke =="
 cargo run --release -p macaw-bench --bin faults -- --smoke
 
