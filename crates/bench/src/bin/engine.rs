@@ -3,7 +3,7 @@
 //! both FEL backends, written to `BENCH_engine.json`.
 //!
 //! Usage:
-//!   engine [--quick] [--seed N] [--out PATH]
+//!   engine [--quick] [--seed N] [--out PATH] [--jobs N]
 //!
 //! Three measurements:
 //!
@@ -23,8 +23,12 @@
 //!    cross-host reference and an apples-to-apples comparison.
 //!
 //! `--quick` is the CI smoke mode (`scripts/verify.sh`): short microbench,
-//! short probes, equivalence still asserted, no JSON written.
+//! short probes, equivalence still asserted, no JSON written. `--jobs N`
+//! (or `MACAW_JOBS`) sizes the executor used by the quick-mode probe
+//! pairs; the timed full runs always execute serially so neither
+//! backend's clock sees the other's load.
 
+use macaw_bench::executor::{parse_jobs_arg, Executor};
 use macaw_bench::stopwatch::time_once;
 use macaw_bench::warm_for;
 use macaw_core::figures;
@@ -60,7 +64,7 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: engine [--quick] [--seed N] [--out PATH]");
+    eprintln!("usage: engine [--quick] [--seed N] [--out PATH] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -186,7 +190,7 @@ struct ProbeRun {
 
 /// Run the probe scenarios under both FEL backends, asserting bitwise
 /// report equality, and return per-backend wall times.
-fn probes(seed: u64, quick: bool) -> Vec<ProbeRun> {
+fn probes(ex: &Executor, seed: u64, quick: bool) -> Vec<ProbeRun> {
     let dur = if quick {
         SimDuration::from_secs(10)
     } else {
@@ -194,15 +198,31 @@ fn probes(seed: u64, quick: bool) -> Vec<ProbeRun> {
     };
     let warm = warm_for(dur);
     let mut out = Vec::new();
-    let mut go = |name: &'static str, mk: &dyn Fn() -> macaw_core::Scenario, d: SimDuration| {
-        let (ladder, ladder_secs): (RunReport, f64) = time_once(|| {
-            mk().run_with_queue::<SparseMedium, LadderFel>(d, warm)
-                .unwrap_or_else(|e| die(&e))
-        });
-        let (heap, heap_secs): (RunReport, f64) = time_once(|| {
-            mk().run_with_queue::<SparseMedium, HeapFel>(d, warm)
-                .unwrap_or_else(|e| die(&e))
-        });
+    let mut go = |name: &'static str,
+                  mk: &(dyn Fn() -> macaw_core::Scenario + Sync),
+                  d: SimDuration| {
+        let ladder_job = || -> (RunReport, f64) {
+            time_once(|| {
+                mk().run_with_queue::<SparseMedium, LadderFel>(d, warm)
+                    .unwrap_or_else(|e| die(&e))
+            })
+        };
+        let heap_job = || -> (RunReport, f64) {
+            time_once(|| {
+                mk().run_with_queue::<SparseMedium, HeapFel>(d, warm)
+                    .unwrap_or_else(|e| die(&e))
+            })
+        };
+        // Quick mode only asserts equivalence, so the two backends may run
+        // concurrently on the executor; the timed full runs stay serial.
+        let ((ladder, ladder_secs), (heap, heap_secs)) = if quick {
+            let mut pair = ex.run(2, |i| if i == 0 { ladder_job() } else { heap_job() });
+            let heap = pair.pop().expect("two probe jobs");
+            let ladder = pair.pop().expect("two probe jobs");
+            (ladder, heap)
+        } else {
+            (ladder_job(), heap_job())
+        };
         assert_eq!(
             ladder, heap,
             "{name}: ladder and heap reports differ structurally"
@@ -260,6 +280,7 @@ fn main() {
     let mut quick = false;
     let mut seed = 1u64;
     let mut out_path = "BENCH_engine.json".to_string();
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -276,6 +297,14 @@ fn main() {
                 out_path = match args.get(i) {
                     Some(p) => p.clone(),
                     None => usage_and_exit("--out takes a path"),
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| parse_jobs_arg(s)) {
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--jobs takes a worker count"),
                 };
             }
             other => usage_and_exit(&format!("unknown argument {other}")),
@@ -310,7 +339,8 @@ fn main() {
     );
 
     println!("\nprobe scenarios under both backends (reports asserted bitwise identical):");
-    let probe_runs = probes(seed, quick);
+    let ex = jobs.map(Executor::new).unwrap_or_else(Executor::from_env);
+    let probe_runs = probes(&ex, seed, quick);
     let (mut tot_ev, mut tot_ladder, mut tot_heap) = (0u64, 0.0f64, 0.0f64);
     let mut probe_json = String::new();
     for p in &probe_runs {

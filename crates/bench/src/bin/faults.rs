@@ -2,15 +2,17 @@
 //! ladder, written to `BENCH_faults.json`.
 //!
 //! Usage:
-//!   faults [--quick] [--smoke] [--seed N] [--out PATH]
+//!   faults [--quick] [--smoke] [--seed N] [--out PATH] [--jobs N]
 //!
 //! `--quick` runs 30-second simulations instead of 120 s. `--smoke` is
 //! the CI mode (`scripts/verify.sh`): 10-second runs, assertions only,
 //! no JSON — non-zero exit if any class fails, any goodput comes out
 //! non-finite, or the headline corruption claim (MACAW ahead of MACA on
-//! a corrupting channel) does not hold.
+//! a corrupting channel) does not hold. `--jobs N` (or `MACAW_JOBS`)
+//! pins the executor's worker count.
 
-use macaw_bench::faults::all_faults_parallel;
+use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::faults::all_faults_with;
 use macaw_core::prelude::SimDuration;
 
 fn die(e: &dyn std::fmt::Display) -> ! {
@@ -20,7 +22,7 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: faults [--quick] [--smoke] [--seed N] [--out PATH]");
+    eprintln!("usage: faults [--quick] [--smoke] [--seed N] [--out PATH] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -30,6 +32,7 @@ fn main() {
     let mut smoke = false;
     let mut seed = 7u64;
     let mut out_path = "BENCH_faults.json".to_string();
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,14 +55,24 @@ fn main() {
                     None => usage_and_exit("--out takes a path"),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| parse_jobs_arg(s)) {
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--jobs takes a worker count"),
+                };
+            }
             other => usage_and_exit(&format!("unknown argument {other}")),
         }
         i += 1;
     }
 
-    // One scoped thread per (class, protocol) cell; identical output to
-    // the serial runner (asserted in tests/determinism.rs).
-    let results = all_faults_parallel(seed, dur).unwrap_or_else(|e| die(&e));
+    // Every (class, protocol) cell is an independent executor job;
+    // identical output to the serial runner (asserted in
+    // tests/determinism.rs).
+    let ex = jobs.map(Executor::new).unwrap_or_else(Executor::from_env);
+    let results = all_faults_with(&ex, seed, dur).unwrap_or_else(|e| die(&e));
 
     for t in &results {
         for total in t.totals() {

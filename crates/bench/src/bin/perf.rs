@@ -3,7 +3,12 @@
 //! `BENCH_medium.json`.
 //!
 //! Usage:
-//!   perf [--quick] [--iters N] [--seed N] [--out PATH]
+//!   perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N]
+//!
+//! `--jobs N` (or `MACAW_JOBS`) sizes the executor used by the quick
+//! smoke; the timed table workload always runs serially — it *is* the
+//! measured quantity. With `--features alloc-stats` the engine probe also
+//! reports allocations and the live-bytes peak per scenario.
 //!
 //! Two measurements:
 //!
@@ -23,8 +28,10 @@
 //! Uses `std::time::Instant` only — the workspace builds offline, so
 //! Criterion is unavailable (see `crates/proptest` for the same story).
 
+use macaw_bench::alloc_stats::{self, AllocSnapshot};
+use macaw_bench::executor::{parse_jobs_arg, Executor};
 use macaw_bench::stopwatch::{bench, time_once};
-use macaw_bench::{all_tables, warm_for, TABLES};
+use macaw_bench::{all_tables, run_specs_with, warm_for, TABLES, TABLE_SPECS};
 use macaw_core::figures;
 use macaw_core::prelude::{scale_topology, MacKind, ScaleConfig, SimDuration, SimTime};
 
@@ -44,7 +51,7 @@ const BASELINE_TABLES_QUICK_MS: f64 = 1060.0;
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH]");
+    eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -57,6 +64,10 @@ struct Probe {
     /// mark — these attribute a throughput change to queue traffic (or
     /// rule it out).
     queue: macaw_sim::QueueStats,
+    /// Allocation counters for the run (Some only with the `alloc-stats`
+    /// feature): allocations + bytes are per-run deltas, peak is the
+    /// process-lifetime live-bytes high-water mark.
+    alloc: Option<AllocSnapshot>,
 }
 
 fn engine_probe(seed: u64) -> Vec<Probe> {
@@ -64,7 +75,9 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
     let warm = warm_for(dur);
     let mut out = Vec::new();
     let mut go = |name: &'static str, sc: macaw_core::scenario::Scenario, d: SimDuration| {
+        let before = alloc_stats::snapshot();
         let (report, secs) = time_once(|| sc.run(d, warm).unwrap_or_else(|e| die(&e)));
+        let alloc = alloc_stats::snapshot().zip(before).map(|(now, then)| now.since(&then));
         assert!(
             report.total_throughput().is_finite() && report.total_throughput() > 0.0,
             "{name}: non-finite or zero throughput"
@@ -74,6 +87,7 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
             events: report.events_processed,
             secs,
             queue: report.queue_stats,
+            alloc,
         });
     };
     go("figure10-maca", figures::figure10(MacKind::Maca, seed), dur);
@@ -97,6 +111,7 @@ fn main() {
     let mut iters = 5u32;
     let mut seed = 1u64;
     let mut out_path = "BENCH_medium.json".to_string();
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -122,6 +137,14 @@ fn main() {
                     None => usage_and_exit("--out takes a path"),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| parse_jobs_arg(s)) {
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--jobs takes a worker count"),
+                };
+            }
             other => {
                 usage_and_exit(&format!("unknown argument {other}"));
             }
@@ -130,9 +153,13 @@ fn main() {
     }
 
     if quick {
-        // Smoke mode: short run, sanity checks only, no JSON.
+        // Smoke mode: short run on the executor, sanity checks only, no
+        // JSON (wall time here is informational, not the measured figure).
         let dur = SimDuration::from_secs(20);
-        let (tables, secs) = time_once(|| all_tables(seed, dur).unwrap_or_else(|e| die(&e)));
+        let ex = jobs.map(Executor::new).unwrap_or_else(Executor::from_env);
+        let specs: Vec<_> = TABLE_SPECS.iter().collect();
+        let (tables, secs) =
+            time_once(|| run_specs_with(&ex, &specs, seed, dur).unwrap_or_else(|e| die(&e)));
         for t in &tables {
             for total in t.totals() {
                 assert!(
@@ -177,13 +204,30 @@ fn main() {
             "  {:<16} queue: {} pushes, {} pops, {} cancels, depth high-water {}",
             "", p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water
         );
+        let alloc_json = match &p.alloc {
+            Some(a) => {
+                println!(
+                    "  {:<16} alloc: {} allocations, {:.1} MiB allocated, peak live {:.1} MiB",
+                    "",
+                    a.allocations,
+                    a.allocated_bytes as f64 / (1 << 20) as f64,
+                    a.peak_bytes as f64 / (1 << 20) as f64
+                );
+                format!(
+                    ", \"allocations\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}",
+                    a.allocations, a.allocated_bytes, a.peak_bytes
+                )
+            }
+            None => String::new(),
+        };
         tot_ev += p.events;
         tot_secs += p.secs;
         probe_json.push_str(&format!(
             "    {{ \"scenario\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \
-             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_high_water\": {} }},\n",
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_high_water\": {}{} }},\n",
             p.name, p.events, p.secs, evps,
-            p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water
+            p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water,
+            alloc_json
         ));
     }
     let total_evps = tot_ev as f64 / tot_secs;

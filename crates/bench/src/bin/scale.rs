@@ -4,7 +4,11 @@
 //! MACAW), written to `BENCH_scale.json`.
 //!
 //! Usage:
-//!   scale [--quick] [--seed N] [--out PATH]
+//!   scale [--quick] [--seed N] [--out PATH] [--jobs N]
+//!
+//! `--jobs N` (or `MACAW_JOBS`) sizes the executor used by the quick
+//! smoke's sparse/dense pair; the timed sweep always runs serially so
+//! its wall-clock numbers measure one simulation at a time.
 //!
 //! Three measurements:
 //!
@@ -28,6 +32,7 @@
 //! [`Medium::memory_footprint`]: macaw_phy::Medium::memory_footprint
 //! [`RunReport`]: macaw_core::stats::RunReport
 
+use macaw_bench::executor::{parse_jobs_arg, Executor};
 use macaw_bench::stopwatch::time_once;
 use macaw_core::prelude::*;
 use macaw_core::stats::RunReport;
@@ -40,7 +45,7 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: scale [--quick] [--seed N] [--out PATH]");
+    eprintln!("usage: scale [--quick] [--seed N] [--out PATH] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -119,6 +124,7 @@ fn main() {
     let mut quick = false;
     let mut seed = 1u64;
     let mut out_path = "BENCH_scale.json".to_string();
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -137,19 +143,35 @@ fn main() {
                     None => usage_and_exit("--out takes a path"),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| parse_jobs_arg(s)) {
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--jobs takes a worker count"),
+                };
+            }
             other => usage_and_exit(&format!("unknown argument {other}")),
         }
         i += 1;
     }
 
     if quick {
-        // Smoke mode: one short N = 64 floor per medium; the reports must
-        // agree exactly and every total must be finite.
+        // Smoke mode: one short N = 64 floor per medium, both cells on the
+        // work-stealing executor; the reports must agree exactly and every
+        // total must be finite.
         let dur = SimDuration::from_secs(2);
         let warm = SimDuration::from_millis(500);
-        let (sparse, secs, footprint, streams) =
-            run_cell::<SparseMedium>(64, MacKind::Macaw, seed, dur, warm);
-        let (dense, _, _, _) = run_cell::<DenseMedium>(64, MacKind::Macaw, seed, dur, warm);
+        let ex = jobs.map(Executor::new).unwrap_or_else(Executor::from_env);
+        let mut pair = ex.run(2, |i| {
+            if i == 0 {
+                run_cell::<SparseMedium>(64, MacKind::Macaw, seed, dur, warm)
+            } else {
+                run_cell::<DenseMedium>(64, MacKind::Macaw, seed, dur, warm)
+            }
+        });
+        let (dense, _, _, _) = pair.pop().expect("two cells");
+        let (sparse, secs, footprint, streams) = pair.pop().expect("two cells");
         assert_eq!(sparse, dense, "sparse and dense runs must agree exactly");
         assert!(
             sparse.total_throughput().is_finite() && sparse.total_throughput() > 0.0,

@@ -1,19 +1,21 @@
 //! Regenerate every table of the MACAW paper and print paper-vs-measured.
 //!
 //! Usage:
-//!   tables [--quick] [--seed N] [--table ID] [--serial]
+//!   tables [--quick] [--seed N] [--table ID] [--serial] [--jobs N]
 //!
 //! `--quick` runs 100-second simulations instead of the paper's 500 s
 //! (2000 s for Table 11); `--table 5` runs only Table 5 (and `--table 1`
-//! also matches Figure 1). Tables run on scoped threads by default —
-//! each is an independent deterministic simulation, so output is
-//! identical to `--serial` — and are printed in paper order.
+//! also matches Figure 1). Tables fan out on the work-stealing executor
+//! by default — each simulation is an independent deterministic job, so
+//! output is identical to `--serial` — and are printed in paper order.
+//! `--jobs N` (or `MACAW_JOBS`) pins the worker count.
 
-use macaw_bench::{default_duration, run_tables_parallel, TableResult, TABLES};
+use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::{default_duration, run_specs_with, TableResult, TableSpec, TABLE_SPECS};
 use macaw_core::prelude::SimDuration;
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial]");
+    eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -23,6 +25,7 @@ fn main() {
     let mut seed = 1u64;
     let mut only: Option<String> = None;
     let mut serial = false;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +37,20 @@ fn main() {
                     Some(Ok(n)) => n,
                     _ => {
                         eprintln!("--seed takes an integer");
+                        usage_and_exit();
+                    }
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| parse_jobs_arg(s)) {
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        usage_and_exit();
+                    }
+                    None => {
+                        eprintln!("--jobs takes a worker count");
                         usage_and_exit();
                     }
                 };
@@ -57,22 +74,22 @@ fn main() {
     }
 
     // Select before running, so `--table 5` costs one table, not twelve.
-    let selected: Vec<_> = TABLES
+    let selected: Vec<&TableSpec> = TABLE_SPECS
         .iter()
-        .filter(|(id, _)| match &only {
+        .filter(|spec| match &only {
             None => true,
             Some(want) => {
                 // Accept "5", "table 5", "Figure 1" — but never by substring
                 // ("1" must not also select Tables 10 and 11).
                 let want = want.to_lowercase();
-                id.to_lowercase() == want || id.split_whitespace().last() == Some(want.as_str())
+                spec.id.to_lowercase() == want
+                    || spec.id.split_whitespace().last() == Some(want.as_str())
             }
         })
-        .copied()
         .collect();
     if selected.is_empty() {
         eprintln!("no table matches {:?}", only.unwrap_or_default());
-        let valid: Vec<&str> = TABLES.iter().map(|(id, _)| *id).collect();
+        let valid: Vec<&str> = TABLE_SPECS.iter().map(|s| s.id).collect();
         eprintln!("valid tables: {}", valid.join(", "));
         std::process::exit(2);
     }
@@ -80,10 +97,11 @@ fn main() {
     let results = if serial {
         selected
             .iter()
-            .map(|(_, f)| f(seed, dur))
+            .map(|s| s.run(seed, dur * s.dur_mul))
             .collect::<Result<Vec<TableResult>, _>>()
     } else {
-        run_tables_parallel(&selected, seed, dur)
+        let ex = jobs.map(Executor::new).unwrap_or_else(Executor::from_env);
+        run_specs_with(&ex, &selected, seed, dur)
     };
     let results = match results {
         Ok(r) => r,

@@ -24,6 +24,7 @@
 
 use macaw_core::prelude::*;
 
+use crate::executor::Executor;
 use crate::warm_for;
 
 /// The protocol ladder every fault class is run against.
@@ -372,32 +373,30 @@ pub fn all_faults(seed: u64, dur: SimDuration) -> Result<Vec<FaultAblation>, Sim
         .collect()
 }
 
-/// [`all_faults`] with every `(class, protocol)` cell on its own scoped
-/// thread — 15 independent simulations at once. Each cell is a pure
+/// [`all_faults`] on the default work-stealing [`Executor`] (worker count
+/// from `MACAW_JOBS` / the machine): every `(class, protocol)` cell is an
+/// independent job — 15 independent simulations. Each cell is a pure
 /// function of `(class, protocol, seed)`, so the assembled tables are
 /// identical to the serial runner's, in the same order; the first error
 /// in input order wins (see `parallel_faults_match_serial` in
 /// `tests/determinism.rs`).
 pub fn all_faults_parallel(seed: u64, dur: SimDuration) -> Result<Vec<FaultAblation>, SimError> {
+    all_faults_with(&Executor::from_env(), seed, dur)
+}
+
+/// [`all_faults_parallel`] on a caller-supplied executor.
+pub fn all_faults_with(
+    ex: &Executor,
+    seed: u64,
+    dur: SimDuration,
+) -> Result<Vec<FaultAblation>, SimError> {
     let specs = classes();
     let ladder = protocols();
-    let mut slots: Vec<Option<Result<RunReport, SimError>>> =
-        (0..specs.len() * ladder.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let spec = &specs[i / ladder.len()];
-            let (_, mac) = ladder[i % ladder.len()];
-            scope.spawn(move || {
-                *slot = Some(
-                    (spec.cell)(mac, seed, dur).and_then(|sc| sc.run(dur, warm_for(dur))),
-                );
-            });
-        }
-    });
-    let mut reports: Vec<RunReport> = Vec::with_capacity(slots.len());
-    for r in slots {
-        reports.push(r.expect("fault cell thread panicked")?);
-    }
+    let reports = ex.try_run(specs.len() * ladder.len(), |i| {
+        let spec = &specs[i / ladder.len()];
+        let (_, mac) = ladder[i % ladder.len()];
+        (spec.cell)(mac, seed, dur).and_then(|sc| sc.run(dur, warm_for(dur)))
+    })?;
     Ok(specs
         .iter()
         .zip(reports.chunks(ladder.len()))

@@ -35,7 +35,8 @@ use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
 use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, SparseMedium, StationId, TxId};
 use macaw_sim::{
-    EventQueue, Fel, FelChoice, LadderFel, NextFire, QueueStats, SimDuration, SimRng, SimTime,
+    EventQueue, FastHashMap, Fel, FelChoice, LadderFel, NextFire, QueueStats, SimDuration, SimRng,
+    SimTime,
 };
 use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
@@ -306,6 +307,7 @@ pub(crate) enum ActionKind {
     SetLinkGain { src: usize, dst: usize, factor: f64 },
 }
 
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct ScheduledAction {
     pub at: SimTime,
     pub kind: ActionKind,
@@ -369,6 +371,11 @@ pub struct Network<M: Medium = SparseMedium, Q: FelChoice = LadderFel> {
     timing: Timing,
     stations: Vec<StationSlot>,
     streams: Vec<StreamState>,
+    /// Stream id → index into `streams`, built as streams are declared.
+    /// Delivery and drop feedback resolve their stream through this map
+    /// instead of scanning `streams` — O(1) per delivered SDU rather than
+    /// O(streams).
+    stream_index: FastHashMap<u32, usize>,
     /// MAC timer slot per station (dense, scanned every event).
     mac_timers: Vec<PendingTimer>,
     /// Transport timer slots, two per stream (`2*stream + side`, sender
@@ -415,6 +422,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
             timing,
             stations: Vec::new(),
             streams: Vec::new(),
+            stream_index: FastHashMap::default(),
             mac_timers: Vec::new(),
             tp_timers: Vec::new(),
             timer_index: TimerIndex::default(),
@@ -486,6 +494,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         sender: Box<dyn Transport>,
         receiver: Box<dyn Transport>,
     ) -> usize {
+        self.stream_index.insert(id.0, self.streams.len());
         self.streams.push(StreamState {
             name,
             id,
@@ -527,6 +536,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         stop: Option<SimTime>,
         sender: Box<dyn Transport>,
     ) -> usize {
+        self.stream_index.insert(id.0, self.streams.len());
         self.streams.push(StreamState {
             name,
             id,
@@ -1049,12 +1059,13 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
     /// the failure"). The MAC feedback carries the stream id and transport
     /// sequence number; the payload size is the stream's configured size.
     fn signal_drop(&mut self, station: usize, stream_id: StreamId, transport_seq: u64) {
-        let stream = if let Some(i) = self.streams.iter().position(|s| s.id == stream_id) {
+        let stream = if let Some(&i) = self.stream_index.get(&stream_id.0) {
             i
         } else {
             debug_assert!(false, "drop feedback for unknown stream {stream_id:?}");
             return;
         };
+        debug_assert_eq!(self.streams[stream].id, stream_id);
         let st = &self.streams[stream];
         let side = if station == st.src {
             Side::Sender
@@ -1075,17 +1086,13 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
 
     /// Route a MAC-delivered SDU to the right transport endpoint.
     fn route_up(&mut self, station: usize, sdu: MacSdu) {
-        // Scenario-built networks use the stream's index as its id, so try a
-        // direct index before falling back to a scan.
-        let direct = sdu.stream.0 as usize;
-        let stream = if self.streams.get(direct).is_some_and(|s| s.id == sdu.stream) {
-            direct
-        } else if let Some(i) = self.streams.iter().position(|s| s.id == sdu.stream) {
+        let stream = if let Some(&i) = self.stream_index.get(&sdu.stream.0) {
             i
         } else {
             debug_assert!(false, "SDU for unknown stream {:?}", sdu.stream);
             return;
         };
+        debug_assert_eq!(self.streams[stream].id, sdu.stream);
         let seg = Segment::decode(sdu.transport_seq, sdu.bytes);
         enum Route {
             ToReceiver,

@@ -120,6 +120,7 @@ pub struct StreamSpec {
     pub stop: Option<SimTime>,
 }
 
+#[derive(Debug)]
 struct StationSpec {
     name: String,
     pos: Point,
@@ -198,6 +199,46 @@ impl Scenario {
     pub fn propagation(&mut self, cfg: PropagationConfig) -> &mut Self {
         self.prop = cfg;
         self
+    }
+
+    /// A deterministic 128-bit fingerprint of everything that determines
+    /// this scenario's trajectory: the seed, the propagation model, every
+    /// station (position, protocol configuration, error rate, power),
+    /// every stream, every noise emitter, every scheduled action (fault
+    /// plans apply as actions and corruption windows, so they are covered)
+    /// and the crate version.
+    ///
+    /// Two scenarios with equal fingerprints run the same simulation; a
+    /// changed parameter — a different seed, a moved station, one extra
+    /// fault — changes the fingerprint. The run cache keys persisted
+    /// [`RunReport`]s on this (plus the run duration and warm-up), so a
+    /// cache hit is safe to substitute for a simulation.
+    ///
+    /// The hash folds the exact `Debug` rendering of the configuration
+    /// (Rust prints floats as their shortest round-trippable decimals, so
+    /// distinct f64 bit patterns render distinctly) through two
+    /// independently-seeded [`FastHasher`](macaw_sim::FastHasher) streams
+    /// — deterministic across processes and platforms.
+    pub fn fingerprint(&self) -> [u64; 2] {
+        use std::hash::Hasher;
+        let text = format!(
+            "macaw {} seed={} prop={:?} stations={:?} streams={:?} noise={:?} actions={:?} windows={:?}",
+            env!("CARGO_PKG_VERSION"),
+            self.seed,
+            self.prop,
+            self.stations,
+            self.streams,
+            self.noise,
+            self.actions,
+            self.windows,
+        );
+        let mut lo = macaw_sim::FastHasher::default();
+        let mut hi = macaw_sim::FastHasher::default();
+        lo.write_u64(0x5eed_0001);
+        hi.write_u64(0x5eed_0002);
+        lo.write(text.as_bytes());
+        hi.write(text.as_bytes());
+        [lo.finish(), hi.finish()]
     }
 
     /// Add a station; returns its index. Positions are in feet, with

@@ -42,7 +42,18 @@ impl SimRng {
     /// Children with distinct labels are statistically independent; the same
     /// `(seed, label)` always yields the same stream.
     pub fn fork(&self, label: u64) -> SimRng {
-        SimRng::new(splitmix64(self.seed ^ splitmix64(label.wrapping_add(0x9E37_79B9_7F4A_7C15))))
+        SimRng::new(self.stream_seed(label))
+    }
+
+    /// The seed [`SimRng::fork`] would hand the child stream labelled
+    /// `label` — stream splitting as a pure `u64 → u64` derivation.
+    ///
+    /// Batch sweeps use this to assign replication seeds: seed `r` of a
+    /// sweep rooted at `root` is `SimRng::new(root).stream_seed(r)`, a pure
+    /// function of `(root, r)` — the same seed whether the replications run
+    /// serially, on eight workers, or resume after an interruption.
+    pub fn stream_seed(&self, label: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(label.wrapping_add(0x9E37_79B9_7F4A_7C15)))
     }
 
     /// The next raw 64-bit draw (xoshiro256++).
@@ -178,6 +189,32 @@ mod tests {
             .filter(|_| x.uniform_inclusive(0, u64::MAX) == y.uniform_inclusive(0, u64::MAX))
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_seed_is_the_fork_seed() {
+        // stream_seed must be exactly the derivation fork() uses, so a
+        // sweep seeded via stream_seed(r) replays the same trajectories a
+        // fork(r) child would drive — and is independent of worker count
+        // or parent draw position by construction.
+        let root = SimRng::new(99);
+        for label in [0u64, 1, 2, 1 << 40] {
+            let mut via_fork = root.fork(label);
+            let mut via_seed = SimRng::new(root.stream_seed(label));
+            for _ in 0..50 {
+                assert_eq!(via_fork.uniform_inclusive(0, u64::MAX), via_seed.uniform_inclusive(0, u64::MAX));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_labels() {
+        let root = SimRng::new(4);
+        let seeds: Vec<u64> = (0..64).map(|r| root.stream_seed(r)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "replication seeds collided");
     }
 
     #[test]

@@ -30,4 +30,11 @@ cargo run --release -p macaw-bench --bin faults -- --smoke
 echo "== scale smoke =="
 cargo run --release -p macaw-bench --bin scale -- --quick
 
+echo "== replicate smoke (executor + run cache + multi-seed sweep) =="
+cargo run --release -p macaw-bench --bin replicate -- --quick
+cargo test -q --release -p macaw-bench --test executor
+
+echo "== alloc-stats feature gate =="
+cargo build --release -p macaw-bench --features alloc-stats
+
 echo "verify: OK"
