@@ -48,6 +48,17 @@ pub fn enabled() -> bool {
     cfg!(feature = "alloc-stats")
 }
 
+/// Rebase the live-bytes high-water mark to the current live bytes, so
+/// the next [`snapshot`]'s `peak_bytes` covers only allocations made
+/// after this call. The `scale` sweep uses this to report a true
+/// *per-cell* peak where process-lifetime marks (`peak_bytes` without a
+/// reset, `VmHWM`) are monotone and plateau at whatever ran first. Only
+/// meaningful while a single thread allocates; a no-op without the
+/// feature.
+pub fn reset_peak() {
+    imp::reset_peak()
+}
+
 #[cfg(feature = "alloc-stats")]
 mod imp {
     use super::AllocSnapshot;
@@ -118,6 +129,10 @@ mod imp {
         })
     }
 
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Relaxed), Relaxed);
+    }
+
     #[cfg(test)]
     mod tests {
         #[test]
@@ -140,4 +155,6 @@ mod imp {
     pub fn snapshot() -> Option<super::AllocSnapshot> {
         None
     }
+
+    pub fn reset_peak() {}
 }

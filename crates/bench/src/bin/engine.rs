@@ -3,7 +3,7 @@
 //! both FEL backends, written to `BENCH_engine.json`.
 //!
 //! Usage:
-//!   engine [--quick] [--seed N] [--out PATH] [--jobs N]
+//!   engine [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]
 //!
 //! Three measurements:
 //!
@@ -26,9 +26,13 @@
 //! short probes, equivalence still asserted, no JSON written. `--jobs N`
 //! (or `MACAW_JOBS`) sizes the executor used by the quick-mode probe
 //! pairs; the timed full runs always execute serially so neither
-//! backend's clock sees the other's load.
+//! backend's clock sees the other's load. `--shards N` (or
+//! `MACAW_SHARDS`) runs the probe scenarios on the island-sharded engine
+//! under both FEL backends — the cross-backend bitwise assertion still
+//! holds, but record baselines at the default 1.
 
 use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::sharding::{self, parse_shards_arg, set_shards_override};
 use macaw_bench::stopwatch::time_once;
 use macaw_bench::warm_for;
 use macaw_core::figures;
@@ -64,7 +68,7 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: engine [--quick] [--seed N] [--out PATH] [--jobs N]");
+    eprintln!("usage: engine [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]");
     std::process::exit(2);
 }
 
@@ -203,13 +207,13 @@ fn probes(ex: &Executor, seed: u64, quick: bool) -> Vec<ProbeRun> {
                   d: SimDuration| {
         let ladder_job = || -> (RunReport, f64) {
             time_once(|| {
-                mk().run_with_queue::<SparseMedium, LadderFel>(d, warm)
+                sharding::run_report_queue::<SparseMedium, LadderFel>(mk(), d, warm)
                     .unwrap_or_else(|e| die(&e))
             })
         };
         let heap_job = || -> (RunReport, f64) {
             time_once(|| {
-                mk().run_with_queue::<SparseMedium, HeapFel>(d, warm)
+                sharding::run_report_queue::<SparseMedium, HeapFel>(mk(), d, warm)
                     .unwrap_or_else(|e| die(&e))
             })
         };
@@ -306,6 +310,14 @@ fn main() {
                     Some(Err(e)) => usage_and_exit(&e),
                     None => usage_and_exit("--jobs takes a worker count"),
                 };
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).map(|s| parse_shards_arg(s)) {
+                    Some(Ok(n)) => set_shards_override(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--shards takes a shard count"),
+                }
             }
             other => usage_and_exit(&format!("unknown argument {other}")),
         }

@@ -3,12 +3,16 @@
 //! `BENCH_medium.json`.
 //!
 //! Usage:
-//!   perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N]
+//!   perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N] [--shards N]
 //!
 //! `--jobs N` (or `MACAW_JOBS`) sizes the executor used by the quick
 //! smoke; the timed table workload always runs serially — it *is* the
-//! measured quantity. With `--features alloc-stats` the engine probe also
-//! reports allocations and the live-bytes peak per scenario.
+//! measured quantity. `--shards N` (or `MACAW_SHARDS`) runs every
+//! simulation on the island-sharded engine: reports are bitwise
+//! identical, but the wall times then measure the parallel engine, so
+//! leave it at the default 1 when recording baselines. With
+//! `--features alloc-stats` the engine probe also reports allocations
+//! and the live-bytes peak per scenario.
 //!
 //! Two measurements:
 //!
@@ -30,6 +34,7 @@
 
 use macaw_bench::alloc_stats::{self, AllocSnapshot};
 use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::sharding::{self, parse_shards_arg, set_shards_override};
 use macaw_bench::stopwatch::{bench, time_once};
 use macaw_bench::{all_tables, run_specs_with, warm_for, TABLES, TABLE_SPECS};
 use macaw_core::figures;
@@ -51,7 +56,7 @@ const BASELINE_TABLES_QUICK_MS: f64 = 1060.0;
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N]");
+    eprintln!("usage: perf [--quick] [--iters N] [--seed N] [--out PATH] [--jobs N] [--shards N]");
     std::process::exit(2);
 }
 
@@ -76,7 +81,8 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
     let mut out = Vec::new();
     let mut go = |name: &'static str, sc: macaw_core::scenario::Scenario, d: SimDuration| {
         let before = alloc_stats::snapshot();
-        let (report, secs) = time_once(|| sc.run(d, warm).unwrap_or_else(|e| die(&e)));
+        let (report, secs) =
+            time_once(|| sharding::run_report(sc, d, warm).unwrap_or_else(|e| die(&e)));
         let alloc = alloc_stats::snapshot().zip(before).map(|(now, then)| now.since(&then));
         assert!(
             report.total_throughput().is_finite() && report.total_throughput() > 0.0,
@@ -144,6 +150,14 @@ fn main() {
                     Some(Err(e)) => usage_and_exit(&e),
                     None => usage_and_exit("--jobs takes a worker count"),
                 };
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).map(|s| parse_shards_arg(s)) {
+                    Some(Ok(n)) => set_shards_override(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--shards takes a shard count"),
+                }
             }
             other => {
                 usage_and_exit(&format!("unknown argument {other}"));

@@ -1,16 +1,20 @@
 //! Medium-scaling harness: events/sec, wall time, peak RSS and medium
 //! memory across station counts N ∈ {16, 64, 256, 1024} on the synthetic
 //! office floor ([`macaw_core::topology`]), per protocol (CSMA / MACA /
-//! MACAW), written to `BENCH_scale.json`.
+//! MACAW), plus a serial-vs-sharded sweep at N ∈ {4096, 16384}, written
+//! to `BENCH_scale.json`.
 //!
 //! Usage:
-//!   scale [--quick] [--seed N] [--out PATH] [--jobs N]
+//!   scale [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]
 //!
 //! `--jobs N` (or `MACAW_JOBS`) sizes the executor used by the quick
 //! smoke's sparse/dense pair; the timed sweep always runs serially so
-//! its wall-clock numbers measure one simulation at a time.
+//! its wall-clock numbers measure one simulation at a time. `--shards N`
+//! (or `MACAW_SHARDS`) sets the shard count of the quick smoke's
+//! serial-vs-sharded assertion and of the large sharded sweep (which
+//! defaults to 8 shards when unset).
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **Sweep** — every (N, protocol) cell runs the same randomized floor
 //!    on the cube-grid [`SparseMedium`], reporting processed events per
@@ -23,16 +27,28 @@
 //!    ≥ 5x faster.
 //! 3. **Memory** — [`Medium::memory_footprint`] of the built sparse medium
 //!    at each N. A 16x station growth (64 → 1024) must cost well under
-//!    256x the bytes (sub-quadratic; the cube grid is O(N·k)).
+//!    256x the bytes (sub-quadratic; the cube grid is O(N·k)). Each sweep
+//!    cell also records `peak_rss_kb` (process-wide `VmHWM`, monotone
+//!    across cells) and, under `--features alloc-stats`, the true
+//!    *per-cell* live-bytes peak from the counting allocator.
+//! 4. **Sharded sweep** — the *cellular* floor variant (pads inset 6 ft,
+//!    no corridor walkers, so the partition decomposes into one island
+//!    per room — see `macaw_core::partition`) at N ∈ {4096, 16384},
+//!    MACAW, run serially and via [`Scenario::run_with_shards`]. The two
+//!    reports must be bitwise identical; the JSON records the speedup,
+//!    island counts, per-shard event totals and the barrier-wait share.
 //!
 //! `--quick` is a smoke mode for CI (`scripts/verify.sh`): one short
-//! N = 64 run plus a miniature dense-equivalence check, no JSON output.
+//! N = 64 run plus a miniature dense-equivalence check and a
+//! serial-vs-sharded bitwise assertion, no JSON output.
 //!
 //! [`SparseMedium`]: macaw_phy::SparseMedium
 //! [`Medium::memory_footprint`]: macaw_phy::Medium::memory_footprint
 //! [`RunReport`]: macaw_core::stats::RunReport
 
+use macaw_bench::alloc_stats;
 use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::sharding::{effective_shards, parse_shards_arg, set_shards_override};
 use macaw_bench::stopwatch::time_once;
 use macaw_core::prelude::*;
 use macaw_core::stats::RunReport;
@@ -45,14 +61,17 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: scale [--quick] [--seed N] [--out PATH] [--jobs N]");
+    eprintln!("usage: scale [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]");
     std::process::exit(2);
 }
 
 /// Peak resident set size of this process so far, in kilobytes
 /// (`VmHWM` from `/proc/self/status`; 0 where procfs is unavailable).
-/// Monotone over the process lifetime, so per-cell readings record the
-/// high-water mark *up to and including* that cell.
+/// **Process-wide and monotone** over the process lifetime, so per-cell
+/// readings record the high-water mark *up to and including* that cell —
+/// the dense-vs-sparse N = 256 check runs first and sets the floor every
+/// smaller cell then repeats. Per-cell peaks come from
+/// [`alloc_stats`] when the feature is on.
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -89,6 +108,16 @@ fn floor_config(n: usize) -> ScaleConfig {
     cfg
 }
 
+/// The cellular large-floor variant: pads pulled 6 ft into their rooms,
+/// no corridor walkers, so rooms stop coupling and the partition yields
+/// one island per room — the regime `run_with_shards` accelerates.
+fn cellular_config(n: usize) -> ScaleConfig {
+    let mut cfg = floor_config(n);
+    cfg.room_inset_ft = 6.0;
+    cfg.walker_share = 0.0;
+    cfg
+}
+
 struct Cell {
     protocol: &'static str,
     stations: usize,
@@ -97,6 +126,9 @@ struct Cell {
     report: RunReport,
     wall_secs: f64,
     rss_kb: u64,
+    /// Per-cell live-bytes peak (counting allocator), `None` without
+    /// `--features alloc-stats`.
+    alloc_peak_live: Option<u64>,
 }
 
 /// Build the floor and run it on medium `M`, returning the report, wall
@@ -117,6 +149,58 @@ fn run_cell<M: PhyMedium>(
     let (res, wall_secs) = time_once(|| net.run_until(end));
     res.unwrap_or_else(|e| die(&e));
     (net.report(end), wall_secs, footprint, streams)
+}
+
+/// One row of the serial-vs-sharded large-floor sweep.
+struct ShardCell {
+    stations: usize,
+    streams: usize,
+    /// Coupling islands of the cellular floor actually run.
+    islands: usize,
+    /// Islands the *default* (coupled) floor would decompose into at the
+    /// same size — context for why the cellular variant is the one that
+    /// scales.
+    default_floor_islands: usize,
+    serial_secs: f64,
+    sharded_secs: f64,
+    events: u64,
+    stats: ShardRunStats,
+}
+
+/// Run the cellular floor at `n` stations serially and sharded; assert
+/// the reports bitwise identical and return the timings.
+fn run_shard_cell(
+    n: usize,
+    seed: u64,
+    dur: SimDuration,
+    warm: SimDuration,
+    shards: usize,
+) -> ShardCell {
+    let cfg = cellular_config(n);
+    let mk = || scale_topology(&cfg, MacKind::Macaw, seed);
+    let islands = mk().partition().unwrap_or_else(|e| die(&e)).n_islands;
+    let default_floor_islands = scale_topology(&floor_config(n), MacKind::Macaw, seed)
+        .partition()
+        .unwrap_or_else(|e| die(&e))
+        .n_islands;
+    let (serial, serial_secs) = time_once(|| mk().run(dur, warm).unwrap_or_else(|e| die(&e)));
+    let ((sharded, stats), sharded_secs) =
+        time_once(|| mk().run_with_shards(dur, warm, shards).unwrap_or_else(|e| die(&e)));
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{sharded:?}"),
+        "N={n}: sharded report must be bitwise identical to serial"
+    );
+    ShardCell {
+        stations: n,
+        streams: serial.streams.len(),
+        islands,
+        default_floor_islands,
+        serial_secs,
+        sharded_secs,
+        events: serial.events_processed,
+        stats,
+    }
 }
 
 fn main() {
@@ -151,6 +235,14 @@ fn main() {
                     None => usage_and_exit("--jobs takes a worker count"),
                 };
             }
+            "--shards" => {
+                i += 1;
+                match args.get(i).map(|s| parse_shards_arg(s)) {
+                    Some(Ok(n)) => set_shards_override(n),
+                    Some(Err(e)) => usage_and_exit(&e),
+                    None => usage_and_exit("--shards takes a shard count"),
+                }
+            }
             other => usage_and_exit(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -177,9 +269,21 @@ fn main() {
             sparse.total_throughput().is_finite() && sparse.total_throughput() > 0.0,
             "non-finite or zero total throughput"
         );
+        // Sharded smoke: the same floor through the island-sharded engine
+        // (`--shards 4` in scripts/verify.sh) must retrace the serial run
+        // down to the f64 bit patterns.
+        let shards = effective_shards();
+        let (sharded, _) = scale_topology(&floor_config(64), MacKind::Macaw, seed)
+            .run_with_shards(dur, warm, shards)
+            .unwrap_or_else(|e| die(&e));
+        assert_eq!(
+            format!("{sparse:?}"),
+            format!("{sharded:?}"),
+            "{shards}-shard run must be bitwise identical to serial"
+        );
         println!(
             "scale --quick: N=64 MACAW, {streams} streams, {} events in {:.1} ms, \
-             {:.1} KiB medium, sparse == dense",
+             {:.1} KiB medium, sparse == dense, serial == {shards}-shard",
             sparse.events_processed,
             secs * 1e3,
             footprint as f64 / 1024.0
@@ -226,8 +330,10 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &n in &sizes {
         for (name, mac) in protocols() {
+            alloc_stats::reset_peak();
             let (report, wall_secs, footprint, streams) =
                 run_cell::<SparseMedium>(n, mac, seed, dur, warm);
+            let alloc_peak_live = alloc_stats::snapshot().map(|s| s.peak_bytes);
             let evps = report.events_processed as f64 / wall_secs;
             println!(
                 "  {name:<6} N={n:<5} {streams:>4} streams  {:>9} events  {:>8.1} ms  \
@@ -251,8 +357,38 @@ fn main() {
                 report,
                 wall_secs,
                 rss_kb: peak_rss_kb(),
+                alloc_peak_live,
             });
         }
+    }
+
+    // Serial vs sharded at large N, on the cellular floor (one island per
+    // room). The default floor's edge coupling welds almost everything
+    // into one island — recorded per row as `default_floor_islands` — so
+    // it cannot parallelize; the cellular variant is the decomposable
+    // regime. Reports are asserted bitwise identical inside each cell.
+    let shards = match effective_shards() {
+        1 => 8,
+        n => n,
+    };
+    println!("\nsharded sweep: cellular floor, MACAW, serial vs {shards} shards");
+    let mut shard_cells: Vec<ShardCell> = Vec::new();
+    for &n in &[4096usize, 16384] {
+        let c = run_shard_cell(n, seed, dur, warm, shards);
+        let speedup = c.serial_secs / c.sharded_secs;
+        println!(
+            "  N={:<6} {:>5} streams  {:>5} islands (default floor: {})  serial {:>8.1} ms  \
+             {}-shard {:>8.1} ms  speedup {speedup:.2}x  barrier share {:.3}",
+            c.stations,
+            c.streams,
+            c.islands,
+            c.default_floor_islands,
+            c.serial_secs * 1e3,
+            shards,
+            c.sharded_secs * 1e3,
+            c.stats.barrier_wait_share
+        );
+        shard_cells.push(c);
     }
 
     // Sub-quadratic memory: 16x stations must cost far less than 256x bytes.
@@ -277,10 +413,15 @@ fn main() {
 
     let mut sweep_json = String::new();
     for c in &cells {
+        let alloc = match c.alloc_peak_live {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
         sweep_json.push_str(&format!(
             "    {{ \"protocol\": \"{}\", \"stations\": {}, \"streams\": {}, \"events\": {}, \
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \"total_throughput_pps\": {:.3}, \
-             \"jain_fairness\": {:.4}, \"medium_bytes\": {}, \"peak_rss_kb\": {} }},\n",
+             \"jain_fairness\": {:.4}, \"medium_bytes\": {}, \"peak_rss_kb\": {}, \
+             \"alloc_peak_live_bytes\": {} }},\n",
             c.protocol,
             c.stations,
             c.streams,
@@ -290,15 +431,58 @@ fn main() {
             c.report.total_throughput(),
             c.report.jain_fairness(),
             c.footprint,
-            c.rss_kb
+            c.rss_kb,
+            alloc
         ));
     }
     sweep_json.pop();
     sweep_json.pop(); // trailing ",\n"
     sweep_json.push('\n');
 
+    let mut shard_json = String::new();
+    for c in &shard_cells {
+        let mut per_shard = String::new();
+        for s in &c.stats.per_shard {
+            per_shard.push_str(&format!(
+                "        {{ \"islands\": {}, \"stations\": {}, \"streams\": {}, \
+                 \"events\": {}, \"wall_secs\": {:.6} }},\n",
+                s.islands, s.stations, s.streams, s.events, s.wall_secs
+            ));
+        }
+        per_shard.pop();
+        per_shard.pop();
+        per_shard.push('\n');
+        shard_json.push_str(&format!(
+            "    {{\n      \"stations\": {}, \"streams\": {}, \"events\": {},\n      \
+             \"islands\": {}, \"default_floor_islands\": {}, \"largest_island\": {},\n      \
+             \"serial_wall_secs\": {:.6}, \"sharded_wall_secs\": {:.6}, \"speedup\": {:.2},\n      \
+             \"shards\": {}, \"epochs\": {}, \"barrier_wait_share\": {:.4},\n      \
+             \"reports_identical\": true,\n      \"per_shard\": [\n{per_shard}      ]\n    }},\n",
+            c.stations,
+            c.streams,
+            c.events,
+            c.islands,
+            c.default_floor_islands,
+            c.stats.largest_island,
+            c.serial_secs,
+            c.sharded_secs,
+            c.serial_secs / c.sharded_secs,
+            c.stats.shards,
+            c.stats.epochs,
+            c.stats.barrier_wait_share
+        ));
+    }
+    shard_json.pop();
+    shard_json.pop();
+    shard_json.push('\n');
+
+    // Recorded so readers can tell parallel speedup from working-set
+    // reduction: with fewer cores than shards the threads time-slice.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     let json = format!(
         "{{\n  \"workload\": \"random office floor (topology::scale_topology), seed {seed}, 5 s sim with 1 s warm-up\",\n  \
+           \"peak_rss_note\": \"peak_rss_kb is the process-wide VmHWM high-water mark up to and including that cell — monotone, so cells smaller than whatever ran first repeat its value; alloc_peak_live_bytes is the true per-cell live-bytes peak from the counting allocator (null without --features alloc-stats)\",\n  \
            \"sweep\": [\n{sweep_json}  ],\n  \
            \"dense_vs_sparse_n256_macaw\": {{\n    \
              \"sparse_wall_secs\": {sp_secs:.6},\n    \
@@ -311,7 +495,10 @@ fn main() {
              \"bytes_n64\": {m64},\n    \
              \"bytes_n1024\": {m1024},\n    \
              \"growth_factor\": {growth:.2},\n    \
-             \"quadratic_reference\": 256.0\n  }}\n}}\n"
+             \"quadratic_reference\": 256.0\n  }},\n  \
+           \"sharded_sweep_note\": \"cellular floor (room_inset_ft 6, walker_share 0) under MACAW: one coupling island per room, run serially and via run_with_shards — bitwise-identical reports, wall time includes scenario build for both; epochs is 1 by design (zero propagation delay leaves no lookahead to window — whole islands are the unit of parallelism, see DESIGN.md 'Parallel DES'); interpret speedup against host_cores — on a single-core host any gain is per-shard working-set reduction, not parallelism (DESIGN.md 'Measured results')\",\n  \
+           \"host_cores\": {host_cores},\n  \
+           \"sharded_sweep\": [\n{shard_json}  ]\n}}\n"
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write {out_path}: {e}");

@@ -1,21 +1,24 @@
 //! Regenerate every table of the MACAW paper and print paper-vs-measured.
 //!
 //! Usage:
-//!   tables [--quick] [--seed N] [--table ID] [--serial] [--jobs N]
+//!   tables [--quick] [--seed N] [--table ID] [--serial] [--jobs N] [--shards N]
 //!
 //! `--quick` runs 100-second simulations instead of the paper's 500 s
 //! (2000 s for Table 11); `--table 5` runs only Table 5 (and `--table 1`
 //! also matches Figure 1). Tables fan out on the work-stealing executor
 //! by default — each simulation is an independent deterministic job, so
 //! output is identical to `--serial` — and are printed in paper order.
-//! `--jobs N` (or `MACAW_JOBS`) pins the worker count.
+//! `--jobs N` (or `MACAW_JOBS`) pins the worker count; `--shards N` (or
+//! `MACAW_SHARDS`) additionally parallelizes *within* each simulation
+//! via the island-sharded engine, with bitwise-identical output.
 
 use macaw_bench::executor::{parse_jobs_arg, Executor};
+use macaw_bench::sharding::{parse_shards_arg, set_shards_override};
 use macaw_bench::{default_duration, run_specs_with, TableResult, TableSpec, TABLE_SPECS};
 use macaw_core::prelude::SimDuration;
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial] [--jobs N]");
+    eprintln!("usage: tables [--quick] [--seed N] [--table <n>] [--serial] [--jobs N] [--shards N]");
     std::process::exit(2);
 }
 
@@ -54,6 +57,20 @@ fn main() {
                         usage_and_exit();
                     }
                 };
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).map(|s| parse_shards_arg(s)) {
+                    Some(Ok(n)) => set_shards_override(n),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        usage_and_exit();
+                    }
+                    None => {
+                        eprintln!("--shards takes a shard count");
+                        usage_and_exit();
+                    }
+                }
             }
             "--table" => {
                 i += 1;

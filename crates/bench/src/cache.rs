@@ -117,7 +117,10 @@ impl RunCache {
         if let Some(hit) = self.load(key) {
             return Ok((hit, false));
         }
-        let report = scenario.run(dur, warm)?;
+        // Sharded execution produces a bitwise-identical report, so
+        // entries written under any `MACAW_SHARDS` value stay valid for
+        // every other.
+        let report = crate::sharding::run_report(scenario, dur, warm)?;
         self.store(key, &report);
         Ok((report, true))
     }

@@ -29,6 +29,7 @@ pub mod cache;
 pub mod executor;
 pub mod faults;
 pub mod replicate;
+pub mod sharding;
 pub mod stopwatch;
 
 /// Default experiment duration (the paper runs 500–2000 s).
@@ -179,7 +180,7 @@ impl TableSpec {
     pub fn run(&self, seed: u64, dur: SimDuration) -> Result<TableResult, SimError> {
         let reports = (self.runs)()
             .iter()
-            .map(|r| (r.build)(seed).run(dur, warm_for(dur)))
+            .map(|r| crate::sharding::run_report((r.build)(seed), dur, warm_for(dur)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok((self.assemble)(&reports))
     }
@@ -775,7 +776,7 @@ pub fn run_specs_with(
     let reports = ex.try_run(jobs.len(), |j| {
         let (si, ri) = jobs[j];
         let d = dur * specs[si].dur_mul;
-        (runs[si][ri].build)(seed).run(d, warm_for(d))
+        crate::sharding::run_report((runs[si][ri].build)(seed), d, warm_for(d))
     })?;
     let mut out = Vec::with_capacity(specs.len());
     let mut offset = 0;

@@ -15,6 +15,10 @@
 //! * [`faults`] — the deterministic fault-injection plan ([`faults::FaultPlan`]):
 //!   noise bursts, corruption windows, station crashes, link asymmetry and
 //!   position jitter, applied to a scenario before it is built.
+//! * [`partition`] — the conservative coupling partition
+//!   ([`partition::Partition`]) behind [`scenario::Scenario::run_with_shards`]:
+//!   islands of stations that can ever interact, run in parallel with a
+//!   bitwise-identical merged [`stats::RunReport`].
 //! * [`error`] — [`error::SimError`], the typed failure every fallible entry
 //!   point returns instead of panicking.
 //!
@@ -42,6 +46,7 @@ pub mod error;
 pub mod faults;
 pub mod figures;
 pub mod network;
+pub mod partition;
 pub mod scenario;
 pub mod stats;
 pub mod topology;
@@ -49,6 +54,7 @@ pub mod topology;
 pub use error::SimError;
 pub use faults::{Fault, FaultPlan, FaultPlanConfig};
 pub use network::Network;
+pub use partition::{Partition, ShardRunStats, ShardStats};
 pub use scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
 pub use stats::{RunReport, StreamReport};
 pub use topology::{scale_topology, ScaleConfig};
@@ -59,6 +65,7 @@ pub mod prelude {
     pub use crate::faults::{Fault, FaultPlan, FaultPlanConfig};
     pub use crate::figures;
     pub use crate::network::Network;
+    pub use crate::partition::{Partition, ShardRunStats, ShardStats};
     pub use crate::scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
     pub use crate::stats::{RunReport, StreamReport};
     pub use crate::topology::{scale_topology, ScaleConfig};

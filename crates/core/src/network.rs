@@ -42,6 +42,7 @@ use macaw_traffic::TrafficSource;
 use macaw_transport::{Segment, Transport, TransportContext};
 
 use crate::error::SimError;
+use crate::partition::Partition;
 use crate::stats::{RunReport, StreamReport};
 
 /// A trace record emitted by [`Network::set_tracer`] hooks. Useful for
@@ -395,6 +396,22 @@ pub struct Network<M: Medium = SparseMedium, Q: FelChoice = LadderFel> {
     /// Reusable delivery buffer for [`Medium::end_tx_into`], so frame
     /// delivery allocates nothing in steady state.
     delivery_buf: Vec<Delivery>,
+    /// Island of each station / stream / scheduled action under the
+    /// scenario's coupling partition ([`crate::partition`]), installed by
+    /// the builder before [`Network::prime`].
+    island_of_station: Vec<u32>,
+    island_of_stream: Vec<u32>,
+    island_of_action: Vec<u32>,
+    /// Live queued-event count per island, mirroring the event queue's own
+    /// live count (core never cancels, so live = queued): +1 on schedule,
+    /// −1 on pop. Timers live outside the queue and are not counted —
+    /// exactly as in [`EventQueue`]'s accounting.
+    island_live: Vec<usize>,
+    /// Per-island high-water mark of `island_live`, updated on schedule
+    /// only (the queue's own high-water is too). The report sums these, so
+    /// the figure decomposes over islands and is identical whether the
+    /// islands ran in one event loop or one loop per shard.
+    island_high: Vec<usize>,
     /// Optional hard cap on total events processed (fault-run safety net).
     watchdog: Option<u64>,
     /// Same-instant livelock detector: the instant currently being
@@ -433,6 +450,11 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
             air_ns: 0,
             events_processed: 0,
             delivery_buf: Vec::new(),
+            island_of_station: Vec::new(),
+            island_of_stream: Vec::new(),
+            island_of_action: Vec::new(),
+            island_live: Vec::new(),
+            island_high: Vec::new(),
             watchdog: None,
             instant: (SimTime::ZERO, 0),
             tracer: None,
@@ -564,6 +586,21 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         self.actions.push(action);
     }
 
+    /// Install the coupling partition's island labels (station, stream and
+    /// action rows must match what was added). Called by the builder before
+    /// [`Network::prime`] so every queued event can be attributed to its
+    /// island for the decomposable high-water accounting.
+    pub(crate) fn set_islands(&mut self, p: &Partition) {
+        debug_assert_eq!(p.station_island.len(), self.stations.len());
+        debug_assert_eq!(p.stream_island.len(), self.streams.len());
+        debug_assert_eq!(p.action_island.len(), self.actions.len());
+        self.island_of_station = p.station_island.clone();
+        self.island_of_stream = p.stream_island.clone();
+        self.island_of_action = p.action_island.clone();
+        self.island_live = vec![0; p.n_islands];
+        self.island_high = vec![0; p.n_islands];
+    }
+
     /// Prime first arrivals and scheduled actions. Called once before
     /// running.
     pub(crate) fn prime(&mut self) {
@@ -577,9 +614,19 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 SimDuration::from_nanos(st.rng.uniform_inclusive(0, gap.as_nanos().max(1) - 1));
             self.queue
                 .schedule(st.start + phase, Event::AppArrival { stream: i as u32 });
+            note_island_schedule(
+                &mut self.island_live,
+                &mut self.island_high,
+                self.island_of_stream[i],
+            );
         }
         for (i, a) in self.actions.iter().enumerate() {
             self.queue.schedule(a.at, Event::Action { index: i as u32 });
+            note_island_schedule(
+                &mut self.island_live,
+                &mut self.island_high,
+                self.island_of_action[i],
+            );
         }
     }
 
@@ -764,12 +811,27 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         self.events_processed
     }
 
-    /// Operation counters of the underlying future-event list.
+    /// Operation counters of the underlying future-event list, with the
+    /// live-depth high-water mark replaced by the **sum of per-island
+    /// high-water marks**. Islands never exchange events, so each island's
+    /// mark is a pure function of its own trajectory and the sum is
+    /// identical whether the islands share one event loop (serial run) or
+    /// run one loop per shard — which is what lets the sharded engine
+    /// reproduce this report field bitwise. For a single-island scenario
+    /// the sum *is* the queue's own global mark.
     pub fn queue_stats(&self) -> QueueStats {
-        self.queue.stats()
+        let mut stats = self.queue.stats();
+        stats.high_water = self.island_high.iter().sum();
+        stats
     }
 
     fn handle(&mut self, ev: Event) {
+        let island = match ev {
+            Event::TxEnd { station, .. } => self.island_of_station[station as usize],
+            Event::AppArrival { stream } => self.island_of_stream[stream as usize],
+            Event::Action { index } => self.island_of_action[index as usize],
+        };
+        self.island_live[island as usize] -= 1;
         match ev {
             Event::TxEnd { station, epoch } => self.handle_tx_end(station as usize, epoch),
             Event::AppArrival { stream } => self.handle_app_arrival(stream as usize),
@@ -845,6 +907,11 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         let bytes = st.bytes;
         self.queue
             .schedule(now + gap, Event::AppArrival { stream: stream as u32 });
+        note_island_schedule(
+            &mut self.island_live,
+            &mut self.island_high,
+            self.island_of_stream[stream],
+        );
 
         let st = &mut self.streams[stream];
         st.offered += 1;
@@ -935,6 +1002,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 now,
                 station,
                 epoch: slot.epoch,
+                island: self.island_of_station[station],
                 timing: self.timing,
                 queue: &mut self.queue,
                 medium: &mut self.medium,
@@ -942,6 +1010,8 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 mac_timer: &mut self.mac_timers[station],
                 timer_index: &mut self.timer_index,
                 tx: &mut slot.tx,
+                island_live: &mut self.island_live,
+                island_high: &mut self.island_high,
                 effects: &mut self.effects,
             };
             f(mac.as_mut(), &mut ctx);
@@ -1192,8 +1262,16 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
             data_air_secs: self.data_air_ns as f64 / 1e9,
             total_air_secs: self.air_ns as f64 / 1e9,
             events_processed: self.events_processed,
-            queue_stats: self.queue.stats(),
+            queue_stats: self.queue_stats(),
         }
+    }
+
+    /// Raw post-warm-up air-time totals `(data_ns, all_ns)`. The sharded
+    /// runner sums these integers across shards *before* the one conversion
+    /// to seconds, so the merged report's air fields are bitwise identical
+    /// to the serial engine's single-accumulator result.
+    pub(crate) fn air_totals_ns(&self) -> (u64, u64) {
+        (self.data_air_ns, self.air_ns)
     }
 
     /// Number of stations.
@@ -1216,11 +1294,26 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
 // Context implementations
 // ----------------------------------------------------------------------
 
+/// Per-island mirror of the event queue's schedule-side accounting: bump
+/// the island's live count and its high-water mark. The queue itself only
+/// raises its high-water on schedule, so mirroring the same edge keeps the
+/// two in lockstep (see [`Network::queue_stats`]).
+#[inline]
+fn note_island_schedule(live: &mut [usize], high: &mut [usize], island: u32) {
+    let i = island as usize;
+    live[i] += 1;
+    if live[i] > high[i] {
+        high[i] = live[i];
+    }
+}
+
 struct CoreMacCtx<'a, M: Medium, F: Fel<Event>> {
     now: SimTime,
     station: usize,
     /// The station's current incarnation, stamped into scheduled TxEnds.
     epoch: u32,
+    /// The station's island, for attributing scheduled TxEnds.
+    island: u32,
     timing: Timing,
     queue: &'a mut EventQueue<Event, F>,
     medium: &'a mut ChaosMedium<M>,
@@ -1228,6 +1321,8 @@ struct CoreMacCtx<'a, M: Medium, F: Fel<Event>> {
     mac_timer: &'a mut PendingTimer,
     timer_index: &'a mut TimerIndex,
     tx: &'a mut Option<(TxId, Frame)>,
+    island_live: &'a mut [usize],
+    island_high: &'a mut [usize],
     effects: &'a mut VecDeque<Effect>,
 }
 
@@ -1263,6 +1358,7 @@ impl<M: Medium, F: Fel<Event>> MacContext for CoreMacCtx<'_, M, F> {
                 epoch: self.epoch,
             },
         );
+        note_island_schedule(self.island_live, self.island_high, self.island);
         *self.tx = Some((tx, frame));
     }
 

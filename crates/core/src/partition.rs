@@ -1,0 +1,511 @@
+//! Conservative coupling partition: the islands a scenario decomposes into.
+//!
+//! The paper's near-field radio propagates *instantaneously* in the model
+//! (zero propagation delay, per §2.1 and the paper's own simulator): a
+//! carrier raised at station A is sensed by every in-range station at the
+//! same simulated instant. Two stations that can ever hear — or interfere
+//! with — each other therefore have **zero lookahead** between them, and no
+//! conservative window, however derived, can let their event loops drift
+//! apart. Conversely, under the hard interference cutoff a transmission
+//! contributes *exactly* `+0.0` power beyond the 10 ft reception ball, so
+//! two stations that can never reach each other share no observable state
+//! at all. The sound unit of parallelism is thus the connected component of
+//! the "can ever couple" graph — an **island** — and this module computes
+//! that graph conservatively from the declarative [`Scenario`]:
+//!
+//! * **Geometry** — stations couple when any pair of their position
+//!   instances (initial placement plus every scheduled `Move` target) comes
+//!   within `max(reach_a, reach_b) + PAD` feet, where `reach_s = 10 ·
+//!   (tx_power_s · max_link)^(1/γ)` is the stretched reception radius under
+//!   the largest link-gain factor any action ever sets, and
+//!   [`COUPLING_PAD_FT`] absorbs the medium's cube-center snapping. This
+//!   over-approximates every radio interaction: interference (a 10 ft ball
+//!   independent of power — the cutoff tests the raw geometric gain),
+//!   reception, carrier sense, and link-gain rechecks.
+//! * **Receiver-noise clique** — stations with a nonzero `rx_error_rate`
+//!   draw from the *single shared* medium RNG stream on every clean
+//!   delivery, so their relative delivery order is observable: they are all
+//!   chained into one island.
+//! * **Noise emitters** — every station that can ever sit inside an
+//!   emitter's 10 ft ball (again power-independent) shares that emitter's
+//!   ambient term; all hearers of one emitter are chained together and the
+//!   emitter's toggle actions belong to that island. An emitter nobody can
+//!   ever hear gets its own *synthetic* island so its (behaviorally inert)
+//!   toggle events still have a deterministic home in the per-island event
+//!   accounting.
+//!
+//! Streams and corruption windows need no edges of their own: endpoints
+//! that are in range are already geometrically coupled, and endpoints that
+//! never are cannot exchange a single frame — the sender's futile RTS
+//! attempts play out entirely inside its own island.
+//!
+//! Under [`CutoffMode::Physical`] every station interferes with every other
+//! at any distance, so the whole scenario is one island and a sharded run
+//! degenerates (correctly) to the serial engine.
+//!
+//! [`CutoffMode::Physical`]: macaw_phy::CutoffMode::Physical
+
+use std::collections::HashMap;
+
+use macaw_phy::{CutoffMode, Point};
+
+use crate::network::ActionKind;
+use crate::scenario::Scenario;
+
+/// Slack added to every conservative coupling radius, in feet. The medium
+/// snaps station and noise positions to 1 ft³ cube centers, displacing each
+/// endpoint by at most √3/2 ft; 2.0 ft covers both endpoints of any pair
+/// with margin. Padding only ever *merges* islands, so it can cost
+/// parallelism but never correctness.
+const COUPLING_PAD_FT: f64 = 2.0;
+
+/// The island decomposition of a scenario (see module docs). Island ids are
+/// dense, deterministic (numbered by the smallest station index they
+/// contain, synthetic noise islands last) and identical for the full
+/// scenario and for any projection of it that keeps whole islands.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Total island count, including synthetic islands for unheard noise
+    /// emitters.
+    pub n_islands: usize,
+    /// Island of each station, by station index.
+    pub station_island: Vec<u32>,
+    /// Island of each declared stream (its source station's island).
+    pub stream_island: Vec<u32>,
+    /// Island of each scheduled action, in declaration order.
+    pub action_island: Vec<u32>,
+    /// Island of each corruption window (its source station's island).
+    pub window_island: Vec<u32>,
+    /// Island of each noise emitter: its hearers' island, or a synthetic
+    /// island of its own when nothing can ever hear it.
+    pub noise_island: Vec<u32>,
+}
+
+impl Partition {
+    /// Stations per island (station islands only; synthetic islands are
+    /// empty by construction and report zero).
+    pub fn island_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_islands];
+        for &i in &self.station_island {
+            sizes[i as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Deterministic longest-processing-time assignment of islands to
+    /// `shards` bins, balancing an event-volume proxy (streams dominate,
+    /// stations and actions tie-break). Returns the shard of each island.
+    /// Islands sort by (weight desc, id asc); ties in bin load go to the
+    /// lowest-numbered shard, so the mapping is a pure function of the
+    /// partition and the shard count.
+    pub fn assign_shards(&self, shards: usize) -> Vec<u32> {
+        let shards = shards.max(1);
+        let mut weight = vec![1u64; self.n_islands];
+        for &i in &self.station_island {
+            weight[i as usize] += 1;
+        }
+        for &i in &self.stream_island {
+            weight[i as usize] += 64;
+        }
+        for &i in &self.action_island {
+            weight[i as usize] += 4;
+        }
+        let mut order: Vec<usize> = (0..self.n_islands).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weight[i]), i));
+        let mut load = vec![0u64; shards];
+        let mut shard_of = vec![0u32; self.n_islands];
+        for i in order {
+            let mut best = 0;
+            for s in 1..shards {
+                if load[s] < load[best] {
+                    best = s;
+                }
+            }
+            shard_of[i] = best as u32;
+            load[best] += weight[i];
+        }
+        shard_of
+    }
+}
+
+/// Per-shard execution record of one sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Islands this shard owned.
+    pub islands: usize,
+    /// Stations in those islands (every shard *replicates* all stations,
+    /// but only these ever process an event).
+    pub stations: usize,
+    /// Streams this shard drove.
+    pub streams: usize,
+    /// Simulation events the shard's loop processed.
+    pub events: u64,
+    /// Wall-clock seconds the shard's thread spent running.
+    pub wall_secs: f64,
+}
+
+/// Execution statistics of a [`Scenario::run_with_shards`] call. Kept
+/// *outside* [`RunReport`](crate::stats::RunReport) on purpose: the report
+/// is bitwise-identical to the serial engine's, while these numbers
+/// (wall-clock, load split) legitimately vary run to run.
+///
+/// [`Scenario::run_with_shards`]: crate::scenario::Scenario::run_with_shards
+#[derive(Clone, Debug)]
+pub struct ShardRunStats {
+    /// Shards requested (and spawned; some may own zero islands).
+    pub shards: usize,
+    /// Islands in the scenario's coupling partition.
+    pub islands: usize,
+    /// Stations in the largest island — the serial floor no shard count
+    /// can break through.
+    pub largest_island: usize,
+    /// Lockstep epochs executed. Always 1 in this engine: the model's
+    /// zero propagation delay gives zero lookahead *within* an island and
+    /// infinite lookahead *between* islands, so the epoch ladder
+    /// degenerates to a single run-to-completion epoch per shard with one
+    /// final join barrier (see DESIGN.md "Parallel DES").
+    pub epochs: u64,
+    /// Share of total shard wall-time spent waiting at the final join:
+    /// `Σ(max_wall − wall_i) / (shards · max_wall)`. 0 = perfectly
+    /// balanced, →1 = one shard did all the work.
+    pub barrier_wait_share: f64,
+    /// Per-shard records, by shard index.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Union-find over station indices.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins: keeps the final labeling independent of
+            // union order (any deterministic rule would do).
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Compute the island partition of a (defect-free) scenario. See the
+/// module docs for the coupling rules; [`Scenario::partition`] is the
+/// validated public entry point.
+pub(crate) fn compute(sc: &Scenario) -> Partition {
+    let n = sc.stations.len();
+    let cfg = sc.prop;
+    let physical = matches!(cfg.cutoff, CutoffMode::Physical);
+    let mut dsu = Dsu::new(n);
+
+    // Largest link-gain factor any action ever sets (monotone bound, as in
+    // the sparse medium's ring-search sizing).
+    let mut max_link = 1.0f64;
+    for a in &sc.actions {
+        if let ActionKind::SetLinkGain { factor, .. } = a.kind {
+            max_link = max_link.max(factor);
+        }
+    }
+
+    // Every position a station can ever occupy: initial plus Move targets.
+    let mut instances: Vec<(u32, Point)> = sc
+        .stations
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as u32, s.pos))
+        .collect();
+    for a in &sc.actions {
+        if let ActionKind::Move { station, to } = a.kind {
+            instances.push((station as u32, to));
+        }
+    }
+
+    if physical {
+        for i in 1..n as u32 {
+            dsu.union(0, i);
+        }
+    } else if n > 1 {
+        // Stretched reception radius per station; the interference ball
+        // (exactly `threshold_distance_ft`, power-independent) is always
+        // covered because the effective multiplier is clamped at ≥ 1.
+        let reach: Vec<f64> = sc
+            .stations
+            .iter()
+            .map(|s| {
+                let eff = (s.tx_power * max_link).max(1.0);
+                cfg.threshold_distance_ft * eff.powf(1.0 / cfg.gamma)
+            })
+            .collect();
+        let max_radius = reach.iter().cloned().fold(0.0f64, f64::max) + COUPLING_PAD_FT;
+        let edge = max_radius.ceil().max(1.0);
+        let cell = |p: Point| {
+            [
+                (p.x / edge).floor() as i64,
+                (p.y / edge).floor() as i64,
+                (p.z / edge).floor() as i64,
+            ]
+        };
+        // Spatial hash over position instances; the map is only ever
+        // queried (never iterated), so HashMap order cannot leak into the
+        // result.
+        let mut grid: HashMap<[i64; 3], Vec<u32>> = HashMap::new();
+        for (k, &(_, p)) in instances.iter().enumerate() {
+            grid.entry(cell(p)).or_default().push(k as u32);
+        }
+        for (k, &(a, pa)) in instances.iter().enumerate() {
+            let c = cell(pa);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    for dz in -1..=1 {
+                        let Some(bucket) = grid.get(&[c[0] + dx, c[1] + dy, c[2] + dz]) else {
+                            continue;
+                        };
+                        for &j in bucket {
+                            if (j as usize) <= k {
+                                continue; // each unordered pair once
+                            }
+                            let (b, pb) = instances[j as usize];
+                            if a == b {
+                                continue;
+                            }
+                            let r = reach[a as usize].max(reach[b as usize]) + COUPLING_PAD_FT;
+                            if pa.distance(pb) <= r {
+                                dsu.union(a, b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Receiver-noise clique: all rx-error stations share the medium RNG.
+    let mut prev_noisy: Option<u32> = None;
+    for (i, s) in sc.stations.iter().enumerate() {
+        if s.rx_error_rate > 0.0 {
+            if let Some(p) = prev_noisy {
+                dsu.union(p, i as u32);
+            }
+            prev_noisy = Some(i as u32);
+        }
+    }
+
+    // Noise emitters: chain every station that can ever enter the 10 ft
+    // ball (any position instance; the ball is power-independent because
+    // the cutoff tests the raw geometric gain).
+    let noise_reach = cfg.threshold_distance_ft + COUPLING_PAD_FT;
+    let mut first_hearer: Vec<Option<u32>> = vec![None; sc.noise.len()];
+    if !physical {
+        for (e, &(pos, _, _)) in sc.noise.iter().enumerate() {
+            for &(s, p) in &instances {
+                if p.distance(pos) <= noise_reach {
+                    match first_hearer[e] {
+                        None => first_hearer[e] = Some(s),
+                        Some(h) => dsu.union(h, s),
+                    }
+                }
+            }
+        }
+    } else {
+        for h in first_hearer.iter_mut() {
+            *h = if n > 0 { Some(0) } else { None };
+        }
+    }
+
+    // Dense renumbering by smallest member station index.
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n as u32 {
+        let r = dsu.find(i) as usize;
+        if label[r] == u32::MAX {
+            label[r] = next;
+            next += 1;
+        }
+    }
+    let station_island: Vec<u32> = (0..n as u32)
+        .map(|i| label[dsu.find(i) as usize])
+        .collect();
+
+    // Synthetic islands for emitters nobody can ever hear.
+    let mut noise_island = vec![0u32; sc.noise.len()];
+    for (e, h) in first_hearer.iter().enumerate() {
+        noise_island[e] = match h {
+            Some(s) => station_island[*s as usize],
+            None => {
+                let id = next;
+                next += 1;
+                id
+            }
+        };
+    }
+
+    let stream_island: Vec<u32> = sc
+        .streams
+        .iter()
+        .map(|st| station_island[st.src])
+        .collect();
+    let action_island: Vec<u32> = sc
+        .actions
+        .iter()
+        .map(|a| match a.kind {
+            ActionKind::Move { station, .. }
+            | ActionKind::PowerOff { station }
+            | ActionKind::PowerOn { station }
+            | ActionKind::Crash { station, .. }
+            | ActionKind::Restart { station } => station_island[station],
+            ActionKind::SetLinkGain { src, .. } => station_island[src],
+            ActionKind::SetNoise { index, .. } => noise_island[index],
+        })
+        .collect();
+    let window_island: Vec<u32> = sc
+        .windows
+        .iter()
+        .map(|w| station_island[w.src.0])
+        .collect();
+
+    Partition {
+        n_islands: next as usize,
+        station_island,
+        stream_island,
+        action_island,
+        window_island,
+        noise_island,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MacKind;
+    use macaw_phy::PropagationConfig;
+    use macaw_sim::{SimDuration, SimTime};
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn far_stations_form_separate_islands() {
+        let mut sc = Scenario::new(1);
+        sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(100.0, 0.0, 0.0), MacKind::Macaw);
+        let p = sc.partition().unwrap();
+        assert_eq!(p.n_islands, 2);
+        assert_ne!(p.station_island[0], p.station_island[1]);
+    }
+
+    #[test]
+    fn in_range_stations_share_an_island() {
+        let mut sc = Scenario::new(1);
+        sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(9.0, 0.0, 0.0), MacKind::Macaw);
+        let p = sc.partition().unwrap();
+        assert_eq!(p.n_islands, 1);
+    }
+
+    #[test]
+    fn a_move_target_merges_its_destination_island() {
+        let mut sc = Scenario::new(1);
+        let a = sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(100.0, 0.0, 0.0), MacKind::Macaw);
+        sc.move_station_at(at(5), a, Point::new(95.0, 0.0, 0.0));
+        let p = sc.partition().unwrap();
+        assert_eq!(p.n_islands, 1, "the mover can end up in range of B");
+        assert_eq!(p.action_island[0], p.station_island[a]);
+    }
+
+    #[test]
+    fn tx_power_stretches_the_coupling_radius() {
+        let mut sc = Scenario::new(1);
+        let a = sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(25.0, 0.0, 0.0), MacKind::Macaw);
+        assert_eq!(sc.partition().unwrap().n_islands, 2);
+        // 10 · 1000^(1/6) ≈ 31.6 ft reach: now coupled.
+        sc.set_tx_power(a, 1000.0);
+        assert_eq!(sc.partition().unwrap().n_islands, 1);
+    }
+
+    #[test]
+    fn rx_error_stations_are_chained_into_one_island() {
+        let mut sc = Scenario::new(1);
+        let a = sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        let b = sc.add_station("B", Point::new(200.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("C", Point::new(400.0, 0.0, 0.0), MacKind::Macaw);
+        assert_eq!(sc.partition().unwrap().n_islands, 3);
+        sc.set_rx_error_rate(a, 0.01);
+        sc.set_rx_error_rate(b, 0.01);
+        let p = sc.partition().unwrap();
+        assert_eq!(p.n_islands, 2, "shared medium RNG couples A and B");
+        assert_eq!(p.station_island[0], p.station_island[1]);
+    }
+
+    #[test]
+    fn noise_emitters_couple_their_hearers_or_get_synthetic_islands() {
+        let mut sc = Scenario::new(1);
+        sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(16.0, 0.0, 0.0), MacKind::Macaw);
+        // An emitter between them: both are within its 10+pad ball.
+        let heard = sc.add_noise_source(Point::new(8.0, 0.0, 0.0), 4.0, false);
+        // An emitter in the void: nobody can ever hear it.
+        let orphan = sc.add_noise_source(Point::new(500.0, 0.0, 0.0), 4.0, false);
+        sc.set_noise_at(at(1), heard, true);
+        sc.set_noise_at(at(2), orphan, true);
+        let p = sc.partition().unwrap();
+        assert_eq!(p.station_island[0], p.station_island[1]);
+        assert_eq!(p.noise_island[heard], p.station_island[0]);
+        assert_eq!(p.noise_island[orphan] as usize, p.n_islands - 1);
+        assert_eq!(p.n_islands, 2, "one station island plus one synthetic");
+        assert_eq!(p.action_island[1], p.noise_island[orphan]);
+    }
+
+    #[test]
+    fn physical_cutoff_collapses_everything_into_one_island() {
+        let mut sc = Scenario::new(1);
+        sc.propagation(PropagationConfig {
+            cutoff: macaw_phy::CutoffMode::Physical,
+            ..PropagationConfig::default()
+        });
+        sc.add_station("A", Point::new(0.0, 0.0, 0.0), MacKind::Macaw);
+        sc.add_station("B", Point::new(1000.0, 0.0, 0.0), MacKind::Macaw);
+        assert_eq!(sc.partition().unwrap().n_islands, 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_balanced() {
+        let mut sc = Scenario::new(1);
+        // Eight well-separated pairs, one stream each.
+        for i in 0..8 {
+            let x = i as f64 * 50.0;
+            let a = sc.add_station(&format!("A{i}"), Point::new(x, 0.0, 0.0), MacKind::Macaw);
+            let b = sc.add_station(&format!("B{i}"), Point::new(x + 5.0, 0.0, 0.0), MacKind::Macaw);
+            sc.add_udp_stream(&format!("s{i}"), a, b, 16, 512);
+        }
+        let p = sc.partition().unwrap();
+        assert_eq!(p.n_islands, 8);
+        let s4 = p.assign_shards(4);
+        assert_eq!(s4, p.assign_shards(4), "assignment is a pure function");
+        let mut counts = [0usize; 4];
+        for &s in &s4 {
+            counts[s as usize] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2], "equal islands spread evenly");
+        // One shard: everything lands in shard 0.
+        assert!(p.assign_shards(1).iter().all(|&s| s == 0));
+    }
+}

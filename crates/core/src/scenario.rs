@@ -19,7 +19,8 @@ use macaw_transport::{TcpConfig, TcpReceiver, TcpSender, Transport, UdpReceiver,
 
 use crate::error::SimError;
 use crate::network::{ActionKind, Network, ScheduledAction};
-use crate::stats::RunReport;
+use crate::partition::{Partition, ShardRunStats, ShardStats};
+use crate::stats::{RunReport, StreamReport};
 
 /// Which MAC protocol a station runs.
 #[derive(Clone, Copy, Debug)]
@@ -120,14 +121,14 @@ pub struct StreamSpec {
     pub stop: Option<SimTime>,
 }
 
-#[derive(Debug)]
-struct StationSpec {
-    name: String,
-    pos: Point,
-    mac: MacKind,
-    groups: Vec<u32>,
-    rx_error_rate: f64,
-    tx_power: f64,
+#[derive(Clone, Debug)]
+pub(crate) struct StationSpec {
+    pub(crate) name: String,
+    pub(crate) pos: Point,
+    pub(crate) mac: MacKind,
+    pub(crate) groups: Vec<u32>,
+    pub(crate) rx_error_rate: f64,
+    pub(crate) tx_power: f64,
 }
 
 /// Declarative scenario description. See the crate docs for an example.
@@ -138,15 +139,26 @@ struct StationSpec {
 /// [`Scenario::run`] is called, so misconfiguration surfaces as a typed
 /// error instead of a crash mid-construction.
 pub struct Scenario {
-    seed: u64,
-    prop: PropagationConfig,
-    stations: Vec<StationSpec>,
-    streams: Vec<StreamSpec>,
-    noise: Vec<(Point, f64, bool)>,
-    actions: Vec<ScheduledAction>,
-    windows: Vec<LinkWindow>,
+    pub(crate) seed: u64,
+    pub(crate) prop: PropagationConfig,
+    pub(crate) stations: Vec<StationSpec>,
+    pub(crate) streams: Vec<StreamSpec>,
+    pub(crate) noise: Vec<(Point, f64, bool)>,
+    pub(crate) actions: Vec<ScheduledAction>,
+    pub(crate) windows: Vec<LinkWindow>,
+    /// Global stream ids, by position in `streams`. `None` (every
+    /// user-built scenario) means stream `i` is `StreamId(i)`; shard
+    /// projections override this so a stream keeps its *global* id — and
+    /// therefore its RNG fork — when it is rebuilt inside a shard that
+    /// holds only a subset of the streams.
+    pub(crate) stream_ids: Option<Vec<u32>>,
+    /// Precomputed island labels for this scenario's contents. `None`
+    /// (every user-built scenario) derives them at build time; shard
+    /// projections carry the *global* partition restricted to their rows so
+    /// per-island accounting matches the serial run label for label.
+    pub(crate) islands: Option<Partition>,
     /// First builder-time problem, reported at build()/run().
-    defect: Option<String>,
+    pub(crate) defect: Option<String>,
 }
 
 impl Scenario {
@@ -160,6 +172,8 @@ impl Scenario {
             noise: Vec::new(),
             actions: Vec::new(),
             windows: Vec::new(),
+            stream_ids: None,
+            islands: None,
             defect: None,
         }
     }
@@ -543,6 +557,13 @@ impl Scenario {
         if let Some(msg) = self.defect.take() {
             return Err(SimError::InvalidScenario(msg));
         }
+        // Island labels for the per-island event accounting: precomputed by
+        // the sharded runner (the global partition restricted to this
+        // projection), derived from the coupling graph otherwise.
+        let part = match self.islands.take() {
+            Some(p) => p,
+            None => crate::partition::compute(&self),
+        };
         let root = SimRng::new(self.seed);
         // Multicast group membership comes from both explicit joins and
         // stream declarations.
@@ -583,12 +604,18 @@ impl Scenario {
         }
 
         for (i, spec) in self.streams.iter().enumerate() {
-            let id = StreamId(i as u32);
+            // A shard projection carries global ids so a stream's label and
+            // RNG fork are identical to the full (serial) build.
+            let gid = match &self.stream_ids {
+                Some(ids) => ids[i],
+                None => i as u32,
+            };
+            let id = StreamId(gid);
             let source: Box<dyn TrafficSource> = match spec.source {
                 SourceKind::Cbr { pps } => Box::new(Cbr::pps(pps, spec.bytes)),
                 SourceKind::Poisson { pps } => Box::new(Poisson::pps(pps, spec.bytes)),
             };
-            let rng = root.fork(0x5742_0000 + i as u64);
+            let rng = root.fork(0x5742_0000 + gid as u64);
             match &spec.dst {
                 Dest::Station(dst) => {
                     let (sender, receiver): (Box<dyn Transport>, Box<dyn Transport>) =
@@ -639,8 +666,21 @@ impl Scenario {
         for w in self.windows.drain(..) {
             net.add_corruption_window(w);
         }
+        net.set_islands(&part);
         net.prime();
         Ok(net)
+    }
+
+    /// The conservative coupling partition of this scenario: the islands
+    /// of stations that can ever interact, plus the island of every
+    /// stream, action, corruption window and noise emitter. See
+    /// [`crate::partition`] for the coupling rules and
+    /// [`Scenario::run_with_shards`] for the engine built on top of it.
+    pub fn partition(&self) -> Result<Partition, SimError> {
+        if let Some(msg) = &self.defect {
+            return Err(SimError::InvalidScenario(msg.clone()));
+        }
+        Ok(crate::partition::compute(self))
     }
 
     /// Build and run for `duration`, measuring after `warmup`.
@@ -687,6 +727,227 @@ impl Scenario {
         net.set_warmup(warmup_end);
         net.run_until(end)?;
         Ok(net.report(end))
+    }
+
+    /// Run the scenario **sharded**: decompose it into coupling islands
+    /// (see [`crate::partition`]), assign whole islands to `shards` OS
+    /// threads, run each shard as an independent event loop, and merge the
+    /// per-shard results into a [`RunReport`] that is bitwise identical to
+    /// [`Scenario::run`]'s — the serial engine stays the oracle, exactly as
+    /// for the dense-vs-sparse media and heap-vs-ladder FELs.
+    ///
+    /// The model's zero propagation delay leaves zero conservative
+    /// lookahead *within* an island and unbounded lookahead *between*
+    /// islands, so there are no epochs or cross-shard inboxes to manage:
+    /// each shard runs its islands to completion and the only barrier is
+    /// the final join (DESIGN.md "Parallel DES" derives this). The
+    /// attainable speed-up is therefore bounded by the island structure —
+    /// a scenario that is one big island (every paper-table topology) runs
+    /// serially whatever the shard count, which the returned
+    /// [`ShardRunStats`] makes visible.
+    pub fn run_with_shards(
+        self,
+        duration: SimDuration,
+        warmup: SimDuration,
+        shards: usize,
+    ) -> Result<(RunReport, ShardRunStats), SimError> {
+        self.run_with_shards_queue::<macaw_phy::SparseMedium, macaw_sim::LadderFel>(
+            duration, warmup, shards,
+        )
+    }
+
+    /// [`Scenario::run_with_shards`] on an explicit medium and
+    /// future-event-list family.
+    pub fn run_with_shards_queue<M: Medium, Q: macaw_sim::FelChoice>(
+        mut self,
+        duration: SimDuration,
+        warmup: SimDuration,
+        shards: usize,
+    ) -> Result<(RunReport, ShardRunStats), SimError> {
+        if warmup >= duration {
+            return Err(SimError::InvalidScenario(
+                "warmup must end before the run does".to_string(),
+            ));
+        }
+        if let Some(msg) = self.defect.take() {
+            return Err(SimError::InvalidScenario(msg));
+        }
+        let part = crate::partition::compute(&self);
+        let n_shards = shards.max(1);
+        let shard_of = part.assign_shards(n_shards);
+
+        // Project the scenario onto each shard. Every shard replicates ALL
+        // stations and noise emitters — so station indices, RNG forks and
+        // medium construction are identical to the serial build — but
+        // receives only the streams, actions and corruption windows of the
+        // islands it owns. Stations outside those islands are inert: a MAC
+        // only acts when driven by traffic, a timer or a received frame,
+        // and nothing in a foreign island can produce any of the three.
+        let mut shard_scs: Vec<Scenario> = (0..n_shards)
+            .map(|_| Scenario {
+                seed: self.seed,
+                prop: self.prop,
+                stations: self.stations.clone(),
+                streams: Vec::new(),
+                noise: self.noise.clone(),
+                actions: Vec::new(),
+                windows: Vec::new(),
+                stream_ids: Some(Vec::new()),
+                islands: None,
+                defect: None,
+            })
+            .collect();
+        // Global stream ids owned by each shard, in declaration order.
+        let mut gids: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        // The global partition restricted to each projection's rows, so
+        // per-island accounting in the shard matches the serial labels.
+        let mut sub_streams: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut sub_actions: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut sub_windows: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (i, spec) in self.streams.iter().enumerate() {
+            let isl = part.stream_island[i];
+            let s = shard_of[isl as usize] as usize;
+            shard_scs[s].streams.push(spec.clone());
+            gids[s].push(i as u32);
+            sub_streams[s].push(isl);
+        }
+        for (i, a) in self.actions.iter().enumerate() {
+            let isl = part.action_island[i];
+            let s = shard_of[isl as usize] as usize;
+            shard_scs[s].actions.push(*a);
+            sub_actions[s].push(isl);
+        }
+        for (i, w) in self.windows.iter().enumerate() {
+            let isl = part.window_island[i];
+            let s = shard_of[isl as usize] as usize;
+            shard_scs[s].windows.push(*w);
+            sub_windows[s].push(isl);
+        }
+        for (s, sc) in shard_scs.iter_mut().enumerate() {
+            sc.stream_ids = Some(gids[s].clone());
+            sc.islands = Some(Partition {
+                n_islands: part.n_islands,
+                station_island: part.station_island.clone(),
+                stream_island: std::mem::take(&mut sub_streams[s]),
+                action_island: std::mem::take(&mut sub_actions[s]),
+                window_island: std::mem::take(&mut sub_windows[s]),
+                noise_island: part.noise_island.clone(),
+            });
+        }
+
+        let warmup_end = SimTime::ZERO + warmup;
+        let end = SimTime::ZERO + duration;
+        type ShardOutcome = Result<(RunReport, (u64, u64), u64, f64), SimError>;
+        let results: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_scs
+                .into_iter()
+                .map(|sc| {
+                    scope.spawn(move || -> ShardOutcome {
+                        let t0 = std::time::Instant::now();
+                        let mut net = sc.build_with_queue::<M, Q>()?;
+                        net.set_warmup(warmup_end);
+                        net.run_until(end)?;
+                        let report = net.report(end);
+                        let air = net.air_totals_ns();
+                        let events = net.events_processed();
+                        Ok((report, air, events, t0.elapsed().as_secs_f64()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        let mut reports = Vec::with_capacity(n_shards);
+        let mut walls = Vec::with_capacity(n_shards);
+        let mut events = Vec::with_capacity(n_shards);
+        let (mut data_ns, mut air_ns, mut total_events) = (0u64, 0u64, 0u64);
+        for r in results {
+            let (rep, (d, a), ev, wall) = r?;
+            data_ns += d;
+            air_ns += a;
+            total_events += ev;
+            events.push(ev);
+            walls.push(wall);
+            reports.push(rep);
+        }
+
+        // Merge, field by field, into exactly what the serial engine
+        // reports. Per-stream and per-station rows come verbatim from the
+        // owning shard (each shard computed its rates from the same
+        // `measured` value below, so the f64s are bit-identical); air
+        // totals are summed as integer nanoseconds *before* the single
+        // conversion to seconds; queue counters sum because every event
+        // belongs to exactly one island, and the high-water field was
+        // redefined as an island sum for precisely this reason (see
+        // [`Network::queue_stats`](crate::network::Network::queue_stats)).
+        let measured = end.saturating_since(warmup_end).as_secs_f64();
+        let mut stream_rows: Vec<Option<StreamReport>> = vec![None; self.streams.len()];
+        for (s, rep) in reports.iter().enumerate() {
+            for (j, &gid) in gids[s].iter().enumerate() {
+                stream_rows[gid as usize] = Some(rep.streams[j].clone());
+            }
+        }
+        let streams: Vec<StreamReport> = stream_rows
+            .into_iter()
+            .map(|r| r.expect("every stream is owned by exactly one shard"))
+            .collect();
+        let mut mac_stats = Vec::with_capacity(self.stations.len());
+        let mut mac_drops = Vec::with_capacity(self.stations.len());
+        for (i, &isl) in part.station_island.iter().enumerate() {
+            let owner = shard_of[isl as usize] as usize;
+            mac_stats.push(reports[owner].mac_stats[i]);
+            mac_drops.push(reports[owner].mac_drops[i]);
+        }
+        let mut queue_stats = macaw_sim::QueueStats::default();
+        for rep in &reports {
+            queue_stats.scheduled += rep.queue_stats.scheduled;
+            queue_stats.popped += rep.queue_stats.popped;
+            queue_stats.cancelled += rep.queue_stats.cancelled;
+            queue_stats.high_water += rep.queue_stats.high_water;
+        }
+        let report = RunReport {
+            measured_secs: measured,
+            streams,
+            station_names: reports[0].station_names.clone(),
+            mac_stats,
+            mac_drops,
+            data_air_secs: data_ns as f64 / 1e9,
+            total_air_secs: air_ns as f64 / 1e9,
+            events_processed: total_events,
+            queue_stats,
+        };
+
+        let max_wall = walls.iter().cloned().fold(0.0f64, f64::max);
+        let barrier_wait_share = if max_wall > 0.0 {
+            walls.iter().map(|w| max_wall - w).sum::<f64>() / (n_shards as f64 * max_wall)
+        } else {
+            0.0
+        };
+        let sizes = part.island_sizes();
+        let per_shard = (0..n_shards)
+            .map(|s| ShardStats {
+                islands: shard_of.iter().filter(|&&o| o as usize == s).count(),
+                stations: part
+                    .station_island
+                    .iter()
+                    .filter(|&&i| shard_of[i as usize] as usize == s)
+                    .count(),
+                streams: gids[s].len(),
+                events: events[s],
+                wall_secs: walls[s],
+            })
+            .collect();
+        let stats = ShardRunStats {
+            shards: n_shards,
+            islands: part.n_islands,
+            largest_island: sizes.iter().copied().max().unwrap_or(0),
+            epochs: 1,
+            barrier_wait_share,
+            per_shard,
+        };
+        Ok((report, stats))
     }
 }
 

@@ -56,7 +56,9 @@ pub struct RunReport {
     /// cancellations, live-depth high-water mark). Pure functions of the
     /// event trajectory, so they are identical across FEL backends — the
     /// queue-equivalence tests compare them bitwise along with everything
-    /// else.
+    /// else. The high-water mark is the **sum of per-island high-water
+    /// marks** (see `Network::queue_stats`), which makes it decompose over
+    /// coupling islands and reproduce bitwise under the sharded engine too.
     pub queue_stats: QueueStats,
 }
 
@@ -177,7 +179,7 @@ fn unesc(s: &str) -> String {
 /// The cache text format version. Bump when the format (or the set of
 /// fields in [`RunReport`]) changes, so stale cache entries from an older
 /// build parse-fail into a miss instead of deserializing garbage.
-const CACHE_FORMAT: &str = "macaw-runreport v2";
+const CACHE_FORMAT: &str = "macaw-runreport v3";
 
 impl RunReport {
     /// Serialize for the fingerprint-keyed run cache: a line-oriented text
@@ -472,7 +474,7 @@ mod tests {
         let truncated = full.trim_end_matches("end\n");
         assert!(RunReport::from_cache_text(truncated).is_err());
         // A stale-format header must parse-fail into a miss.
-        let wrong_version = full.replacen("v2", "v1", 1);
+        let wrong_version = full.replacen("v3", "v1", 1);
         assert!(RunReport::from_cache_text(&wrong_version).is_err());
     }
 

@@ -34,6 +34,15 @@ pub struct ScaleConfig {
     pub room_pitch_ft: f64,
     /// Width of the corridor strip between room rows (ft).
     pub corridor_width_ft: f64,
+    /// Minimum distance (ft) from a room's walls to its pads (≥ 1).
+    /// Default 1 ft — the paper-style floor, where edge pads of adjacent
+    /// rooms overhear each other and rooms contend at the boundaries.
+    /// Raising it to 6 ft on the default 16 ft pitch pulls every pad deep
+    /// enough into its room that adjacent rooms can no longer couple at
+    /// all: with `walker_share = 0` the floor decomposes into one coupling
+    /// island per room (see `crate::partition`), the regime where
+    /// `Scenario::run_with_shards` scales across cores.
+    pub room_inset_ft: f64,
     /// Fraction of all stations placed in corridors instead of rooms.
     pub walker_share: f64,
     /// Probability that a pad or walker sources an uplink stream to its
@@ -55,6 +64,7 @@ impl Default for ScaleConfig {
             stations_per_room: 8,
             room_pitch_ft: 16.0,
             corridor_width_ft: 8.0,
+            room_inset_ft: 1.0,
             walker_share: 0.1,
             stream_load: 0.75,
             downlink_share: 0.25,
@@ -116,12 +126,16 @@ pub fn scale_topology(cfg: &ScaleConfig, mac: MacKind, seed: u64) -> Scenario {
 
         let pads = (cfg.stations_per_room - 1).min(roomed - placed);
         for p in 0..pads {
-            // Random whole-foot offset in the room interior, at least a
-            // foot from the walls; everything is within pitch/√2 of the
-            // base, i.e. in range for the default 16 ft pitch.
-            let span = (pitch as u64).saturating_sub(2).max(1);
-            let dx = rng.uniform_inclusive(1, span) as f64;
-            let dy = rng.uniform_inclusive(1, span) as f64;
+            // Random whole-foot offset in the room interior, at least
+            // `room_inset_ft` from the walls; everything is within pitch/√2
+            // of the base, i.e. in range for the default 16 ft pitch. The
+            // draw is `inset − 1` plus a roll over the remaining span, so
+            // the default inset of 1 ft consumes the exact RNG sequence
+            // (and produces the exact offsets) this generator always has.
+            let inset = cfg.room_inset_ft;
+            let span = ((pitch - 2.0 * inset) as u64).max(1);
+            let dx = (inset - 1.0) + rng.uniform_inclusive(1, span) as f64;
+            let dy = (inset - 1.0) + rng.uniform_inclusive(1, span) as f64;
             let pos = Point::new(origin.0 + dx, origin.1 + dy, 0.0);
             let pad = sc.add_station(&format!("P{room}_{p}"), pos, mac);
             placed += 1;

@@ -473,7 +473,10 @@ impl Medium for DenseMedium {
             .position(|t| t.id == tx)
             .expect("end_tx: transmission not in flight");
         let source = self.active[idx].source;
-        self.active.swap_remove(idx);
+        // Ordered removal keeps the active list in transmission-start order
+        // (matching the reference medium), so fold order at any station is
+        // independent of when transmissions outside its neighborhood end.
+        self.active.remove(idx);
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
 
@@ -500,9 +503,10 @@ impl Medium for DenseMedium {
         // and the in-place compaction above preserves relative order.
         debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
 
-        // The swap-remove above reordered the active list, so the running
-        // sums are rebuilt in the new fold order rather than subtracted
-        // (subtraction would drift from the reference; see module docs).
+        // The removal deleted one term from the middle of every fold, so
+        // the running sums are rebuilt in the (unchanged) list order rather
+        // than subtracted (subtraction would drift from the reference; see
+        // module docs).
         self.rebuild_incident();
 
         // Per-packet intermittent noise (§3.3.1): each packet is corrupted

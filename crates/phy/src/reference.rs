@@ -292,7 +292,13 @@ impl ReferenceMedium {
             .position(|t| t.id == tx)
             .expect("end_tx: transmission not in flight");
         let source = self.active[idx].source;
-        self.active.swap_remove(idx);
+        // Ordered removal: the active list stays in transmission-start
+        // order, so interference folds depend only on the relative start
+        // order of the transmissions that are actually audible at a station
+        // — never on when unrelated, far-away transmissions end. That makes
+        // every fold a function of its own radio neighborhood, which the
+        // sharded engine relies on (see macaw-core's parallel run docs).
+        self.active.remove(idx);
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
 

@@ -39,8 +39,13 @@
 //!
 //! * `start_tx` appends one fold term — add the contribution to the running
 //!   sums of the transmitter and its neighbors (append preserves the fold).
-//! * `end_tx` swap-removes an active entry, removing one term and moving
-//!   another — refold around the ended source and the swapped-in source.
+//! * `end_tx` removes its active entry *in place* (the list stays in
+//!   transmission-start order), deleting one term — refold around the ended
+//!   source only. The ordered removal also makes every fold a function of
+//!   the station's own radio neighborhood: the active sub-sequence visible
+//!   at a station never depends on when unrelated transmissions elsewhere
+//!   end, which is what lets the sharded run in `macaw-core` reproduce the
+//!   serial trajectory island by island.
 //! * `set_position` changes terms involving the mover only — refold the
 //!   mover, plus its old and new neighborhoods if it is mid-transmission.
 //! * `set_tx_power` / `set_link_gain` scale one source's terms — refold its
@@ -668,11 +673,14 @@ impl Medium for SparseMedium {
             .position(|t| t.id == tx)
             .expect("end_tx: transmission not in flight");
         let source = self.active[idx].source;
-        self.active.swap_remove(idx);
+        // Ordered removal: the list stays in transmission-start order, so
+        // every remaining fold keeps its exact term sequence and only the
+        // ended source's (nonzero) term disappears. Entries behind the gap
+        // shift left by one; their owners' `active_pos` follow.
+        self.active.remove(idx);
         self.active_pos[source.0] = usize::MAX;
-        let swapped_in = self.active.get(idx).map(|t| t.source.0);
-        if let Some(m) = swapped_in {
-            self.active_pos[m] = idx;
+        for p in idx..self.active.len() {
+            self.active_pos[self.active[p].source.0] = p;
         }
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
@@ -703,16 +711,14 @@ impl Medium for SparseMedium {
             self.near_count[n] -= 1;
         }
 
-        // The swap-remove deleted one fold term and moved another to a new
-        // position. Both are exactly zero outside their source's
-        // neighborhood, so only those stations' folds can have changed; all
-        // others are term-for-term identical and keep their running sums.
+        // The ordered removal deleted one fold term and left every other
+        // term in place. The deleted term is exactly `+0.0` outside the
+        // ended source's neighborhood — and dropping a `+0.0` term from a
+        // non-negative left-to-right fold changes no partial sums — so only
+        // the ended source's neighborhood can have changed; all other
+        // stations' folds are term-for-term identical and keep their
+        // running sums.
         self.refold_around(source.0);
-        if let Some(m) = swapped_in {
-            if m != source.0 {
-                self.refold_around(m);
-            }
-        }
 
         // Per-packet intermittent noise (§3.3.1): each packet is corrupted
         // at a receiving station with that station's error probability.

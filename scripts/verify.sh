@@ -27,8 +27,11 @@ cargo test -q --release -p macaw-bench --test determinism ladder_and_heap
 echo "== faults smoke =="
 cargo run --release -p macaw-bench --bin faults -- --smoke
 
-echo "== scale smoke =="
-cargo run --release -p macaw-bench --bin scale -- --quick
+echo "== scale smoke (serial vs 4-shard bitwise identity) =="
+cargo run --release -p macaw-bench --bin scale -- --quick --shards 4
+
+echo "== sharded-engine invariance suite =="
+cargo test -q --release -p macaw-bench --test sharding
 
 echo "== replicate smoke (executor + run cache + multi-seed sweep) =="
 cargo run --release -p macaw-bench --bin replicate -- --quick
