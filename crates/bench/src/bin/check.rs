@@ -1,0 +1,272 @@
+//! Model-checker throughput harness: run the full proof matrix (protocol
+//! × topology family × fault class), report explorer statistics — states
+//! explored per second, dedup ratio, deepest path — and write
+//! `BENCH_check.json`.
+//!
+//! Usage:
+//!   check [--smoke] [--seed N] [--out PATH]
+//!
+//! `--smoke` is the CI mode (`scripts/verify.sh`): the two-station cell
+//! under all three protocols only, no JSON output, non-zero exit if any
+//! proof fails or any measurement comes out non-finite. The full matrix is
+//! the same set of theorems the `macaw-check` test suite proves; this
+//! binary exists to measure the explorer, not to re-prove the theorems,
+//! but it still refuses to report numbers for a run that found a
+//! violation — throughput of a broken checker is meaningless.
+
+use std::time::Instant;
+
+use macaw_check::{check, CheckConfig, CheckReport, Expectation, FaultClass, Topology};
+use macaw_mac::{Addr, Csma, CsmaConfig, MacConfig, WMac};
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: check [--smoke] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Checker-sized protocol budgets (see `crates/check/tests/proofs.rs`:
+/// shrinking retries keeps the retry-bounded state space exhaustible
+/// without changing the machinery under test).
+fn macaw_cfg() -> MacConfig {
+    let mut cfg = MacConfig::macaw();
+    cfg.max_retries = 2;
+    cfg.bo_max = 4;
+    cfg
+}
+
+fn maca_cfg() -> MacConfig {
+    let mut cfg = MacConfig::maca();
+    cfg.max_retries = 2;
+    cfg.bo_max = 4;
+    cfg
+}
+
+fn csma_cfg() -> CsmaConfig {
+    CsmaConfig {
+        bo_max: 4,
+        max_attempts: 3,
+        ..CsmaConfig::default()
+    }
+}
+
+/// One cell of the proof matrix.
+struct Run {
+    protocol: &'static str,
+    topo: Topology,
+    fault: FaultClass,
+    expectation: Expectation,
+}
+
+fn matrix() -> Vec<Run> {
+    use Expectation::{DeliverAll, ResolveAll};
+    use FaultClass::{CarrierBlind, Loss, Noise, None as NoFault};
+    let mut runs = Vec::new();
+    for (topo, expectation) in [
+        (Topology::shared_cell(2), DeliverAll),
+        (Topology::shared_cell(3), DeliverAll),
+        (Topology::hidden_terminal(), ResolveAll),
+        (Topology::exposed_terminal(), ResolveAll),
+        (Topology::asymmetric_link(), ResolveAll),
+    ] {
+        runs.push(Run {
+            protocol: "macaw",
+            topo,
+            fault: NoFault,
+            expectation,
+        });
+    }
+    runs.push(Run {
+        protocol: "macaw",
+        topo: Topology::shared_cell(2),
+        fault: Loss { budget: 1 },
+        expectation: DeliverAll,
+    });
+    runs.push(Run {
+        protocol: "macaw",
+        topo: Topology::shared_cell(2),
+        fault: Noise { budget: 1 },
+        expectation: DeliverAll,
+    });
+    // The heavy rows: per-receiver loss multiplies the flight-end
+    // branching in the 3-station spaces.
+    runs.push(Run {
+        protocol: "macaw",
+        topo: Topology::hidden_terminal(),
+        fault: Loss { budget: 1 },
+        expectation: ResolveAll,
+    });
+    runs.push(Run {
+        protocol: "macaw",
+        topo: Topology::shared_cell(3),
+        fault: Loss { budget: 1 },
+        expectation: ResolveAll,
+    });
+    for (topo, fault, expectation) in [
+        (Topology::shared_cell(2), NoFault, DeliverAll),
+        (Topology::hidden_terminal(), NoFault, ResolveAll),
+        (Topology::shared_cell(2), Noise { budget: 1 }, ResolveAll),
+        (Topology::asymmetric_link(), NoFault, ResolveAll),
+    ] {
+        runs.push(Run {
+            protocol: "maca",
+            topo,
+            fault,
+            expectation,
+        });
+    }
+    for (topo, fault) in [
+        (Topology::shared_cell(2), NoFault),
+        (Topology::shared_cell(3), NoFault),
+        (Topology::hidden_terminal(), NoFault),
+        (Topology::shared_cell(3), CarrierBlind { budget: 1 }),
+        (Topology::asymmetric_link(), NoFault),
+    ] {
+        runs.push(Run {
+            protocol: "csma",
+            topo,
+            fault,
+            expectation: ResolveAll,
+        });
+    }
+    runs
+}
+
+fn run_one(run: &Run, seed: u64) -> CheckReport {
+    let mut cfg = CheckConfig::new(run.fault, run.expectation);
+    cfg.seed = seed;
+    cfg.max_depth = 96;
+    match run.protocol {
+        "macaw" => check("macaw", &run.topo, &cfg, |i| {
+            WMac::new(Addr::Unicast(i), macaw_cfg())
+        }),
+        "maca" => check("maca", &run.topo, &cfg, |i| {
+            WMac::new(Addr::Unicast(i), maca_cfg())
+        }),
+        "csma" => check("csma", &run.topo, &cfg, |i| {
+            Csma::new(Addr::Unicast(i), csma_cfg())
+        }),
+        other => unreachable!("unknown protocol {other}"),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 1u64;
+    let mut out_path = "BENCH_check.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage_and_exit("--seed needs a value"));
+                seed = v.parse().unwrap_or_else(|_| usage_and_exit("--seed needs an integer"));
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| usage_and_exit("--out needs a value"));
+            }
+            other => usage_and_exit(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let runs: Vec<Run> = if smoke {
+        matrix()
+            .into_iter()
+            .filter(|r| r.topo.name == "shared_cell" && r.topo.n == 2 && r.fault == FaultClass::None)
+            .collect()
+    } else {
+        matrix()
+    };
+
+    let mut rows = String::new();
+    let (mut tot_states, mut tot_secs) = (0u64, 0.0f64);
+    let mut failures = 0u32;
+    for run in &runs {
+        let start = Instant::now();
+        let report = run_one(run, seed);
+        let secs = start.elapsed().as_secs_f64();
+        let states_per_sec = report.stats.states_explored as f64 / secs.max(1e-9);
+        let visits = report.stats.states_explored + report.stats.dedup_hits;
+        let dedup_ratio = report.stats.dedup_hits as f64 / visits.max(1) as f64;
+        println!(
+            "{:<6} {:<16} {:<24} {:>8} states {:>7} dedup ({:>4.1}%) depth {:>3} {:>10.0} states/s {}",
+            report.protocol,
+            report.topology,
+            format!("{:?}", report.fault),
+            report.stats.states_explored,
+            report.stats.dedup_hits,
+            dedup_ratio * 100.0,
+            report.stats.max_depth_reached,
+            states_per_sec,
+            if report.ok() {
+                if report.complete { "proved" } else { "bounded" }
+            } else {
+                "VIOLATION"
+            },
+        );
+        if let Some(v) = &report.violation {
+            eprintln!("{v}");
+            failures += 1;
+            continue;
+        }
+        if !states_per_sec.is_finite() {
+            eprintln!("non-finite throughput for {} on {}", report.protocol, report.topology);
+            failures += 1;
+            continue;
+        }
+        tot_states += report.stats.states_explored;
+        tot_secs += secs;
+        rows.push_str(&format!(
+            "    {{ \"protocol\": \"{}\", \"topology\": \"{}\", \"stations\": {}, \"fault\": \"{:?}\", \
+             \"expectation\": \"{:?}\", \"states_explored\": {}, \"dedup_hits\": {}, \
+             \"dedup_ratio\": {:.4}, \"terminals\": {}, \"max_depth\": {}, \"complete\": {}, \
+             \"wall_secs\": {:.6}, \"states_per_sec\": {:.0} }},\n",
+            report.protocol,
+            report.topology,
+            run.topo.n,
+            report.fault,
+            report.expectation,
+            report.stats.states_explored,
+            report.stats.dedup_hits,
+            dedup_ratio,
+            report.stats.terminals,
+            report.stats.max_depth_reached,
+            report.complete,
+            secs,
+            states_per_sec,
+        ));
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    let total_rate = tot_states as f64 / tot_secs.max(1e-9);
+    println!(
+        "total: {} states in {:.1} ms = {:.0} states/s across {} checks",
+        tot_states,
+        tot_secs * 1e3,
+        total_rate,
+        runs.len()
+    );
+
+    if smoke {
+        println!("check --smoke: all proofs hold");
+        return;
+    }
+
+    rows.pop();
+    rows.pop(); // drop trailing ",\n"
+    rows.push('\n');
+    let json = format!(
+        "{{\n  \"workload\": \"exhaustive model check, full proof matrix (seed={seed})\",\n  \
+           \"checks\": [\n{rows}  ],\n  \
+           \"total\": {{ \"states_explored\": {tot_states}, \"wall_secs\": {tot_secs:.6}, \
+           \"states_per_sec\": {total_rate:.0} }}\n}}\n",
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,449 @@
+//! Iterative-deepening exhaustive exploration with counterexample traces.
+//!
+//! [`check`] explores every interleaving of a [`World`] up to a depth
+//! bound. Deepening runs in increments: each pass re-explores from the
+//! root with a *fresh* depth-aware memo, so the first violation found is
+//! found at the smallest depth bound that exposes it and its trace is a
+//! shortest counterexample. If a pass completes without once hitting its
+//! depth bound, the state space has been explored **completely** — every
+//! path reached a terminal — and deeper passes are skipped
+//! ([`CheckReport::complete`] records this, turning a bounded search into
+//! an actual proof for the finite spaces the retry-bounded protocols
+//! generate).
+//!
+//! The memo maps canonical states to the largest remaining depth they were
+//! explored under: a revisit with no more depth budget than before cannot
+//! reach anything new and is pruned ([`CheckStats::dedup_hits`]). Cycle
+//! detection is on-path: because the canonical state embeds monotone
+//! progress counters, revisiting a state on the current path means a
+//! progress-free control-frame cycle — a livelock.
+
+use std::fmt;
+
+use macaw_mac::context::MacFeedback;
+use macaw_mac::harness::Action;
+use macaw_mac::{MacInvariantViolation, MacProtocol, MacSnapshot};
+use macaw_sim::{FastHashMap, FastHashSet, SimDuration, SimTime, TieBand};
+
+use crate::topology::Topology;
+use crate::world::{CanonState, FaultClass, World, WorldEvent};
+
+/// What the terminal states must satisfy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Every offered packet is delivered to its receiver (and resolved at
+    /// its sender). The right demand for protocols with a reliable
+    /// exchange on topologies where every flow can physically complete.
+    DeliverAll,
+    /// Every offered packet is resolved at its sender (sent or cleanly
+    /// dropped), but delivery is not demanded. The right demand for CSMA —
+    /// whose collisions are silent, the paper's core criticism — and for
+    /// asymmetric links where no exchange can complete.
+    ResolveAll,
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// The fault adversary active during exploration.
+    pub fault: FaultClass,
+    /// Base RNG seed; station `i` draws from `seed ^ i * φ64`.
+    pub seed: u64,
+    /// Final depth bound of the deepening schedule.
+    pub max_depth: u32,
+    /// Deepening increment.
+    pub depth_step: u32,
+    /// Terminal-state demand.
+    pub expectation: Expectation,
+    /// Concurrency window: deadlines within this epsilon of the earliest
+    /// one are explored in every order. Must be strictly *inside* the
+    /// MAC's `timeout_margin`: the margin exists precisely so that a
+    /// response arriving on time is processed before the timeout that
+    /// guards it, so deadlines a full margin apart are ordered even on
+    /// real hardware — while anything closer (and in particular exact
+    /// ties, like two stations drawing the same contention slot) is fair
+    /// game for reordering.
+    pub tie_epsilon: SimDuration,
+}
+
+impl CheckConfig {
+    /// Defaults: seed 1, depth 64 in steps of 8, tie window of half the
+    /// default 50 µs timeout margin.
+    pub fn new(fault: FaultClass, expectation: Expectation) -> Self {
+        CheckConfig {
+            fault,
+            seed: 1,
+            max_depth: 64,
+            depth_step: 8,
+            expectation,
+            tie_epsilon: SimDuration::from_micros(25),
+        }
+    }
+}
+
+/// Why a run was rejected.
+#[derive(Clone, Debug)]
+pub enum ViolationKind {
+    /// Quiescent world (no timers, nothing on the air) with unresolved
+    /// packets: nothing can ever happen again.
+    Deadlock { resolved: u32, offered: u32 },
+    /// A station wedged in a state it cannot leave.
+    StuckWait { station: usize, detail: String },
+    /// A progress-free cycle of control-frame exchanges.
+    Livelock,
+    /// Terminal state with undelivered packets under
+    /// [`Expectation::DeliverAll`].
+    Undelivered { delivered: u32, offered: u32 },
+    /// A MAC state machine broke one of its own invariants.
+    Invariant(MacInvariantViolation),
+}
+
+/// One step of a counterexample: the chosen event, when it happened, what
+/// the stations did in response, and every station's state afterwards.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    pub at: SimTime,
+    pub event: WorldEvent,
+    pub actions: Vec<(usize, Action)>,
+    pub states: Vec<&'static str>,
+}
+
+/// A property violation with its minimal counterexample trace (the exact
+/// event sequence from the initial state).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub trace: Vec<TraceStep>,
+}
+
+/// Exploration statistics, accumulated over all deepening passes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Transitions applied.
+    pub states_explored: u64,
+    /// Revisits pruned by the canonical-state memo.
+    pub dedup_hits: u64,
+    /// Terminal (quiescent) states checked.
+    pub terminals: u64,
+    /// The best delivery count seen at any terminal: `best_delivered ==
+    /// offered` proves full delivery is *reachable* even when an
+    /// adversarial interleaving can prevent it (collision cascades can
+    /// exhaust any finite retry budget, so `DeliverAll` is unprovable on
+    /// collision-prone topologies — but a protocol that can never deliver
+    /// is worse than one that merely can be starved).
+    pub best_delivered: u32,
+    /// Paths cut short by the depth bound.
+    pub bound_hits: u64,
+    /// Deepest path actually followed.
+    pub max_depth_reached: u32,
+    /// Deepening passes run.
+    pub iterations: u32,
+}
+
+/// The outcome of checking one protocol on one topology.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub protocol: String,
+    pub topology: &'static str,
+    pub fault: FaultClass,
+    pub expectation: Expectation,
+    /// `None` — all properties hold up to the bound.
+    pub violation: Option<Violation>,
+    pub stats: CheckStats,
+    /// `true` iff some pass explored every path to a terminal without
+    /// hitting its depth bound: the verdict is exhaustive, not bounded.
+    pub complete: bool,
+}
+
+impl CheckReport {
+    /// No violation found.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Explore `topo` under `cfg` for the protocol built by `make` (one
+/// instance per station index). Deterministic: identical inputs give an
+/// identical report, down to the states-explored count.
+pub fn check<P>(
+    protocol: &str,
+    topo: &Topology,
+    cfg: &CheckConfig,
+    make: impl Fn(usize) -> P,
+) -> CheckReport
+where
+    P: MacProtocol + MacSnapshot + Clone,
+{
+    let band = TieBand::new(cfg.tie_epsilon);
+    let mut stats = CheckStats::default();
+    let mut violation = None;
+    let mut complete = false;
+
+    let mut depth = cfg.depth_step.max(1);
+    loop {
+        depth = depth.min(cfg.max_depth);
+        stats.iterations += 1;
+
+        let mut root = World::new(topo.clone(), cfg.fault, band, cfg.seed, &make);
+        let mut dfs = Dfs {
+            memo: FastHashMap::default(),
+            path: FastHashSet::default(),
+            trace: Vec::new(),
+            stats: &mut stats,
+            expectation: cfg.expectation,
+            bound_hits_this_pass: 0,
+        };
+        let outcome = match root.inject() {
+            Err(v) => Err(dfs.violation(ViolationKind::Invariant(v))),
+            Ok(()) => dfs.visit(&root, depth),
+        };
+        let pass_bound_hits = dfs.bound_hits_this_pass;
+        if let Err(v) = outcome {
+            violation = Some(v);
+            break;
+        }
+        if pass_bound_hits == 0 {
+            complete = true;
+            break;
+        }
+        if depth >= cfg.max_depth {
+            break;
+        }
+        depth += cfg.depth_step.max(1);
+    }
+
+    CheckReport {
+        protocol: protocol.to_string(),
+        topology: topo.name,
+        fault: cfg.fault,
+        expectation: cfg.expectation,
+        violation,
+        stats,
+        complete,
+    }
+}
+
+struct Dfs<'a, S> {
+    memo: FastHashMap<CanonState<S>, u32>,
+    path: FastHashSet<CanonState<S>>,
+    trace: Vec<TraceStep>,
+    stats: &'a mut CheckStats,
+    expectation: Expectation,
+    bound_hits_this_pass: u64,
+}
+
+impl<S: Clone + PartialEq + Eq + std::hash::Hash> Dfs<'_, S> {
+    fn visit<P>(&mut self, w: &World<P>, depth_left: u32) -> Result<(), Violation>
+    where
+        P: MacProtocol + MacSnapshot<Snap = S> + Clone,
+    {
+        if let Some((station, detail)) = w.stuck() {
+            return Err(self.violation(ViolationKind::StuckWait { station, detail }));
+        }
+        let choices = w.choices();
+        if choices.is_empty() {
+            self.stats.terminals += 1;
+            self.stats.best_delivered = self.stats.best_delivered.max(w.delivered);
+            if w.resolved < w.offered {
+                return Err(self.violation(ViolationKind::Deadlock {
+                    resolved: w.resolved,
+                    offered: w.offered,
+                }));
+            }
+            if self.expectation == Expectation::DeliverAll && w.delivered < w.offered {
+                return Err(self.violation(ViolationKind::Undelivered {
+                    delivered: w.delivered,
+                    offered: w.offered,
+                }));
+            }
+            return Ok(());
+        }
+        if depth_left == 0 {
+            self.bound_hits_this_pass += 1;
+            self.stats.bound_hits += 1;
+            return Ok(());
+        }
+        let canon = w.canon();
+        if self.path.contains(&canon) {
+            return Err(self.violation(ViolationKind::Livelock));
+        }
+        if let Some(&seen) = self.memo.get(&canon) {
+            if seen >= depth_left {
+                self.stats.dedup_hits += 1;
+                return Ok(());
+            }
+        }
+        self.path.insert(canon.clone());
+
+        let mut result = Ok(());
+        for ev in choices {
+            let mut child = w.clone();
+            match child.apply(&ev) {
+                Err(v) => {
+                    self.trace.push(TraceStep {
+                        at: child.clock(),
+                        event: ev,
+                        actions: Vec::new(),
+                        states: child.state_kinds(),
+                    });
+                    result = Err(self.violation(ViolationKind::Invariant(v)));
+                    break;
+                }
+                Ok(actions) => {
+                    self.stats.states_explored += 1;
+                    self.trace.push(TraceStep {
+                        at: child.clock(),
+                        event: ev,
+                        actions,
+                        states: child.state_kinds(),
+                    });
+                    self.stats.max_depth_reached =
+                        self.stats.max_depth_reached.max(self.trace.len() as u32);
+                    let r = self.visit(&child, depth_left - 1);
+                    self.trace.pop();
+                    if r.is_err() {
+                        result = r;
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.path.remove(&canon);
+        if result.is_ok() {
+            self.memo.insert(canon, depth_left);
+        }
+        result
+    }
+
+    fn violation(&self, kind: ViolationKind) -> Violation {
+        Violation {
+            kind,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+impl fmt::Display for WorldEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldEvent::Fire { station, blind } => {
+                write!(f, "timer fires at station {station}")?;
+                if *blind {
+                    write!(f, " (carrier sense blinded)")?;
+                }
+                Ok(())
+            }
+            WorldEvent::FlightEnd {
+                src,
+                order,
+                lost,
+                noise,
+            } => {
+                write!(f, "station {src}'s transmission ends")?;
+                if *noise {
+                    write!(f, " (corrupted by noise)")?;
+                } else if order.is_empty() && lost.is_empty() {
+                    write!(f, " (no clean receiver)")?;
+                } else if !order.is_empty() {
+                    write!(f, ", received by {order:?}")?;
+                }
+                if !lost.is_empty() {
+                    write!(f, ", lost at {lost:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn fmt_action(f: &mut fmt::Formatter<'_>, station: usize, a: &Action) -> fmt::Result {
+    match a {
+        Action::Transmit(frame) => writeln!(
+            f,
+            "      station {station}: transmit {:?} {:?} -> {:?}",
+            frame.kind, frame.src, frame.dst
+        ),
+        Action::DeliverUp { src, sdu } => writeln!(
+            f,
+            "      station {station}: deliver seq {} from {src:?}",
+            sdu.transport_seq
+        ),
+        Action::Feedback(fb) => {
+            let (what, seq) = match fb {
+                MacFeedback::Sent { transport_seq, .. } => ("sent", transport_seq),
+                MacFeedback::Dropped { transport_seq, .. } => ("dropped", transport_seq),
+                MacFeedback::Refused { transport_seq, .. } => ("refused", transport_seq),
+            };
+            writeln!(f, "      station {station}: packet seq {seq} {what}")
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Deadlock { resolved, offered } => write!(
+                f,
+                "deadlock: world is quiescent with {resolved}/{offered} packets resolved"
+            ),
+            ViolationKind::StuckWait { station, detail } => {
+                write!(f, "stuck wait at station {station}: {detail}")
+            }
+            ViolationKind::Livelock => write!(f, "livelock: progress-free cycle revisits a state"),
+            ViolationKind::Undelivered { delivered, offered } => write!(
+                f,
+                "terminal state delivered only {delivered}/{offered} packets"
+            ),
+            ViolationKind::Invariant(v) => write!(f, "invariant violation: {v}"),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.kind)?;
+        writeln!(f, "counterexample ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            // SimTime's Debug form already carries the "t=" prefix.
+            writeln!(
+                f,
+                "  {:>3}. {:>12} {}  => [{}]",
+                i + 1,
+                format!("{:?}", step.at),
+                step.event,
+                step.states.join(", ")
+            )?;
+            for (station, a) in &step.actions {
+                fmt_action(f, *station, a)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} under {:?} ({:?}): ",
+            self.protocol, self.topology, self.fault, self.expectation
+        )?;
+        match &self.violation {
+            None => write!(
+                f,
+                "{} — {} states, {} dedup hits, {} terminals, depth {}",
+                if self.complete {
+                    "proved (exhaustive)"
+                } else {
+                    "no violation up to bound"
+                },
+                self.stats.states_explored,
+                self.stats.dedup_hits,
+                self.stats.terminals,
+                self.stats.max_depth_reached,
+            ),
+            Some(v) => write!(f, "VIOLATION\n{v}"),
+        }
+    }
+}

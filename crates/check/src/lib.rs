@@ -1,0 +1,42 @@
+//! Bounded exhaustive model checker for the MAC state machines.
+//!
+//! Where the simulation crates answer "how does MACAW perform?", this crate
+//! answers "can MACAW wedge?". It explores *every* interleaving of radio
+//! nondeterminism — near-simultaneous timer firings, frame reception
+//! orders, and a budgeted fault adversary (loss, noise, carrier-sense
+//! blindness) — over 2–4 station topologies, and proves four properties
+//! per protocol and topology family:
+//!
+//! * **no deadlock** — a quiescent world (no timers armed, nothing on the
+//!   air) has every offered packet resolved;
+//! * **no livelock** — no reachable cycle of control-frame exchanges that
+//!   never makes progress (sound because the canonical state includes
+//!   monotone progress counters: any on-path revisit is a progress-free
+//!   cycle);
+//! * **no stuck waits** — after every transition, no station sits in a
+//!   wait state (`WfCts`, `WfDs`, `Quiet`, …) with no armed timer, or
+//!   believes it is transmitting with nothing on the air;
+//! * **delivery / resolution** — on terminal states, every offered packet
+//!   was delivered (symmetric topologies, protocols with an ACK) or at
+//!   least cleanly resolved as sent-or-dropped (asymmetric links, CSMA's
+//!   silent collisions).
+//!
+//! Exploration is iterative-deepening DFS over [`World`] states with a
+//! hashed canonical-state memo ([`World::canon`]): each deepening pass
+//! re-explores with a fresh depth-aware memo, so the first violation found
+//! is at minimal depth and its [`Violation::trace`] is a shortest
+//! counterexample — the exact [`WorldEvent`] sequence, with per-station
+//! actions and state names at every step.
+//!
+//! Everything is deterministic: same seed, same topology, same fault class
+//! → the same number of states explored, bit for bit.
+
+pub mod explore;
+pub mod topology;
+pub mod world;
+
+pub use explore::{
+    check, CheckConfig, CheckReport, CheckStats, Expectation, TraceStep, Violation, ViolationKind,
+};
+pub use topology::Topology;
+pub use world::{CanonState, FaultClass, World, WorldEvent};

@@ -1,0 +1,136 @@
+//! The topology families the paper's arguments are built on.
+//!
+//! Each topology is a directed hearing relation over 2–4 stations plus the
+//! traffic pattern whose delivery the checker proves. The families are the
+//! paper's own figures: a single shared cell (§1), the hidden-terminal pair
+//! (Figure 1 / §2.2), the exposed-terminal square (Figure 5 / §3.3.2) and
+//! an asymmetric link (a one-way hill: the sender is heard, the replies are
+//! not) — the configuration where a protocol must *give up cleanly* rather
+//! than deliver.
+
+/// A station topology: who hears whom, and who sends what to whom.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Family name, for reports.
+    pub name: &'static str,
+    /// Number of stations.
+    pub n: usize,
+    /// `hears[s][r]` — station `r` hears station `s`'s transmissions.
+    /// Directed; the diagonal is unused.
+    pub hears: Vec<Vec<bool>>,
+    /// Traffic: `(src, dst)` pairs, one queued packet each.
+    pub flows: Vec<(usize, usize)>,
+    /// Whether every flow can physically complete its exchange (i.e. the
+    /// forward *and* reverse links of every flow exist). When `false` —
+    /// the asymmetric family — the delivery proof degrades to a clean-
+    /// resolution proof: every packet must still end as delivered *or*
+    /// dropped, with no station left stuck.
+    pub symmetric_flows: bool,
+}
+
+impl Topology {
+    fn from_links(
+        name: &'static str,
+        n: usize,
+        links: &[(usize, usize)],
+        directed: &[(usize, usize)],
+        flows: &[(usize, usize)],
+    ) -> Self {
+        let mut hears = vec![vec![false; n]; n];
+        for &(a, b) in links {
+            hears[a][b] = true;
+            hears[b][a] = true;
+        }
+        for &(a, b) in directed {
+            hears[a][b] = true;
+        }
+        let symmetric_flows = flows.iter().all(|&(s, d)| hears[s][d] && hears[d][s]);
+        Topology {
+            name,
+            n,
+            hears,
+            flows: flows.to_vec(),
+            symmetric_flows,
+        }
+    }
+
+    /// A single cell: all `n` stations hear each other; station 0 sends to
+    /// station 1 and (for `n >= 3`) station 2 also sends to station 1, so
+    /// contention for the shared receiver is part of the space.
+    pub fn shared_cell(n: usize) -> Self {
+        assert!((2..=4).contains(&n), "checker topologies are 2-4 stations");
+        let links: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        let flows: &[(usize, usize)] = if n >= 3 { &[(0, 1), (2, 1)] } else { &[(0, 1)] };
+        Self::from_links("shared_cell", n, &links, &[], flows)
+    }
+
+    /// Figure 1: A and C both send to B but cannot hear each other — the
+    /// hidden-terminal configuration carrier sense cannot solve.
+    pub fn hidden_terminal() -> Self {
+        Self::from_links("hidden_terminal", 3, &[(0, 1), (2, 1)], &[], &[(0, 1), (2, 1)])
+    }
+
+    /// Figure 5: two sender/receiver pairs; the senders hear each other,
+    /// the receivers hear only their own sender — the exposed-terminal
+    /// configuration the DS packet exists for. Stations: 0,2 send; 1,3
+    /// receive.
+    pub fn exposed_terminal() -> Self {
+        Self::from_links(
+            "exposed_terminal",
+            4,
+            &[(0, 1), (2, 3), (0, 2)],
+            &[],
+            &[(0, 1), (2, 3)],
+        )
+    }
+
+    /// A one-way link: station 1 hears station 0, but nothing station 1
+    /// transmits reaches station 0. No exchange can complete; the proof
+    /// obligation is clean failure (retry, give up, return to idle).
+    pub fn asymmetric_link() -> Self {
+        Self::from_links("asymmetric_link", 2, &[], &[(0, 1)], &[(0, 1)])
+    }
+
+    /// The four families at their canonical sizes, for sweep drivers.
+    pub fn families() -> Vec<Topology> {
+        vec![
+            Topology::shared_cell(2),
+            Topology::shared_cell(3),
+            Topology::hidden_terminal(),
+            Topology::exposed_terminal(),
+            Topology::asymmetric_link(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hidden_terminal_matches_figure_1() {
+        let t = Topology::hidden_terminal();
+        assert!(t.hears[0][1] && t.hears[1][0], "A-B symmetric");
+        assert!(t.hears[2][1] && t.hears[1][2], "C-B symmetric");
+        assert!(!t.hears[0][2] && !t.hears[2][0], "A and C are hidden");
+        assert!(t.symmetric_flows);
+    }
+
+    #[test]
+    fn exposed_terminal_matches_figure_5() {
+        let t = Topology::exposed_terminal();
+        assert!(t.hears[0][2] && t.hears[2][0], "senders hear each other");
+        assert!(!t.hears[1][3] && !t.hears[3][1], "receivers are isolated");
+        assert!(!t.hears[0][3], "each receiver hears only its own sender");
+        assert!(t.symmetric_flows);
+    }
+
+    #[test]
+    fn asymmetric_link_cannot_complete_exchanges() {
+        let t = Topology::asymmetric_link();
+        assert!(t.hears[0][1] && !t.hears[1][0]);
+        assert!(!t.symmetric_flows);
+    }
+}

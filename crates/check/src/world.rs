@@ -1,0 +1,593 @@
+//! A multi-station world built from [`Oracle`]s: the checker's transition
+//! system.
+//!
+//! The world composes one [`Oracle`] per station with a directed hearing
+//! relation and a set of in-flight transmissions. Its nondeterminism
+//! alphabet is exactly what a real radio environment leaves open:
+//!
+//! * **which near-simultaneous deadline fires first** — timer firings and
+//!   flight ends whose deadlines fall within one [`TieBand`] epsilon
+//!   (strictly inside the MAC's `timeout_margin`; see `CheckConfig`) are
+//!   concurrent and explored in every order; deadlines further apart keep
+//!   their physical order, so a contention slot never races a 16 ms data
+//!   packet and a margin-guarded timeout never races the response it
+//!   guards;
+//! * **frame reception order** — when one flight ends at several clean
+//!   receivers, every delivery order is explored (a receiver's reaction
+//!   can key up its radio and matters to the stations stepped after it);
+//! * **frame loss / corruption** — the [`FaultClass`] adversary may spend
+//!   a bounded budget discarding clean receptions (`Loss`), corrupting a
+//!   whole flight (`Noise`), or blinding a station's carrier sense at the
+//!   instant it matters (`CarrierBlind`). The budget bound is what makes
+//!   "eventual delivery" meaningful: an unbounded adversary starves any
+//!   protocol.
+//!
+//! Everything else is deterministic: station RNG streams are seeded at
+//! construction and their positions are part of the canonical state, so a
+//! revisited [`CanonState`] provably has identical futures.
+//!
+//! Physics is the same model the simulation core uses, reduced to a
+//! boolean hearing matrix: a reception is clean iff no other audible
+//! transmission overlaps it and the receiver itself never keys up while it
+//! is on the air; carrier sense reports any audible foreign transmission.
+
+use macaw_mac::context::MacFeedback;
+use macaw_mac::harness::Action;
+use macaw_mac::{
+    Addr, Frame, MacInvariantViolation, MacProtocol, MacSdu, MacSnapshot, Oracle, Stimulus,
+    StreamId, Timing,
+};
+use macaw_sim::{SimDuration, SimTime, TieBand};
+
+use crate::topology::Topology;
+
+/// The bounded fault adversary active during exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Perfect channel: interleaving nondeterminism only.
+    None,
+    /// Up to `budget` clean receptions may be silently discarded
+    /// (per-receiver loss: one station misses a frame others hear).
+    Loss { budget: u8 },
+    /// Up to `budget` whole flights may be corrupted by a noise burst
+    /// (no station receives them).
+    Noise { budget: u8 },
+    /// Up to `budget` carrier-sense queries may falsely report an idle
+    /// channel at the instant a station acts on them — the sensing failure
+    /// that makes carrier-sense protocols collide even within one cell.
+    CarrierBlind { budget: u8 },
+}
+
+impl FaultClass {
+    fn budget(self) -> u8 {
+        match self {
+            FaultClass::None => 0,
+            FaultClass::Loss { budget }
+            | FaultClass::Noise { budget }
+            | FaultClass::CarrierBlind { budget } => budget,
+        }
+    }
+}
+
+/// One transition of the world, fully determined: which deadline fired and
+/// every adversary choice attached to it. Doubles as the trace alphabet of
+/// counterexamples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorldEvent {
+    /// Station `station`'s MAC timer fires. With `blind`, the adversary
+    /// spends one budget point making its carrier-sense query report idle.
+    Fire { station: usize, blind: bool },
+    /// The flight transmitted by `src` ends. `order` is the delivery order
+    /// over the clean receivers, `lost` the receivers whose reception the
+    /// adversary discarded, `noise` whether the whole flight was corrupted.
+    FlightEnd {
+        src: usize,
+        order: Vec<usize>,
+        lost: Vec<usize>,
+        noise: bool,
+    },
+}
+
+/// A transmission on the air.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Flight {
+    src: usize,
+    frame: Frame,
+    ends: SimTime,
+    /// Per-station garbage marker: overlap or half-duplex ruined the
+    /// reception at that station.
+    dirty: Vec<bool>,
+}
+
+/// Canonical world state: station snapshots with now-relative timer
+/// offsets and RNG stream digests, in-flight transmissions with
+/// now-relative remaining air time, the adversary budget, and the
+/// (monotone) progress counters. Two worlds with equal canonical states
+/// have identical future behaviour under identical choices, which is what
+/// makes deduplication and on-path cycle detection sound. Monotone
+/// progress counters also make the livelock check self-contained: any
+/// on-path revisit *is* a cycle without progress.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonState<S> {
+    stations: Vec<(S, Option<SimDuration>, u64)>,
+    flights: Vec<(usize, Frame, SimDuration, Vec<bool>)>,
+    budget: u8,
+    delivered: u32,
+    resolved: u32,
+}
+
+/// The checker's transition system: stations + air + adversary.
+#[derive(Clone)]
+pub struct World<P: MacProtocol + MacSnapshot> {
+    clock: SimTime,
+    stations: Vec<Oracle<P>>,
+    topo: Topology,
+    timing: Timing,
+    band: TieBand,
+    fault: FaultClass,
+    budget: u8,
+    flights: Vec<Flight>,
+    /// Packets handed to senders at injection.
+    pub offered: u32,
+    /// `deliver_up` calls observed at receivers.
+    pub delivered: u32,
+    /// Sender-side packet resolutions (`Sent`, `Dropped` or `Refused`
+    /// feedback): a world is fully accounted when `resolved == offered`.
+    pub resolved: u32,
+}
+
+impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
+    /// Build a world over `topo` with one station per node, seeding each
+    /// station's RNG stream from `seed` and its index.
+    pub fn new(topo: Topology, fault: FaultClass, band: TieBand, seed: u64, make: impl Fn(usize) -> P) -> Self {
+        let stations = (0..topo.n)
+            .map(|i| {
+                Oracle::new(
+                    make(i),
+                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+        World {
+            clock: SimTime::ZERO,
+            stations,
+            topo,
+            timing: Timing::default(),
+            band,
+            fault,
+            budget: fault.budget(),
+            flights: Vec::new(),
+            offered: 0,
+            delivered: 0,
+            resolved: 0,
+        }
+    }
+
+    /// Queue one 512-byte packet per topology flow (at t = 0, in flow
+    /// order — the initial condition, not an explored choice).
+    pub fn inject(&mut self) -> Result<(), MacInvariantViolation> {
+        for fi in 0..self.topo.flows.len() {
+            let (src, dst) = self.topo.flows[fi];
+            let sdu = MacSdu {
+                stream: StreamId(fi as u32),
+                transport_seq: 1,
+                bytes: 512,
+            };
+            self.offered += 1;
+            let busy = self.carrier_busy(src);
+            self.stations[src].set_carrier(busy);
+            let obs = self.stations[src].step(Stimulus::Enqueue {
+                dst: Addr::Unicast(dst),
+                sdu,
+            })?;
+            self.absorb(obs.actions);
+        }
+        Ok(())
+    }
+
+    /// Current world clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The topology under check.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Short state names per station, for traces.
+    pub fn state_kinds(&self) -> Vec<&'static str> {
+        self.stations.iter().map(|s| s.mac().state_kind()).collect()
+    }
+
+    /// `true` iff any transmission from another audible station is on the
+    /// air at `station`.
+    fn carrier_busy(&self, station: usize) -> bool {
+        self.flights
+            .iter()
+            .any(|f| f.src != station && self.topo.hears[f.src][station])
+    }
+
+    fn refresh_carriers(&mut self) {
+        for i in 0..self.topo.n {
+            let busy = self.carrier_busy(i);
+            self.stations[i].set_carrier(busy);
+        }
+    }
+
+    /// Fold one step's observations into the world: transmissions key up
+    /// flights, deliveries and feedback advance the progress counters.
+    fn absorb(&mut self, actions: Vec<Action>) -> Vec<Action> {
+        for a in &actions {
+            match a {
+                Action::Transmit(f) => self.start_flight(*f),
+                Action::DeliverUp { .. } => self.delivered += 1,
+                Action::Feedback(
+                    MacFeedback::Sent { .. }
+                    | MacFeedback::Dropped { .. }
+                    | MacFeedback::Refused { .. },
+                ) => self.resolved += 1,
+            }
+        }
+        actions
+    }
+
+    fn start_flight(&mut self, frame: Frame) {
+        let Addr::Unicast(src) = frame.src else {
+            unreachable!("stations transmit from unicast addresses");
+        };
+        debug_assert!(
+            self.flights.iter().all(|f| f.src != src),
+            "station {src} keyed up while already transmitting"
+        );
+        let mut dirty = vec![false; self.topo.n];
+        dirty[src] = true; // own transmission is never a reception
+        for g in &mut self.flights {
+            for (r, d) in dirty.iter_mut().enumerate() {
+                // Overlap: a station hearing both transmitters decodes
+                // neither.
+                if self.topo.hears[src][r] && self.topo.hears[g.src][r] {
+                    *d = true;
+                    g.dirty[r] = true;
+                }
+            }
+            // Half-duplex: a keyed-up station hears nothing, and keying up
+            // mid-reception ruins the reception.
+            dirty[g.src] = true;
+            g.dirty[src] = true;
+        }
+        let ends = self.clock + self.timing.frame_duration(&frame);
+        self.flights.push(Flight {
+            src,
+            frame,
+            ends,
+            dirty,
+        });
+        self.refresh_carriers();
+    }
+
+    /// Every enabled transition from this state, in deterministic order:
+    /// for each deadline in the current [`TieBand`], one event per
+    /// adversary choice attached to it. Empty iff the world is quiescent.
+    pub fn choices(&self) -> Vec<WorldEvent> {
+        enum Tag {
+            Timer(usize),
+            Flight(usize),
+        }
+        let mut deadlines = Vec::new();
+        let mut tags = Vec::new();
+        for (i, s) in self.stations.iter().enumerate() {
+            if let Some(t) = s.timer_deadline() {
+                deadlines.push(t);
+                tags.push(Tag::Timer(i));
+            }
+        }
+        for (fi, f) in self.flights.iter().enumerate() {
+            deadlines.push(f.ends);
+            tags.push(Tag::Flight(fi));
+        }
+        let mut out = Vec::new();
+        for idx in self.band.enabled(&deadlines) {
+            match tags[idx] {
+                Tag::Timer(station) => {
+                    out.push(WorldEvent::Fire {
+                        station,
+                        blind: false,
+                    });
+                    if matches!(self.fault, FaultClass::CarrierBlind { .. })
+                        && self.budget > 0
+                        && self.carrier_busy(station)
+                    {
+                        out.push(WorldEvent::Fire {
+                            station,
+                            blind: true,
+                        });
+                    }
+                }
+                Tag::Flight(fi) => {
+                    let f = &self.flights[fi];
+                    let clean: Vec<usize> = (0..self.topo.n)
+                        .filter(|&r| {
+                            r != f.src
+                                && self.topo.hears[f.src][r]
+                                && !f.dirty[r]
+                                && self.flights.iter().all(|g| g.src != r)
+                        })
+                        .collect();
+                    let loss_budget = match self.fault {
+                        FaultClass::Loss { .. } => self.budget as usize,
+                        _ => 0,
+                    };
+                    for lost in subsets_up_to(&clean, loss_budget) {
+                        let surviving: Vec<usize> =
+                            clean.iter().copied().filter(|r| !lost.contains(r)).collect();
+                        for order in permutations(&surviving) {
+                            out.push(WorldEvent::FlightEnd {
+                                src: f.src,
+                                order,
+                                lost: lost.clone(),
+                                noise: false,
+                            });
+                        }
+                    }
+                    if matches!(self.fault, FaultClass::Noise { .. })
+                        && self.budget > 0
+                        && !clean.is_empty()
+                    {
+                        out.push(WorldEvent::FlightEnd {
+                            src: f.src,
+                            order: Vec::new(),
+                            lost: Vec::new(),
+                            noise: true,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply one transition; returns the per-station actions it produced
+    /// (for counterexample traces). `Err` carries a MAC invariant
+    /// violation — itself a checkable outcome, not a crash.
+    pub fn apply(
+        &mut self,
+        ev: &WorldEvent,
+    ) -> Result<Vec<(usize, Action)>, MacInvariantViolation> {
+        let mut log = Vec::new();
+        match ev {
+            WorldEvent::Fire { station, blind } => {
+                let deadline = self.stations[*station]
+                    .timer_deadline()
+                    .expect("Fire chosen for a station with no armed timer");
+                // An epsilon-reordered firing may come up "late": never
+                // move the world clock backwards.
+                self.advance(deadline.max(self.clock));
+                if *blind {
+                    debug_assert!(self.budget > 0);
+                    self.budget -= 1;
+                    self.stations[*station].set_carrier(false);
+                }
+                let obs = self.stations[*station].step(Stimulus::Timer)?;
+                for a in self.absorb(obs.actions) {
+                    log.push((*station, a));
+                }
+                if *blind {
+                    // Restore the true carrier state after the blinded query.
+                    self.refresh_carriers();
+                }
+            }
+            WorldEvent::FlightEnd {
+                src,
+                order,
+                lost,
+                noise,
+            } => {
+                let fi = self
+                    .flights
+                    .iter()
+                    .position(|f| f.src == *src)
+                    .expect("FlightEnd chosen for an idle station");
+                let f = self.flights.remove(fi);
+                self.advance(f.ends.max(self.clock));
+                self.refresh_carriers();
+                if *noise {
+                    debug_assert!(self.budget > 0);
+                    self.budget -= 1;
+                } else {
+                    debug_assert!(lost.len() <= self.budget as usize);
+                    self.budget -= lost.len() as u8;
+                    // Receivers first (reception completes as the carrier
+                    // drops), in the chosen order; then the transmitter's
+                    // own continuation — same discipline as the simulation
+                    // core's event loop.
+                    for &r in order {
+                        let obs = self.stations[r].step(Stimulus::Receive(f.frame))?;
+                        for a in self.absorb(obs.actions) {
+                            log.push((r, a));
+                        }
+                    }
+                }
+                let obs = self.stations[*src].step(Stimulus::TxEnd)?;
+                for a in self.absorb(obs.actions) {
+                    log.push((*src, a));
+                }
+            }
+        }
+        Ok(log)
+    }
+
+    fn advance(&mut self, t: SimTime) {
+        self.clock = t;
+        for s in &mut self.stations {
+            s.advance_to(t);
+        }
+    }
+
+    /// A station wedged in a state it can never leave: a wait state with
+    /// no armed timer, or a (believed) transmission with nothing on the
+    /// air — and the converse, a flight owned by a station that no longer
+    /// thinks it is transmitting.
+    pub fn stuck(&self) -> Option<(usize, String)> {
+        for (i, s) in self.stations.iter().enumerate() {
+            let kind = s.mac().state_kind();
+            if s.mac().awaits_timer() && s.timer_deadline().is_none() {
+                return Some((i, format!("wait state {kind} with no armed timer")));
+            }
+            let keyed = self.flights.iter().any(|f| f.src == i);
+            if s.mac().transmitting() && !keyed {
+                return Some((i, format!("transmit state {kind} with nothing on the air")));
+            }
+            if !s.mac().transmitting() && keyed {
+                return Some((i, format!("flight on the air but the MAC is in {kind}")));
+            }
+        }
+        None
+    }
+
+    /// Canonical state for deduplication and cycle detection.
+    pub fn canon(&self) -> CanonState<P::Snap> {
+        CanonState {
+            stations: self
+                .stations
+                .iter()
+                .map(|s| {
+                    (
+                        s.mac().snapshot(self.clock),
+                        s.timer_deadline().map(|t| t.saturating_since(self.clock)),
+                        s.rng_digest(),
+                    )
+                })
+                .collect(),
+            flights: self
+                .flights
+                .iter()
+                .map(|f| {
+                    (
+                        f.src,
+                        f.frame,
+                        f.ends.saturating_since(self.clock),
+                        f.dirty.clone(),
+                    )
+                })
+                .collect(),
+            budget: self.budget,
+            delivered: self.delivered,
+            resolved: self.resolved,
+        }
+    }
+}
+
+/// All subsets of `v` with at most `k` elements, smallest masks first
+/// (deterministic enumeration order). `k = 0` yields just the empty set.
+fn subsets_up_to(v: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << v.len()) {
+        if (mask.count_ones() as usize) <= k {
+            out.push(
+                v.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &r)| r)
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// All permutations of `v` in lexicographic index order (|v| is at most 3
+/// in any 2–4 station topology, so this never exceeds 6).
+fn permutations(v: &[usize]) -> Vec<Vec<usize>> {
+    if v.len() <= 1 {
+        return vec![v.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..v.len() {
+        let mut rest = v.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macaw_mac::{MacConfig, WMac};
+
+    fn wmac_world(topo: Topology) -> World<WMac> {
+        // Half the timeout margin: exact ties race, margin-guarded
+        // timeout/response pairs stay ordered.
+        let band = TieBand::new(SimDuration::from_micros(25));
+        World::new(topo, FaultClass::None, band, 1, |i| {
+            WMac::new(Addr::Unicast(i), MacConfig::macaw())
+        })
+    }
+
+    #[test]
+    fn injection_arms_contention_and_nothing_else() {
+        let mut w = wmac_world(Topology::shared_cell(2));
+        w.inject().unwrap();
+        assert_eq!(w.offered, 1);
+        assert_eq!(w.state_kinds(), vec!["Contend", "Idle"]);
+        let choices = w.choices();
+        assert_eq!(choices.len(), 1, "only the contention timer is enabled");
+        assert!(matches!(choices[0], WorldEvent::Fire { station: 0, blind: false }));
+    }
+
+    #[test]
+    fn a_flight_reaches_the_peer_and_collisions_mark_dirty() {
+        let mut w = wmac_world(Topology::hidden_terminal());
+        w.inject().unwrap();
+        // Drive both contention timers (in either tie order — pick the
+        // first choice each time) until both RTS flights are up.
+        while w.flights.len() < 2 {
+            let evs = w.choices();
+            let fire = evs
+                .iter()
+                .find(|e| matches!(e, WorldEvent::Fire { .. }))
+                .cloned();
+            match fire {
+                Some(ev) => {
+                    w.apply(&ev).unwrap();
+                }
+                None => break, // flights ended before both keyed up
+            }
+        }
+        if w.flights.len() == 2 {
+            // Both RTS flights overlap at the shared receiver: dirty there.
+            assert!(w.flights.iter().all(|f| f.dirty[1]));
+            // The flight-end choices offer no receivers.
+            let evs = w.choices();
+            assert!(evs.iter().all(|e| match e {
+                WorldEvent::FlightEnd { order, .. } => order.is_empty(),
+                _ => true,
+            }));
+        }
+    }
+
+    #[test]
+    fn canonical_state_rebases_times() {
+        let mut w = wmac_world(Topology::shared_cell(2));
+        w.inject().unwrap();
+        let c1 = w.canon();
+        // The same world advanced in wall-clock (by zero transitions) has
+        // the same canonical state.
+        assert_eq!(c1, w.canon());
+    }
+
+    #[test]
+    fn subset_and_permutation_enumeration_is_deterministic() {
+        assert_eq!(subsets_up_to(&[7, 8], 1), vec![vec![], vec![7], vec![8]]);
+        assert_eq!(
+            permutations(&[1, 2, 3]).len(),
+            6,
+            "3 receivers explore all 6 delivery orders"
+        );
+        assert_eq!(permutations(&[]), vec![Vec::<usize>::new()]);
+    }
+}

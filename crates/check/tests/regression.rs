@@ -1,0 +1,133 @@
+//! The checker catches bugs, not just confirms health: seed a deliberate
+//! regression — a MACAW variant whose WfCts timeout arm is suppressed —
+//! and demand the minimal counterexample.
+//!
+//! This is the checker's own regression test. If the explorer's stuck-wait
+//! detection, fault branching or deepening schedule breaks, this test goes
+//! red before any protocol bug would be missed in the field.
+
+use macaw_check::{check, CheckConfig, Expectation, FaultClass, Topology, ViolationKind, WorldEvent};
+use macaw_mac::context::{MacContext, MacResult};
+use macaw_mac::{Addr, Frame, MacConfig, MacProtocol, MacSdu, MacSnapshot, WMac, WMacSnapshot};
+use macaw_sim::SimTime;
+
+/// MACAW with its WfCts timeout arm suppressed: the timer is consumed but
+/// the state machine never reacts, so a lost CTS leaves the sender parked
+/// in WfCts forever.
+#[derive(Clone)]
+struct NoWfCtsTimeout(WMac);
+
+impl MacProtocol for NoWfCtsTimeout {
+    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) -> MacResult {
+        self.0.enqueue(ctx, dst, sdu)
+    }
+
+    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult {
+        self.0.on_receive(ctx, frame)
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn MacContext) -> MacResult {
+        if self.0.state_kind() == "WfCts" {
+            // The seeded bug: swallow the timeout.
+            return Ok(());
+        }
+        self.0.on_timer(ctx)
+    }
+
+    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) -> MacResult {
+        self.0.on_tx_end(ctx)
+    }
+
+    fn queued_packets(&self) -> usize {
+        self.0.queued_packets()
+    }
+}
+
+impl MacSnapshot for NoWfCtsTimeout {
+    type Snap = WMacSnapshot;
+
+    fn snapshot(&self, now: SimTime) -> WMacSnapshot {
+        self.0.snapshot(now)
+    }
+
+    fn state_kind(&self) -> &'static str {
+        self.0.state_kind()
+    }
+
+    fn awaits_timer(&self) -> bool {
+        self.0.awaits_timer()
+    }
+
+    fn transmitting(&self) -> bool {
+        self.0.transmitting()
+    }
+}
+
+#[test]
+fn suppressed_wfcts_timeout_is_caught_with_a_minimal_counterexample() {
+    let mut cfg = CheckConfig::new(FaultClass::Loss { budget: 1 }, Expectation::DeliverAll);
+    // Deepen one step at a time so the counterexample is exactly minimal.
+    cfg.depth_step = 1;
+    let report = check("macaw-no-wfcts-timeout", &Topology::shared_cell(2), &cfg, |i| {
+        NoWfCtsTimeout(WMac::new(Addr::Unicast(i), MacConfig::macaw()))
+    });
+
+    let violation = report
+        .violation
+        .as_ref()
+        .expect("the seeded bug must be found");
+    match &violation.kind {
+        ViolationKind::StuckWait { station, detail } => {
+            assert_eq!(*station, 0, "the sender is the stuck station");
+            assert!(
+                detail.contains("WfCts"),
+                "stuck in WfCts, reported as: {detail}"
+            );
+        }
+        other => panic!("expected a stuck wait, found: {other}"),
+    }
+
+    // The minimal path: contend fires (RTS up), the RTS is lost at the
+    // receiver (spending the budget), the orphaned WfCts timeout fires and
+    // is swallowed. Three steps, no detours.
+    assert_eq!(violation.trace.len(), 3, "{violation}");
+    assert!(matches!(
+        violation.trace[0].event,
+        WorldEvent::Fire { station: 0, blind: false }
+    ));
+    match &violation.trace[1].event {
+        WorldEvent::FlightEnd {
+            src, order, lost, noise,
+        } => {
+            assert_eq!(*src, 0);
+            assert!(order.is_empty(), "the one receiver lost the frame");
+            assert_eq!(lost, &[1]);
+            assert!(!noise);
+        }
+        other => panic!("expected the RTS flight to end, found: {other}"),
+    }
+    assert!(matches!(
+        violation.trace[2].event,
+        WorldEvent::Fire { station: 0, blind: false }
+    ));
+    assert_eq!(
+        violation.trace[2].states[0], "WfCts",
+        "the sender is still parked in WfCts after its timer fired"
+    );
+}
+
+#[test]
+fn the_unmodified_protocol_passes_the_same_check() {
+    // Control arm: identical configuration, real MACAW — no violation.
+    let mut cfg = CheckConfig::new(FaultClass::Loss { budget: 1 }, Expectation::DeliverAll);
+    cfg.depth_step = 1;
+    cfg.max_depth = 96;
+    let report = check("macaw", &Topology::shared_cell(2), &cfg, |i| {
+        let mut mc = MacConfig::macaw();
+        mc.max_retries = 2;
+        mc.bo_max = 4;
+        WMac::new(Addr::Unicast(i), mc)
+    });
+    assert!(report.ok(), "{report}");
+    assert!(report.complete);
+}

@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use macaw_mac::MacInvariantViolation;
 use macaw_sim::SimTime;
 
 /// An error surfaced by scenario construction or a simulation run.
@@ -33,6 +34,16 @@ pub enum SimError {
         /// Multi-line state snapshot (queue depth, per-station state).
         diagnostic: String,
     },
+    /// A MAC state machine detected a broken internal invariant (a bug in
+    /// the protocol implementation, or a deliberately broken variant under
+    /// test). The run stops at the offending transition instead of
+    /// panicking, so sweeps and the model checker can report it.
+    MacInvariant {
+        /// Simulated time of the offending transition.
+        at: SimTime,
+        /// The violation the MAC reported.
+        violation: MacInvariantViolation,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +55,9 @@ impl fmt::Display for SimError {
                 f,
                 "watchdog tripped at t={at} after {events} events\n{diagnostic}"
             ),
+            SimError::MacInvariant { at, violation } => {
+                write!(f, "at t={at}: {violation}")
+            }
         }
     }
 }

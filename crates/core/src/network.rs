@@ -31,7 +31,7 @@
 
 use std::collections::VecDeque;
 
-use macaw_mac::context::{MacContext, MacFeedback, MacProtocol};
+use macaw_mac::context::{MacContext, MacFeedback, MacProtocol, MacResult};
 use macaw_mac::frames::{Addr, Frame, MacSdu, StreamId, Timing};
 use macaw_phy::{ChaosMedium, Delivery, LinkWindow, Medium, Point, SparseMedium, StationId, TxId};
 use macaw_sim::{
@@ -667,16 +667,16 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
             match self.queue.pop_next(timer.map(|(t, k, _)| (t, k)), end) {
                 NextFire::Queued(t, ev) => {
                     self.check_watchdog(t)?;
-                    self.handle(ev);
+                    self.handle(ev)?;
                 }
                 NextFire::External(t) => {
                     let (_, _, slot) = timer.expect("external fire without a pending timer");
                     self.check_watchdog(t)?;
-                    self.fire_timer(slot);
+                    self.fire_timer(slot)?;
                 }
                 NextFire::Idle => break,
             }
-            self.drain_effects();
+            self.drain_effects()?;
         }
         Ok(())
     }
@@ -776,7 +776,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
 
     /// Fire the timer living in `slot` (a [`TimerIndex`] slot id): clear
     /// the slot, then dispatch to the owning MAC or transport endpoint.
-    fn fire_timer(&mut self, slot: u32) {
+    fn fire_timer(&mut self, slot: u32) -> Result<(), SimError> {
         if slot & TP_SLOT != 0 {
             let i = (slot & !TP_SLOT) as usize;
             self.tp_timers[i] = NO_TIMER;
@@ -787,6 +787,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 Side::Receiver
             };
             self.with_transport(i / 2, side, |tp, ctx| tp.on_timer(ctx));
+            Ok(())
         } else {
             let station = slot as usize;
             self.mac_timers[station] = NO_TIMER;
@@ -801,7 +802,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                     station,
                 });
             }
-            self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
+            self.with_mac(station, |mac, ctx| mac.on_timer(ctx))
         }
     }
 
@@ -825,7 +826,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         stats
     }
 
-    fn handle(&mut self, ev: Event) {
+    fn handle(&mut self, ev: Event) -> Result<(), SimError> {
         let island = match ev {
             Event::TxEnd { station, .. } => self.island_of_station[station as usize],
             Event::AppArrival { stream } => self.island_of_stream[stream as usize],
@@ -834,17 +835,20 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         self.island_live[island as usize] -= 1;
         match ev {
             Event::TxEnd { station, epoch } => self.handle_tx_end(station as usize, epoch),
-            Event::AppArrival { stream } => self.handle_app_arrival(stream as usize),
+            Event::AppArrival { stream } => {
+                self.handle_app_arrival(stream as usize);
+                Ok(())
+            }
             Event::Action { index } => self.handle_action(self.actions[index as usize].kind),
         }
     }
 
-    fn handle_tx_end(&mut self, station: usize, epoch: u32) {
+    fn handle_tx_end(&mut self, station: usize, epoch: u32) -> Result<(), SimError> {
         if self.stations[station].epoch != epoch {
             // Stale event from a previous incarnation: the crash handler
             // already truncated this transmission on the air, and the
             // restarted station may have a fresh one in flight.
-            return;
+            return Ok(());
         }
         let (tx, frame) = self.stations[station]
             .tx
@@ -884,13 +888,17 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         for d in &deliveries {
             let rx = d.station.0;
             if d.clean && self.stations[rx].on {
-                self.with_mac(rx, |mac, ctx| mac.on_receive(ctx, &frame));
+                if let Err(e) = self.with_mac(rx, |mac, ctx| mac.on_receive(ctx, &frame)) {
+                    self.delivery_buf = deliveries;
+                    return Err(e);
+                }
             }
         }
         self.delivery_buf = deliveries;
         if self.stations[station].on {
-            self.with_mac(station, |mac, ctx| mac.on_tx_end(ctx));
+            self.with_mac(station, |mac, ctx| mac.on_tx_end(ctx))?;
         }
+        Ok(())
     }
 
     fn handle_app_arrival(&mut self, stream: usize) {
@@ -924,7 +932,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         }
     }
 
-    fn handle_action(&mut self, kind: ActionKind) {
+    fn handle_action(&mut self, kind: ActionKind) -> Result<(), SimError> {
         match kind {
             ActionKind::Move { station, to } => {
                 self.medium.set_position(StationId(station), to);
@@ -971,7 +979,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                     // Kick the MAC once so packets preserved across the
                     // crash re-enter contention; a kick with nothing queued
                     // is a no-op for every protocol.
-                    self.with_mac(station, |mac, ctx| mac.on_timer(ctx));
+                    self.with_mac(station, |mac, ctx| mac.on_timer(ctx))?;
                 }
             }
             ActionKind::SetLinkGain { src, dst, factor } => {
@@ -979,6 +987,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                     .set_link_gain(StationId(src), StationId(dst), factor);
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -989,14 +998,14 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
     fn with_mac(
         &mut self,
         station: usize,
-        f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx<M, Q::Fel<Event>>),
-    ) {
+        f: impl FnOnce(&mut dyn MacProtocol, &mut CoreMacCtx<M, Q::Fel<Event>>) -> MacResult,
+    ) -> Result<(), SimError> {
         let mut mac = self.stations[station]
             .mac
             .take()
             .expect("MAC re-entered while borrowed");
         let now = self.queue.now();
-        {
+        let result = {
             let slot = &mut self.stations[station];
             let mut ctx = CoreMacCtx {
                 now,
@@ -1014,9 +1023,10 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 island_high: &mut self.island_high,
                 effects: &mut self.effects,
             };
-            f(mac.as_mut(), &mut ctx);
-        }
+            f(mac.as_mut(), &mut ctx)
+        };
         self.stations[station].mac = Some(mac);
+        result.map_err(|violation| SimError::MacInvariant { at: now, violation })
     }
 
     fn with_transport(
@@ -1061,12 +1071,12 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         }
     }
 
-    fn drain_effects(&mut self) {
+    fn drain_effects(&mut self) -> Result<(), SimError> {
         while let Some(e) = self.effects.pop_front() {
             match e {
                 Effect::MacEnqueue { station, dst, sdu } => {
                     if self.stations[station].on {
-                        self.with_mac(station, |mac, ctx| mac.enqueue(ctx, dst, sdu));
+                        self.with_mac(station, |mac, ctx| mac.enqueue(ctx, dst, sdu))?;
                     }
                 }
                 Effect::DeliverUp { station, sdu } => self.route_up(station, sdu),
@@ -1122,6 +1132,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Tell the transport endpoint that owns a dropped segment about the

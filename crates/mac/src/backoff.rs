@@ -66,7 +66,7 @@ pub enum BackoffSharing {
 }
 
 /// Per-peer state for the per-destination scheme (Appendix B.2).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct Peer {
     /// "Q's backoff": our estimate of the congestion at the peer's end.
     /// `None` is the paper's `I_DONT_KNOW`.
@@ -83,6 +83,7 @@ struct Peer {
 }
 
 /// A station's complete backoff state.
+#[derive(Clone)]
 pub struct Backoff {
     algo: BackoffAlgo,
     sharing: BackoffSharing,
@@ -277,6 +278,24 @@ impl Backoff {
         }
     }
 
+    /// Canonical snapshot of the learned congestion state, for state-space
+    /// exploration: the station-wide counter plus every live per-peer entry
+    /// (congestion estimates *and* exchange sequence numbers — both steer
+    /// future frames). Entries are keyed by peer index and absent slots are
+    /// dropped, so a peer learned and later forgotten canonicalizes the
+    /// same as one never seen.
+    pub fn snapshot(&self) -> BackoffSnapshot {
+        BackoffSnapshot {
+            my: self.my,
+            peers: self
+                .peers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|p| (i, p)))
+                .collect(),
+        }
+    }
+
     /// A frame from `src` to `dst` (neither end is this station) was
     /// overheard cleanly.
     pub fn on_overhear(&mut self, src: Addr, dst: Addr, kind_is_rts: bool, h: &BackoffHeader) {
@@ -375,6 +394,15 @@ impl Backoff {
             }
         }
     }
+}
+
+/// Canonical snapshot of a [`Backoff`]'s learned state (see
+/// [`Backoff::snapshot`]). Opaque: used only for equality, hashing and
+/// counterexample printing by state-space explorers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BackoffSnapshot {
+    my: u32,
+    peers: Vec<(usize, Peer)>,
 }
 
 impl std::fmt::Debug for Backoff {

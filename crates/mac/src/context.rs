@@ -46,7 +46,7 @@ pub trait MacContext {
 }
 
 /// Link-layer outcomes reported to the environment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MacFeedback {
     /// A queued packet completed its exchange (ACK received, or transmission
     /// finished when the protocol has no link ACK).
@@ -57,21 +57,61 @@ pub enum MacFeedback {
     Refused { stream: StreamId, transport_seq: u64 },
 }
 
+/// A broken internal invariant inside a MAC state machine — e.g. a timer
+/// fired while the radio was keyed, or a wait state with no packet to wait
+/// for. These used to be `expect`/`debug_assert!` aborts; surfacing them as
+/// data lets the model checker report the offending interleaving as a
+/// counterexample instead of killing the whole exploration, and lets the
+/// simulation core fail a run with a diagnosable [`SimError`] instead of a
+/// panic.
+///
+/// A violation is a *bug in the protocol implementation* (or in a
+/// deliberately broken variant under test), never a legal protocol outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MacInvariantViolation {
+    /// The station whose invariant broke.
+    pub station: Addr,
+    /// `Debug` rendering of the protocol state at the violation.
+    pub state: String,
+    /// What was violated.
+    pub detail: String,
+}
+
+impl std::fmt::Display for MacInvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAC invariant violated at {:?} in state {}: {}",
+            self.station, self.state, self.detail
+        )
+    }
+}
+
+impl std::error::Error for MacInvariantViolation {}
+
+/// Result of driving one MAC transition.
+pub type MacResult = Result<(), MacInvariantViolation>;
+
 /// Downcalls the environment makes into a MAC.
+///
+/// Each transition returns `Err` iff it detected a broken internal
+/// invariant; the machine's state is unspecified afterwards and the caller
+/// must stop driving it (the simulation core aborts the run, the model
+/// checker records a counterexample).
 pub trait MacProtocol {
     /// Queue `sdu` for transmission to `dst`.
-    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu);
+    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) -> MacResult;
 
     /// A frame was received cleanly at this station (whether or not it is
     /// addressed to it — overheard control traffic drives deferral).
-    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame);
+    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult;
 
     /// The MAC timer fired.
-    fn on_timer(&mut self, ctx: &mut dyn MacContext);
+    fn on_timer(&mut self, ctx: &mut dyn MacContext) -> MacResult;
 
     /// This station's own transmission just ended (the channel is ours to
     /// sequence: e.g. DS is followed back-to-back by DATA).
-    fn on_tx_end(&mut self, ctx: &mut dyn MacContext);
+    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) -> MacResult;
 
     /// Packets currently queued (all streams).
     fn queued_packets(&self) -> usize;
@@ -92,4 +132,39 @@ pub trait MacProtocol {
     fn mac_stats(&self) -> Option<&crate::wmac::MacStats> {
         None
     }
+}
+
+/// Canonical-state observation for state-space exploration.
+///
+/// A snapshot captures *everything that determines the machine's future
+/// behaviour* — protocol state, queues, retry bookkeeping, backoff tables —
+/// and nothing that doesn't (statistics counters are observer state: they
+/// grow monotonically and would make every visited state look fresh).
+/// Two machines with equal snapshots, equal pending-timer offsets and equal
+/// RNG positions behave identically from here on, which is what lets an
+/// explorer deduplicate interleavings that converge.
+///
+/// Absolute times inside the state (e.g. a `Quiet`-until deadline) must be
+/// rebased to offsets from `now`, so that the same periodic behaviour
+/// reached at different absolute times canonicalizes to the same snapshot.
+pub trait MacSnapshot {
+    /// The canonical-state value.
+    type Snap: Clone + PartialEq + Eq + std::hash::Hash + std::fmt::Debug;
+
+    /// Capture the canonical state, rebasing embedded deadlines to `now`.
+    fn snapshot(&self, now: SimTime) -> Self::Snap;
+
+    /// Short name of the current protocol state (e.g. `"WfCts"`), for
+    /// counterexample traces and stuck-state reporting.
+    fn state_kind(&self) -> &'static str;
+
+    /// `true` iff the current state can only make progress via the MAC
+    /// timer (a wait state). A wait state with no armed timer is stuck —
+    /// the checker flags it immediately.
+    fn awaits_timer(&self) -> bool;
+
+    /// `true` iff the machine believes its radio is keyed up (it is owed an
+    /// `on_tx_end`). A transmitting state with no in-flight transmission is
+    /// likewise stuck.
+    fn transmitting(&self) -> bool;
 }

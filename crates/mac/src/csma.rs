@@ -12,8 +12,12 @@
 
 use std::collections::VecDeque;
 
+use macaw_sim::SimTime;
+
 use crate::backoff::BackoffAlgo;
-use crate::context::{MacContext, MacFeedback, MacProtocol};
+use crate::context::{
+    MacContext, MacFeedback, MacInvariantViolation, MacProtocol, MacResult, MacSnapshot,
+};
 use crate::frames::{Addr, BackoffHeader, Frame, FrameKind, MacSdu, Timing};
 
 /// CSMA configuration.
@@ -42,14 +46,14 @@ impl Default for CsmaConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct Packet {
     dst: Addr,
     sdu: MacSdu,
     attempts: u32,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum State {
     Idle,
     /// Carrier was busy; waiting a random number of slots before re-sensing.
@@ -59,6 +63,7 @@ enum State {
 }
 
 /// Non-persistent CSMA station.
+#[derive(Clone)]
 pub struct Csma {
     addr: Addr,
     cfg: CsmaConfig,
@@ -137,13 +142,13 @@ impl Csma {
 }
 
 impl MacProtocol for Csma {
-    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) {
+    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) -> MacResult {
         if self.queue.len() >= self.cfg.queue_capacity {
             ctx.feedback(MacFeedback::Refused {
                 stream: sdu.stream,
                 transport_seq: sdu.transport_seq,
             });
-            return;
+            return Ok(());
         }
         self.queue.push_back(Packet {
             dst,
@@ -151,28 +156,44 @@ impl MacProtocol for Csma {
             attempts: 0,
         });
         self.try_send(ctx);
+        Ok(())
     }
 
-    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult {
         // Pure receiver: deliver data addressed to us; nothing else matters.
         if frame.dst == self.addr {
             if let (FrameKind::Data, Some(sdu)) = (frame.kind, frame.payload) {
                 ctx.deliver_up(frame.src, sdu);
             }
         }
+        Ok(())
     }
 
-    fn on_timer(&mut self, ctx: &mut dyn MacContext) {
+    fn on_timer(&mut self, ctx: &mut dyn MacContext) -> MacResult {
+        if self.state == State::Sending {
+            return Err(MacInvariantViolation {
+                station: self.addr,
+                state: format!("{:?}", self.state),
+                detail: "timer fired while transmitting".to_owned(),
+            });
+        }
         if self.state == State::Backoff {
             self.state = State::Idle;
         }
         // A spurious timer in Idle (e.g. the restart kick after a crash)
         // just retries the queue head; try_send is a no-op elsewhere.
         self.try_send(ctx);
+        Ok(())
     }
 
-    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) {
-        debug_assert_eq!(self.state, State::Sending);
+    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) -> MacResult {
+        if self.state != State::Sending {
+            return Err(MacInvariantViolation {
+                station: self.addr,
+                state: format!("{:?}", self.state),
+                detail: "tx ended in a non-transmit state".to_owned(),
+            });
+        }
         self.state = State::Idle;
         // Fire-and-forget: CSMA has no way to learn the outcome.
         if let Some(p) = self.queue.pop_front() {
@@ -183,6 +204,7 @@ impl MacProtocol for Csma {
             });
         }
         self.try_send(ctx);
+        Ok(())
     }
 
     fn queued_packets(&self) -> usize {
@@ -199,6 +221,48 @@ impl MacProtocol for Csma {
         } else {
             self.queue.clear();
         }
+    }
+}
+
+/// Canonical snapshot of a [`Csma`] station's behavioural state: protocol
+/// state, backoff counter and queue contents. The `sent`/`dropped` counters
+/// are observer state and excluded (see [`MacSnapshot`]). Opaque: explorers
+/// only clone, compare, hash and debug-print it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CsmaSnapshot {
+    state: State,
+    bo: u32,
+    queue: VecDeque<Packet>,
+}
+
+impl MacSnapshot for Csma {
+    type Snap = CsmaSnapshot;
+
+    fn snapshot(&self, _now: SimTime) -> CsmaSnapshot {
+        // No absolute times live in the state (the backoff deadline is in
+        // the timer side-channel, which the harness owns), so nothing needs
+        // rebasing.
+        CsmaSnapshot {
+            state: self.state,
+            bo: self.bo,
+            queue: self.queue.clone(),
+        }
+    }
+
+    fn state_kind(&self) -> &'static str {
+        match self.state {
+            State::Idle => "Idle",
+            State::Backoff => "Backoff",
+            State::Sending => "Sending",
+        }
+    }
+
+    fn awaits_timer(&self) -> bool {
+        self.state == State::Backoff
+    }
+
+    fn transmitting(&self) -> bool {
+        self.state == State::Sending
     }
 }
 
@@ -223,7 +287,7 @@ mod tests {
     fn transmits_immediately_on_idle_carrier() {
         let mut mac = Csma::new(A, CsmaConfig::default());
         let mut ctx = ScriptedContext::new(1);
-        mac.enqueue(&mut ctx, B, sdu(1));
+        mac.enqueue(&mut ctx, B, sdu(1)).unwrap();
         let f = ctx.last_tx().expect("data transmitted");
         assert_eq!(f.kind, FrameKind::Data);
         assert_eq!(f.dst, B);
@@ -235,13 +299,13 @@ mod tests {
         let mut mac = Csma::new(A, CsmaConfig::default());
         let mut ctx = ScriptedContext::new(2);
         ctx.carrier = true;
-        mac.enqueue(&mut ctx, B, sdu(1));
+        mac.enqueue(&mut ctx, B, sdu(1)).unwrap();
         assert!(ctx.transmitted().is_empty(), "must not transmit into carrier");
         assert!(ctx.timer.is_some(), "backoff timer armed");
         // Carrier clears; the retry goes out.
         ctx.carrier = false;
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert_eq!(ctx.transmitted().len(), 1);
     }
 
@@ -254,10 +318,10 @@ mod tests {
         let mut mac = Csma::new(A, cfg);
         let mut ctx = ScriptedContext::new(3);
         ctx.carrier = true;
-        mac.enqueue(&mut ctx, B, sdu(1));
+        mac.enqueue(&mut ctx, B, sdu(1)).unwrap();
         for _ in 0..3 {
             assert!(ctx.fire_timer());
-            mac.on_timer(&mut ctx);
+            mac.on_timer(&mut ctx).unwrap();
         }
         assert_eq!(mac.dropped, 1);
         assert_eq!(mac.queued_packets(), 0);
@@ -271,17 +335,17 @@ mod tests {
     fn queue_drains_in_order() {
         let mut mac = Csma::new(A, CsmaConfig::default());
         let mut ctx = ScriptedContext::new(4);
-        mac.enqueue(&mut ctx, B, sdu(1));
-        mac.enqueue(&mut ctx, B, sdu(2));
+        mac.enqueue(&mut ctx, B, sdu(1)).unwrap();
+        mac.enqueue(&mut ctx, B, sdu(2)).unwrap();
         assert_eq!(mac.queued_packets(), 2);
-        mac.on_tx_end(&mut ctx); // first done -> second starts
+        mac.on_tx_end(&mut ctx).unwrap(); // first done -> second starts
         let seqs: Vec<u64> = ctx
             .transmitted()
             .iter()
             .map(|f| f.payload.unwrap().transport_seq)
             .collect();
         assert_eq!(seqs, vec![1, 2]);
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         assert_eq!(mac.queued_packets(), 0);
     }
 
@@ -297,14 +361,14 @@ mod tests {
             backoff: BackoffHeader::default(),
             payload: Some(sdu(9)),
         };
-        mac.on_receive(&mut ctx, &frame);
+        mac.on_receive(&mut ctx, &frame).unwrap();
         assert_eq!(ctx.delivered().len(), 1);
         // Not addressed to us: ignored.
         let other = Frame {
             dst: Addr::Unicast(2),
             ..frame
         };
-        mac.on_receive(&mut ctx, &other);
+        mac.on_receive(&mut ctx, &other).unwrap();
         assert_eq!(ctx.delivered().len(), 1);
     }
 
@@ -317,8 +381,8 @@ mod tests {
         let mut mac = Csma::new(A, cfg);
         let mut ctx = ScriptedContext::new(6);
         ctx.carrier = true; // keep the first packet queued
-        mac.enqueue(&mut ctx, B, sdu(1));
-        mac.enqueue(&mut ctx, B, sdu(2));
+        mac.enqueue(&mut ctx, B, sdu(1)).unwrap();
+        mac.enqueue(&mut ctx, B, sdu(2)).unwrap();
         assert!(matches!(
             ctx.feedback_events().last(),
             Some(MacFeedback::Refused { transport_seq: 2, .. })

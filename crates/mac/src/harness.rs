@@ -11,7 +11,7 @@ use crate::context::{MacContext, MacFeedback, MacProtocol};
 use crate::frames::{Addr, Frame, MacSdu};
 
 /// Everything a MAC did through its context, in order.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Action {
     /// `transmit(frame)` was called.
     Transmit(Frame),
@@ -23,6 +23,11 @@ pub enum Action {
 
 /// Scripted context: the test controls time, carrier state and the RNG seed,
 /// and inspects the recorded [`Action`]s and timer state afterwards.
+///
+/// `Clone` clones the full context — clock, RNG position, timer, recorded
+/// actions — so a state-space explorer can fork a station mid-run and
+/// drive the copies down different interleavings.
+#[derive(Clone)]
 pub struct ScriptedContext {
     now: SimTime,
     rng: SimRng,
@@ -58,6 +63,13 @@ impl ScriptedContext {
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "clock must not go backwards");
         self.now = t;
+    }
+
+    /// Digest of the RNG stream position (see [`SimRng::digest`]): equal
+    /// digests (same seed) mean identical future draws, so explorers fold
+    /// this into canonical-state hashes.
+    pub fn rng_digest(&self) -> u64 {
+        self.rng.digest()
     }
 
     /// Advance the clock to the pending timer deadline and clear it,

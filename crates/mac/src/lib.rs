@@ -25,11 +25,15 @@ pub mod context;
 pub mod csma;
 pub mod harness;
 pub mod frames;
+pub mod oracle;
 pub mod wmac;
 
-pub use backoff::{Backoff, BackoffAlgo, BackoffSharing};
+pub use backoff::{Backoff, BackoffAlgo, BackoffSharing, BackoffSnapshot};
 pub use config::{MacConfig, QueueMode};
-pub use context::{MacContext, MacFeedback, MacProtocol};
-pub use csma::{Csma, CsmaConfig};
+pub use context::{
+    MacContext, MacFeedback, MacInvariantViolation, MacProtocol, MacResult, MacSnapshot,
+};
+pub use csma::{Csma, CsmaConfig, CsmaSnapshot};
 pub use frames::{Addr, BackoffHeader, Frame, FrameKind, MacSdu, StreamId, Timing};
-pub use wmac::WMac;
+pub use oracle::{Oracle, StepObs, Stimulus};
+pub use wmac::{WMac, WMacSnapshot};

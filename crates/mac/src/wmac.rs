@@ -39,13 +39,15 @@ use std::collections::VecDeque;
 
 use macaw_sim::SimTime;
 
-use crate::backoff::Backoff;
+use crate::backoff::{Backoff, BackoffSnapshot};
 use crate::config::{MacConfig, QueueMode};
-use crate::context::{MacContext, MacFeedback, MacProtocol};
+use crate::context::{
+    MacContext, MacFeedback, MacInvariantViolation, MacProtocol, MacResult, MacSnapshot,
+};
 use crate::frames::{Addr, Frame, FrameKind, MacSdu, StreamId};
 
 /// A queued upper-layer packet with its retransmission bookkeeping.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct Packet {
     dst: Addr,
     sdu: MacSdu,
@@ -67,14 +69,14 @@ struct Packet {
 
 /// One transmit queue (the whole station in `SingleFifo` mode, one stream in
 /// `PerStream` mode).
-#[derive(Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 struct QueueSlot {
     key: Option<(Addr, StreamId)>,
     q: VecDeque<Packet>,
 }
 
 /// What the station decided to transmit when the contention timer fires.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum ContendFor {
     /// Service the head packet of queue `slot`.
     Data { slot: usize },
@@ -83,7 +85,7 @@ enum ContendFor {
 }
 
 /// Protocol state (Appendices A and B).
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum State {
     Idle,
     /// Contention timer armed; transmit when it fires.
@@ -140,6 +142,7 @@ pub struct MacStats {
 }
 
 /// The MACA/MACAW station state machine. See the module docs.
+#[derive(Clone)]
 pub struct WMac {
     addr: Addr,
     cfg: MacConfig,
@@ -274,13 +277,23 @@ impl WMac {
         self.slots[slot].q.front()
     }
 
+    /// Build a typed invariant-violation report for the current state.
+    fn violation(&self, detail: &str) -> MacInvariantViolation {
+        MacInvariantViolation {
+            station: self.addr,
+            state: format!("{:?}", self.state),
+            detail: detail.to_owned(),
+        }
+    }
+
     /// Finish the current packet (success or drop) and release the slot.
-    fn finish_current(&mut self, ctx: &mut dyn MacContext, success: bool) {
-        let slot = self.current.take().expect("no current packet");
-        let pkt = self.slots[slot]
-            .q
-            .pop_front()
-            .expect("current slot empty");
+    fn finish_current(&mut self, ctx: &mut dyn MacContext, success: bool) -> MacResult {
+        let Some(slot) = self.current.take() else {
+            return Err(self.violation("finish_current with no current packet"));
+        };
+        let Some(pkt) = self.slots[slot].q.pop_front() else {
+            return Err(self.violation("finish_current with an empty current slot"));
+        };
         if success {
             self.stats.packets_sent_ok += 1;
             ctx.feedback(MacFeedback::Sent {
@@ -295,6 +308,7 @@ impl WMac {
                 transport_seq: pkt.sdu.transport_seq,
             });
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -447,10 +461,16 @@ impl WMac {
         }
     }
 
-    fn send_data(&mut self, ctx: &mut dyn MacContext) {
-        let slot = self.current.expect("send_data without current packet");
-        let pkt = *self.head(slot).expect("current slot empty");
-        let esn = pkt.esn.expect("data without esn");
+    fn send_data(&mut self, ctx: &mut dyn MacContext) -> MacResult {
+        let Some(slot) = self.current else {
+            return Err(self.violation("send_data without a current packet"));
+        };
+        let Some(pkt) = self.head(slot).copied() else {
+            return Err(self.violation("send_data with an empty current slot"));
+        };
+        let Some(esn) = pkt.esn else {
+            return Err(self.violation("send_data before the exchange was opened (no ESN)"));
+        };
         let mut f = self.make(FrameKind::Data, pkt.dst, pkt.sdu.bytes, esn);
         f.payload = Some(pkt.sdu);
         self.stats.data_sent += 1;
@@ -460,26 +480,32 @@ impl WMac {
             State::SendData
         };
         ctx.transmit(f);
+        Ok(())
     }
 
     /// An RTS (or ACK-await) attempt failed; retry or drop.
-    fn attempt_failed(&mut self, ctx: &mut dyn MacContext, count_backoff: bool) {
-        let slot = self.current.expect("attempt_failed without current");
-        let (dst, retries) = {
-            let pkt = self.slots[slot].q.front_mut().expect("current slot empty");
-            pkt.retries += 1;
-            (pkt.dst, pkt.retries)
+    fn attempt_failed(&mut self, ctx: &mut dyn MacContext, count_backoff: bool) -> MacResult {
+        let Some(slot) = self.current else {
+            return Err(self.violation("attempt_failed without a current packet"));
+        };
+        let (dst, retries) = match self.slots[slot].q.front_mut() {
+            Some(pkt) => {
+                pkt.retries += 1;
+                (pkt.dst, pkt.retries)
+            }
+            None => return Err(self.violation("attempt_failed with an empty current slot")),
         };
         if count_backoff {
             self.backoff.on_timeout(dst, retries);
         }
         if retries > self.cfg.max_retries {
-            self.finish_current(ctx, false);
+            self.finish_current(ctx, false)?;
         } else {
             self.current = None;
         }
         self.state = State::Idle;
         self.maybe_contend(ctx);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -576,12 +602,21 @@ impl WMac {
         }
     }
 
-    fn on_cts_for_me(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
-        let State::WfCts = self.state else { return };
-        let slot = self.current.expect("WfCts without current");
-        let pkt = *self.head(slot).expect("current slot empty");
-        if frame.src != pkt.dst || Some(frame.backoff.esn) != pkt.esn {
-            return; // stale CTS from an old exchange
+    fn on_cts_for_me(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult {
+        let State::WfCts = self.state else {
+            return Ok(());
+        };
+        let Some(slot) = self.current else {
+            return Err(self.violation("WfCts without a current packet"));
+        };
+        let Some(pkt) = self.head(slot).copied() else {
+            return Err(self.violation("WfCts with an empty current slot"));
+        };
+        let Some(esn) = pkt.esn else {
+            return Err(self.violation("WfCts before the exchange was opened (no ESN)"));
+        };
+        if frame.src != pkt.dst || frame.backoff.esn != esn {
+            return Ok(()); // stale CTS from an old exchange
         }
         ctx.clear_timer();
         if !self.cfg.use_ack {
@@ -590,11 +625,12 @@ impl WMac {
         }
         if self.cfg.use_ds {
             self.stats.ds_sent += 1;
-            let f = self.make(FrameKind::Ds, pkt.dst, pkt.sdu.bytes, pkt.esn.unwrap());
+            let f = self.make(FrameKind::Ds, pkt.dst, pkt.sdu.bytes, esn);
             self.state = State::SendDs;
             ctx.transmit(f);
+            Ok(())
         } else {
-            self.send_data(ctx);
+            self.send_data(ctx)
         }
     }
 
@@ -658,24 +694,29 @@ impl WMac {
         }
     }
 
-    fn on_ack_for_me(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+    fn on_ack_for_me(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult {
         // Success either in WFACK (normal) or in WFCTS (rule 7: the
         // receiver re-ACKed a duplicate RTS).
         let in_wfack = matches!(self.state, State::WfAck);
         let in_wfcts = matches!(self.state, State::WfCts);
         if !in_wfack && !in_wfcts {
-            return;
+            return Ok(());
         }
-        let slot = self.current.expect("ack wait without current");
-        let pkt = *self.head(slot).expect("current slot empty");
+        let Some(slot) = self.current else {
+            return Err(self.violation("ACK wait without a current packet"));
+        };
+        let Some(pkt) = self.head(slot).copied() else {
+            return Err(self.violation("ACK wait with an empty current slot"));
+        };
         if frame.src != pkt.dst || Some(frame.backoff.esn) != pkt.esn {
-            return;
+            return Ok(());
         }
         ctx.clear_timer();
         self.backoff.on_success(pkt.dst);
-        self.finish_current(ctx, true);
+        self.finish_current(ctx, true)?;
         self.state = State::Idle;
         self.maybe_contend(ctx);
+        Ok(())
     }
 
     fn on_nack_for_me(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
@@ -759,11 +800,10 @@ impl WMac {
 }
 
 impl MacProtocol for WMac {
-    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) {
-        assert!(
-            self.cfg.multicast || !dst.is_multicast(),
-            "multicast disabled in this configuration"
-        );
+    fn enqueue(&mut self, ctx: &mut dyn MacContext, dst: Addr, sdu: MacSdu) -> MacResult {
+        if !self.cfg.multicast && dst.is_multicast() {
+            return Err(self.violation("multicast enqueue with multicast disabled"));
+        }
         let slot = self.slot_for(dst, sdu.stream);
         if self.slots[slot].q.len() >= self.cfg.queue_capacity {
             self.stats.refused += 1;
@@ -771,7 +811,7 @@ impl MacProtocol for WMac {
                 stream: sdu.stream,
                 transport_seq: sdu.transport_seq,
             });
-            return;
+            return Ok(());
         }
         self.stats.enqueued += 1;
         self.slots[slot].q.push_back(Packet {
@@ -782,13 +822,16 @@ impl MacProtocol for WMac {
             draw: None,
         });
         self.maybe_contend(ctx);
+        Ok(())
     }
 
-    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
-        debug_assert_ne!(frame.src, self.addr, "received own frame");
+    fn on_receive(&mut self, ctx: &mut dyn MacContext, frame: &Frame) -> MacResult {
+        if frame.src == self.addr {
+            return Err(self.violation("received a frame from own address"));
+        }
         if !self.addressed_to_me(frame) {
             self.on_overheard(ctx, frame);
-            return;
+            return Ok(());
         }
         // Backoff copying from packets addressed to us (Appendix B.2).
         self.backoff.on_receive(frame.src, frame.kind == FrameKind::Rts, &frame.backoff);
@@ -796,18 +839,36 @@ impl MacProtocol for WMac {
             self.invalidate_draws();
         }
         match frame.kind {
-            FrameKind::Rts if frame.dst.is_multicast() => self.on_mcast_rts_for_me(ctx, frame),
-            FrameKind::Rts => self.on_rts_for_me(ctx, frame),
+            FrameKind::Rts if frame.dst.is_multicast() => {
+                self.on_mcast_rts_for_me(ctx, frame);
+                Ok(())
+            }
+            FrameKind::Rts => {
+                self.on_rts_for_me(ctx, frame);
+                Ok(())
+            }
             FrameKind::Cts => self.on_cts_for_me(ctx, frame),
-            FrameKind::Ds => self.on_ds_for_me(ctx, frame),
-            FrameKind::Data => self.on_data_for_me(ctx, frame),
+            FrameKind::Ds => {
+                self.on_ds_for_me(ctx, frame);
+                Ok(())
+            }
+            FrameKind::Data => {
+                self.on_data_for_me(ctx, frame);
+                Ok(())
+            }
             FrameKind::Ack => self.on_ack_for_me(ctx, frame),
-            FrameKind::Nack => self.on_nack_for_me(ctx, frame),
-            FrameKind::Rrts => self.on_rrts_for_me(ctx, frame),
+            FrameKind::Nack => {
+                self.on_nack_for_me(ctx, frame);
+                Ok(())
+            }
+            FrameKind::Rrts => {
+                self.on_rrts_for_me(ctx, frame);
+                Ok(())
+            }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut dyn MacContext) {
+    fn on_timer(&mut self, ctx: &mut dyn MacContext) -> MacResult {
         match self.state {
             State::Contend { what } => self.fire_contention(ctx, what),
             State::Quiet { .. } => {
@@ -820,11 +881,11 @@ impl MacProtocol for WMac {
             // RTS-CTS exchange but the ACK does not arrive", §3.3.1).
             State::WfCts => {
                 self.stats.rts_timeouts += 1;
-                self.attempt_failed(ctx, true);
+                self.attempt_failed(ctx, true)?;
             }
             State::WfAck => {
                 self.stats.ack_timeouts += 1;
-                self.attempt_failed(ctx, false);
+                self.attempt_failed(ctx, false)?;
             }
             State::WfDs { peer, bytes, esn } | State::WfData { peer, bytes, esn }
                 if self.cfg.use_nack =>
@@ -844,11 +905,12 @@ impl MacProtocol for WMac {
                 // Spurious timer (e.g. raced with a state change): harmless.
                 self.maybe_contend(ctx);
             }
-            s => debug_assert!(false, "timer fired while transmitting: {s:?}"),
+            _ => return Err(self.violation("timer fired while transmitting")),
         }
+        Ok(())
     }
 
-    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) {
+    fn on_tx_end(&mut self, ctx: &mut dyn MacContext) -> MacResult {
         match self.state {
             State::SendRts => {
                 self.state = State::WfCts;
@@ -862,7 +924,7 @@ impl MacProtocol for WMac {
                 }
                 ctx.set_timer(self.cfg.wfds_timeout(bytes));
             }
-            State::SendDs => self.send_data(ctx),
+            State::SendDs => self.send_data(ctx)?,
             State::SendData => {
                 if self.cfg.use_ack {
                     self.state = State::WfAck;
@@ -871,10 +933,12 @@ impl MacProtocol for WMac {
                     // Without a link ACK the MAC's responsibility ends
                     // here; in NACK mode, keep the packet resurrectable.
                     if self.cfg.use_nack {
-                        let slot = self.current.expect("SendData without current");
+                        let Some(slot) = self.current else {
+                            return Err(self.violation("SendData without a current packet"));
+                        };
                         self.nack_cache = self.slots[slot].q.front().copied();
                     }
-                    self.finish_current(ctx, true);
+                    self.finish_current(ctx, true)?;
                     self.state = State::Idle;
                     self.maybe_contend(ctx);
                 }
@@ -887,14 +951,15 @@ impl MacProtocol for WMac {
                 self.state = State::WfRts { peer };
                 ctx.set_timer(self.cfg.wfrts_timeout());
             }
-            State::SendMcastRts => self.send_data(ctx),
+            State::SendMcastRts => self.send_data(ctx)?,
             State::SendMcastData => {
-                self.finish_current(ctx, true);
+                self.finish_current(ctx, true)?;
                 self.state = State::Idle;
                 self.maybe_contend(ctx);
             }
-            s => debug_assert!(false, "tx ended in non-transmit state: {s:?}"),
+            _ => return Err(self.violation("tx ended in a non-transmit state")),
         }
+        Ok(())
     }
 
     fn queued_packets(&self) -> usize {
@@ -935,6 +1000,111 @@ impl MacProtocol for WMac {
         // NOTE: the caller restarts contention (via `maybe_contend`-driving
         // events) once the station is back up; reset itself arms nothing —
         // a dead station must stay silent.
+    }
+}
+
+/// Canonical snapshot of a [`WMac`]'s behavioural state.
+///
+/// Captures everything that determines future behaviour — protocol state
+/// (with the `Quiet`-until deadline rebased to a now-relative offset),
+/// queues with their retry/ESN/draw bookkeeping, the re-ACK window, the
+/// NACK cache, group membership and the full backoff table — and excludes
+/// the [`MacStats`] counters, which are observer state and monotone (they
+/// would make every revisited state hash fresh and defeat deduplication).
+///
+/// Opaque by design: explorers only clone, compare, hash and debug-print it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WMacSnapshot {
+    state: State,
+    current: Option<usize>,
+    rrts_pending: Option<Addr>,
+    slots: Vec<QueueSlot>,
+    /// Non-empty re-ACK windows only, keyed by peer index: two stations
+    /// that learned and then aged out different peers canonicalize equal.
+    acked: Vec<(usize, VecDeque<u64>)>,
+    nack_cache: Option<Packet>,
+    groups: Vec<u32>,
+    backoff: BackoffSnapshot,
+}
+
+impl MacSnapshot for WMac {
+    type Snap = WMacSnapshot;
+
+    fn snapshot(&self, now: SimTime) -> WMacSnapshot {
+        let state = match self.state {
+            // Rebase the absolute deadline so the same residual deferral
+            // reached at different absolute times dedups.
+            State::Quiet { until } => State::Quiet {
+                until: SimTime::ZERO + until.saturating_since(now),
+            },
+            s => s,
+        };
+        WMacSnapshot {
+            state,
+            current: self.current,
+            rrts_pending: self.rrts_pending,
+            slots: self.slots.clone(),
+            acked: self
+                .acked
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.is_empty())
+                .map(|(i, w)| (i, w.clone()))
+                .collect(),
+            nack_cache: self.nack_cache,
+            groups: self.groups.clone(),
+            backoff: self.backoff.snapshot(),
+        }
+    }
+
+    fn state_kind(&self) -> &'static str {
+        match self.state {
+            State::Idle => "Idle",
+            State::Contend { .. } => "Contend",
+            State::Quiet { .. } => "Quiet",
+            State::SendRts => "SendRts",
+            State::WfCts => "WfCts",
+            State::SendDs => "SendDs",
+            State::SendData => "SendData",
+            State::WfAck => "WfAck",
+            State::SendCts { .. } => "SendCts",
+            State::WfDs { .. } => "WfDs",
+            State::WfData { .. } => "WfData",
+            State::SendAck => "SendAck",
+            State::SendNack => "SendNack",
+            State::SendRrts { .. } => "SendRrts",
+            State::WfRts { .. } => "WfRts",
+            State::SendMcastRts => "SendMcastRts",
+            State::SendMcastData => "SendMcastData",
+        }
+    }
+
+    fn awaits_timer(&self) -> bool {
+        matches!(
+            self.state,
+            State::Contend { .. }
+                | State::Quiet { .. }
+                | State::WfCts
+                | State::WfAck
+                | State::WfDs { .. }
+                | State::WfData { .. }
+                | State::WfRts { .. }
+        )
+    }
+
+    fn transmitting(&self) -> bool {
+        matches!(
+            self.state,
+            State::SendRts
+                | State::SendDs
+                | State::SendData
+                | State::SendCts { .. }
+                | State::SendAck
+                | State::SendNack
+                | State::SendRrts { .. }
+                | State::SendMcastRts
+                | State::SendMcastData
+        )
     }
 }
 
@@ -981,10 +1151,10 @@ mod tests {
 
     /// Drive a sender up to (and including) its RTS transmission.
     fn drive_to_rts(mac: &mut WMac, ctx: &mut ScriptedContext) -> Frame {
-        mac.enqueue(ctx, B, sdu(512, 1));
+        mac.enqueue(ctx, B, sdu(512, 1)).unwrap();
         assert!(ctx.timer.is_some(), "contention timer must be armed");
         assert!(ctx.fire_timer());
-        mac.on_timer(ctx);
+        mac.on_timer(ctx).unwrap();
         let rts = *ctx.last_tx().expect("RTS transmitted");
         assert_eq!(rts.kind, FrameKind::Rts);
         assert_eq!(rts.dst, B);
@@ -997,14 +1167,14 @@ mod tests {
         let mut ctx = ScriptedContext::new(41);
         let _rts = drive_to_rts(&mut mac, &mut ctx); // RTS on air
         assert_eq!(mac.queued_packets(), 1);
-        mac.on_tx_end(&mut ctx); // -> WfCts, timeout armed
+        mac.on_tx_end(&mut ctx).unwrap(); // -> WfCts, timeout armed
         for _ in 0..3 {
             // CTS timeouts escalate the backoff above BO_min.
             assert!(ctx.fire_timer()); // WFCTS expires
-            mac.on_timer(&mut ctx); // -> Idle -> Contend
+            mac.on_timer(&mut ctx).unwrap(); // -> Idle -> Contend
             assert!(ctx.fire_timer()); // contention slot
-            mac.on_timer(&mut ctx); // retransmits the RTS
-            mac.on_tx_end(&mut ctx); // -> WfCts again
+            mac.on_timer(&mut ctx).unwrap(); // retransmits the RTS
+            mac.on_tx_end(&mut ctx).unwrap(); // -> WfCts again
         }
         assert_eq!(mac.stats().rts_timeouts, 3);
 
@@ -1016,9 +1186,9 @@ mod tests {
         assert!(ctx.timer.is_none());
         // The restart kick re-enters contention and the retransmitted RTS
         // opens a *new* exchange (ESN restarts at 1).
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert!(ctx.fire_timer(), "restart kick must re-arm contention");
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         let rts = *ctx.last_tx().expect("RTS after restart");
         assert_eq!(rts.kind, FrameKind::Rts);
         assert_eq!(rts.backoff.esn, 1, "rebooted station restarts its ESNs");
@@ -1026,7 +1196,7 @@ mod tests {
         // Crash without queue preservation: everything is gone.
         ctx.crash(&mut mac, false);
         assert_eq!(mac.queued_packets(), 0);
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert!(ctx.timer.is_none(), "nothing to contend for");
     }
 
@@ -1035,7 +1205,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(1);
-        mac.enqueue(&mut ctx, B, sdu(512, 1));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap();
         let deadline = ctx.timer.expect("timer armed");
         let slots = deadline.since(ctx.now()).as_nanos() / cfg.slot().as_nanos();
         // Fresh window is local(bo_min) + unknown remote (bo_min) = 4 slots.
@@ -1058,18 +1228,18 @@ mod tests {
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(3);
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx); // RTS done -> WfCts, timer armed
+        mac.on_tx_end(&mut ctx).unwrap(); // RTS done -> WfCts, timer armed
         assert!(ctx.timer.is_some());
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn)).unwrap();
         let ds = *ctx.last_tx().unwrap();
         assert_eq!(ds.kind, FrameKind::Ds, "MACAW inserts DS after CTS");
-        mac.on_tx_end(&mut ctx); // DS done -> DATA back-to-back
+        mac.on_tx_end(&mut ctx).unwrap(); // DS done -> DATA back-to-back
         let data = *ctx.last_tx().unwrap();
         assert_eq!(data.kind, FrameKind::Data);
         assert_eq!(data.payload.unwrap().bytes, 512);
-        mac.on_tx_end(&mut ctx); // DATA done -> WfAck
+        mac.on_tx_end(&mut ctx).unwrap(); // DATA done -> WfAck
         assert!(ctx.timer.is_some());
-        mac.on_receive(&mut ctx, &frame(FrameKind::Ack, B, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Ack, B, A, 512, rts.backoff.esn)).unwrap();
         assert_eq!(
             ctx.feedback_events(),
             vec![MacFeedback::Sent {
@@ -1086,11 +1256,11 @@ mod tests {
         let mut mac = WMac::new(A, MacConfig::maca());
         let mut ctx = ScriptedContext::new(4);
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn));
+        mac.on_tx_end(&mut ctx).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn)).unwrap();
         let data = *ctx.last_tx().unwrap();
         assert_eq!(data.kind, FrameKind::Data, "MACA: DATA right after CTS");
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         // No ACK wait: the packet is done.
         assert_eq!(mac.queued_packets(), 0);
         assert_eq!(mac.stats().packets_sent_ok, 1);
@@ -1100,18 +1270,18 @@ mod tests {
     fn receiver_path_delivers_and_acks() {
         let mut mac = WMac::new(B, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(5);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9)).unwrap();
         let cts = *ctx.last_tx().unwrap();
         assert_eq!(cts.kind, FrameKind::Cts);
         assert_eq!(cts.dst, A);
         assert_eq!(cts.backoff.esn, 9, "CTS echoes the exchange ESN");
-        mac.on_tx_end(&mut ctx); // CTS done -> WfDs
-        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 9));
-        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, B, 512, 9));
+        mac.on_tx_end(&mut ctx).unwrap(); // CTS done -> WfDs
+        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 9)).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, B, 512, 9)).unwrap();
         assert_eq!(ctx.delivered().len(), 1);
         let ack = *ctx.last_tx().unwrap();
         assert_eq!(ack.kind, FrameKind::Ack);
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         assert_eq!(mac.stats().data_delivered, 1);
     }
 
@@ -1121,12 +1291,12 @@ mod tests {
         // must be answered with a fresh ACK, not a CTS.
         let mut mac = WMac::new(B, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(6);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9));
-        mac.on_tx_end(&mut ctx);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 9));
-        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, B, 512, 9));
-        mac.on_tx_end(&mut ctx); // ACK sent (and lost, says the script)
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 9)).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, B, 512, 9)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap(); // ACK sent (and lost, says the script)
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 9)).unwrap();
         let resp = *ctx.last_tx().unwrap();
         assert_eq!(resp.kind, FrameKind::Ack, "dup RTS -> re-ACK");
         assert_eq!(ctx.delivered().len(), 1, "no duplicate delivery");
@@ -1138,13 +1308,13 @@ mod tests {
         cfg.max_retries = 2;
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(7);
-        mac.enqueue(&mut ctx, B, sdu(512, 1));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap();
         for attempt in 0..3 {
             assert!(ctx.fire_timer(), "contend timer {attempt}");
-            mac.on_timer(&mut ctx); // fire contention -> RTS
-            mac.on_tx_end(&mut ctx); // -> WfCts
+            mac.on_timer(&mut ctx).unwrap(); // fire contention -> RTS
+            mac.on_tx_end(&mut ctx).unwrap(); // -> WfCts
             assert!(ctx.fire_timer(), "wfcts timer {attempt}");
-            mac.on_timer(&mut ctx); // timeout
+            mac.on_timer(&mut ctx).unwrap(); // timeout
         }
         assert_eq!(mac.stats().rts_timeouts, 3);
         assert_eq!(mac.stats().packets_dropped, 1);
@@ -1163,11 +1333,11 @@ mod tests {
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(8);
         let rts1 = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // WfCts timeout
+        mac.on_timer(&mut ctx).unwrap(); // WfCts timeout
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // re-contend -> second RTS
+        mac.on_timer(&mut ctx).unwrap(); // re-contend -> second RTS
         let rts2 = *ctx.last_tx().unwrap();
         assert_eq!(rts2.kind, FrameKind::Rts);
         assert_eq!(rts1.backoff.esn, rts2.backoff.esn, "same exchange");
@@ -1179,12 +1349,12 @@ mod tests {
         let mut ctx = ScriptedContext::new(9);
         let bo_before = mac.backoff_counter();
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn));
-        mac.on_tx_end(&mut ctx); // DS -> DATA
-        mac.on_tx_end(&mut ctx); // DATA -> WfAck
+        mac.on_tx_end(&mut ctx).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap(); // DS -> DATA
+        mac.on_tx_end(&mut ctx).unwrap(); // DATA -> WfAck
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // ACK timeout
+        mac.on_timer(&mut ctx).unwrap(); // ACK timeout
         assert_eq!(mac.stats().ack_timeouts, 1);
         assert_eq!(mac.backoff_counter(), bo_before, "§3.3.1: unchanged");
         assert_eq!(mac.queued_packets(), 1, "packet still queued for retry");
@@ -1195,7 +1365,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(10);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 1)).unwrap();
         let deadline = ctx.timer.expect("quiet timer armed");
         assert_eq!(
             deadline.since(ctx.now()),
@@ -1209,7 +1379,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(11);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, 1)).unwrap();
         let deadline = ctx.timer.expect("quiet timer armed");
         assert_eq!(deadline.since(ctx.now()), cfg.defer_after_cts(512));
     }
@@ -1218,14 +1388,14 @@ mod tests {
     fn deferral_blocks_contention_until_quiet_ends() {
         let mut mac = WMac::new(C, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(12);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 1));
-        mac.enqueue(&mut ctx, B, sdu(512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, A, B, 512, 1)).unwrap();
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap();
         assert!(ctx.transmitted().is_empty(), "must not transmit while quiet");
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // quiet expires -> contend
+        mac.on_timer(&mut ctx).unwrap(); // quiet expires -> contend
         assert!(ctx.timer.is_some(), "contention armed after quiet");
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert_eq!(ctx.last_tx().unwrap().kind, FrameKind::Rts);
     }
 
@@ -1234,10 +1404,10 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(13);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 1)).unwrap();
         let first = ctx.timer.unwrap();
         ctx.advance_to(ctx.now() + SimDuration::from_micros(500));
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, 1)).unwrap();
         let second = ctx.timer.unwrap();
         assert!(second > first, "hearing the CTS must extend the deferral");
     }
@@ -1247,14 +1417,14 @@ mod tests {
         let mut mac = WMac::new(B, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(14);
         // B defers to a foreign exchange...
-        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, C, Addr::Unicast(3), 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Ds, C, Addr::Unicast(3), 512, 1)).unwrap();
         // ...and meanwhile A asks it for data.
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 5));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 5)).unwrap();
         assert!(ctx.transmitted().is_empty(), "cannot answer while deferring");
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // quiet ends -> contend for RRTS
+        mac.on_timer(&mut ctx).unwrap(); // quiet ends -> contend for RRTS
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         let rrts = *ctx.last_tx().unwrap();
         assert_eq!(rrts.kind, FrameKind::Rrts);
         assert_eq!(rrts.dst, A);
@@ -1265,10 +1435,10 @@ mod tests {
     fn maca_ignores_rts_while_deferring() {
         let mut mac = WMac::new(B, MacConfig::maca());
         let mut ctx = ScriptedContext::new(15);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, C, Addr::Unicast(3), 512, 1));
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 5));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, C, Addr::Unicast(3), 512, 1)).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 5)).unwrap();
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert!(
             ctx.transmitted().is_empty(),
             "MACA has no RRTS: nothing to send after quiet"
@@ -1279,8 +1449,8 @@ mod tests {
     fn rrts_recipient_answers_with_rts_immediately() {
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(16);
-        mac.enqueue(&mut ctx, B, sdu(512, 1)); // contending...
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rrts, B, A, 0, 0));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap(); // contending...
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rrts, B, A, 0, 0)).unwrap();
         let rts = *ctx.last_tx().unwrap();
         assert_eq!(rts.kind, FrameKind::Rts);
         assert_eq!(rts.dst, B);
@@ -1291,7 +1461,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(17);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rrts, B, A, 0, 0));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rrts, B, A, 0, 0)).unwrap();
         let deadline = ctx.timer.expect("quiet timer armed");
         assert_eq!(deadline.since(ctx.now()), cfg.defer_after_rrts());
     }
@@ -1300,13 +1470,13 @@ mod tests {
     fn multicast_is_rts_then_data_without_cts() {
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(18);
-        mac.enqueue(&mut ctx, Addr::Multicast(4), sdu(512, 1));
+        mac.enqueue(&mut ctx, Addr::Multicast(4), sdu(512, 1)).unwrap();
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert_eq!(ctx.last_tx().unwrap().kind, FrameKind::Rts);
-        mac.on_tx_end(&mut ctx); // RTS done -> DATA immediately
+        mac.on_tx_end(&mut ctx).unwrap(); // RTS done -> DATA immediately
         assert_eq!(ctx.last_tx().unwrap().kind, FrameKind::Data);
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         assert_eq!(mac.stats().packets_sent_ok, 1);
     }
 
@@ -1317,9 +1487,9 @@ mod tests {
         mac.join_group(4);
         let mut rts = frame(FrameKind::Rts, A, Addr::Multicast(4), 512, 1);
         rts.payload = None;
-        mac.on_receive(&mut ctx, &rts);
+        mac.on_receive(&mut ctx, &rts).unwrap();
         assert!(ctx.transmitted().is_empty(), "no CTS for multicast");
-        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, Addr::Multicast(4), 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Data, A, Addr::Multicast(4), 512, 1)).unwrap();
         assert_eq!(ctx.delivered().len(), 1);
         assert!(ctx.transmitted().is_empty(), "no ACK for multicast");
     }
@@ -1329,7 +1499,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(20);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, Addr::Multicast(4), 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, Addr::Multicast(4), 512, 1)).unwrap();
         let deadline = ctx.timer.expect("quiet timer armed");
         assert_eq!(
             deadline.since(ctx.now()),
@@ -1343,9 +1513,9 @@ mod tests {
         cfg.queue_capacity = 2;
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(21);
-        mac.enqueue(&mut ctx, B, sdu(512, 1));
-        mac.enqueue(&mut ctx, B, sdu(512, 2));
-        mac.enqueue(&mut ctx, B, sdu(512, 3));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap();
+        mac.enqueue(&mut ctx, B, sdu(512, 2)).unwrap();
+        mac.enqueue(&mut ctx, B, sdu(512, 3)).unwrap();
         assert_eq!(mac.queued_packets(), 2);
         assert_eq!(mac.stats().refused, 1);
         assert!(matches!(
@@ -1368,8 +1538,8 @@ mod tests {
             transport_seq: 1,
             bytes: 512,
         };
-        mac.enqueue(&mut ctx, B, s1);
-        mac.enqueue(&mut ctx, C, s2);
+        mac.enqueue(&mut ctx, B, s1).unwrap();
+        mac.enqueue(&mut ctx, C, s2).unwrap();
         assert_eq!(mac.queued_packets(), 2);
     }
 
@@ -1378,8 +1548,8 @@ mod tests {
         // Appendix A rule 5 / B rule 8.
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(23);
-        mac.enqueue(&mut ctx, B, sdu(512, 1)); // now contending
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, C, A, 256, 3));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap(); // now contending
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, C, A, 256, 3)).unwrap();
         let cts = *ctx.last_tx().unwrap();
         assert_eq!(cts.kind, FrameKind::Cts);
         assert_eq!(cts.dst, C);
@@ -1392,18 +1562,18 @@ mod tests {
         cfg.use_carrier_sense = true;
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(30);
-        mac.enqueue(&mut ctx, B, sdu(512, 1));
+        mac.enqueue(&mut ctx, B, sdu(512, 1)).unwrap();
         ctx.carrier = true; // someone else is on the air
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert!(ctx.transmitted().is_empty(), "must not fire into carrier");
         assert!(ctx.timer.is_some(), "one-slot clear-air defer armed");
         // Air clears: the deferred contention proceeds.
         ctx.carrier = false;
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // quiet expires -> contend
+        mac.on_timer(&mut ctx).unwrap(); // quiet expires -> contend
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx);
+        mac.on_timer(&mut ctx).unwrap();
         assert_eq!(ctx.last_tx().unwrap().kind, FrameKind::Rts);
     }
 
@@ -1413,10 +1583,10 @@ mod tests {
         cfg.use_nack = true;
         let mut mac = WMac::new(B, cfg);
         let mut ctx = ScriptedContext::new(31);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 3));
-        mac.on_tx_end(&mut ctx); // CTS sent -> waiting for data
+        mac.on_receive(&mut ctx, &frame(FrameKind::Rts, A, B, 512, 3)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap(); // CTS sent -> waiting for data
         assert!(ctx.fire_timer());
-        mac.on_timer(&mut ctx); // data never arrived
+        mac.on_timer(&mut ctx).unwrap(); // data never arrived
         let nack = *ctx.last_tx().unwrap();
         assert_eq!(nack.kind, FrameKind::Nack);
         assert_eq!(nack.dst, A);
@@ -1431,13 +1601,13 @@ mod tests {
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(32);
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn));
-        mac.on_tx_end(&mut ctx); // DATA done -> presumed success (no ack)
+        mac.on_tx_end(&mut ctx).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap(); // DATA done -> presumed success (no ack)
         assert_eq!(mac.queued_packets(), 0);
         assert_eq!(mac.stats().packets_sent_ok, 1);
         // The receiver says it never got it.
-        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn)).unwrap();
         assert_eq!(mac.queued_packets(), 1, "packet resurrected for retry");
         assert!(ctx.timer.is_some(), "re-contending");
     }
@@ -1449,16 +1619,16 @@ mod tests {
         let mut mac = WMac::new(A, cfg);
         let mut ctx = ScriptedContext::new(33);
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn));
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn)).unwrap();
+        mac.on_tx_end(&mut ctx).unwrap();
         // Wrong esn, then wrong peer: neither may resurrect.
-        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn + 9));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn + 9)).unwrap();
         assert_eq!(mac.queued_packets(), 0);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, C, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, C, A, 512, rts.backoff.esn)).unwrap();
         assert_eq!(mac.queued_packets(), 0);
         // The real one still works afterwards.
-        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, rts.backoff.esn)).unwrap();
         assert_eq!(mac.queued_packets(), 1);
     }
 
@@ -1467,7 +1637,7 @@ mod tests {
         let cfg = MacConfig::macaw();
         let mut mac = WMac::new(C, cfg);
         let mut ctx = ScriptedContext::new(34);
-        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, 1));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Nack, B, A, 512, 1)).unwrap();
         let deadline = ctx.timer.expect("quiet timer armed");
         assert_eq!(deadline.since(ctx.now()), cfg.defer_after_rts());
     }
@@ -1477,11 +1647,11 @@ mod tests {
         let mut mac = WMac::new(A, MacConfig::macaw());
         let mut ctx = ScriptedContext::new(24);
         let rts = drive_to_rts(&mut mac, &mut ctx);
-        mac.on_tx_end(&mut ctx);
+        mac.on_tx_end(&mut ctx).unwrap();
         // CTS from the wrong station:
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, C, A, 512, rts.backoff.esn));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, C, A, 512, rts.backoff.esn)).unwrap();
         // CTS with the wrong esn:
-        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn + 7));
+        mac.on_receive(&mut ctx, &frame(FrameKind::Cts, B, A, 512, rts.backoff.esn + 7)).unwrap();
         let kinds: Vec<_> = ctx.transmitted().iter().map(|f| f.kind).collect();
         assert_eq!(kinds, vec![FrameKind::Rts], "no DS/DATA on stale CTS");
     }

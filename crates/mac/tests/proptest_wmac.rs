@@ -49,7 +49,7 @@ fn run_fuzz(cfg: MacConfig, stimuli: Vec<Stimulus>) -> Result<(), TestCaseError>
     for s in stimuli {
         match s {
             Stimulus::Enqueue { dst, bytes } => {
-                mac.enqueue(
+                let r = mac.enqueue(
                     &mut ctx,
                     Addr::Unicast(dst),
                     MacSdu {
@@ -58,6 +58,7 @@ fn run_fuzz(cfg: MacConfig, stimuli: Vec<Stimulus>) -> Result<(), TestCaseError>
                         bytes,
                     },
                 );
+                prop_assert!(r.is_ok(), "enqueue violated an invariant: {r:?}");
             }
             Stimulus::Frame { kind, src, dst, esn, bytes } => {
                 if src == 0 || transmitting {
@@ -80,17 +81,20 @@ fn run_fuzz(cfg: MacConfig, stimuli: Vec<Stimulus>) -> Result<(), TestCaseError>
                         bytes,
                     }),
                 };
-                mac.on_receive(&mut ctx, &frame);
+                let r = mac.on_receive(&mut ctx, &frame);
+                prop_assert!(r.is_ok(), "on_receive violated an invariant: {r:?}");
             }
             Stimulus::FireTimer => {
                 if !transmitting && ctx.fire_timer() {
-                    mac.on_timer(&mut ctx);
+                    let r = mac.on_timer(&mut ctx);
+                    prop_assert!(r.is_ok(), "on_timer violated an invariant: {r:?}");
                 }
             }
             Stimulus::TxEnd => {
                 if transmitting {
                     transmitting = false;
-                    mac.on_tx_end(&mut ctx);
+                    let r = mac.on_tx_end(&mut ctx);
+                    prop_assert!(r.is_ok(), "on_tx_end violated an invariant: {r:?}");
                 }
             }
         }
@@ -142,7 +146,7 @@ proptest! {
                     &mut ctx,
                     Addr::Unicast(dst),
                     MacSdu { stream: StreamId(dst as u32), transport_seq: 1, bytes },
-                ),
+                ).unwrap(),
                 Stimulus::Frame { kind, src, dst, esn, bytes } => {
                     if src != 0 {
                         let kind = kind_of(kind);
@@ -155,12 +159,14 @@ proptest! {
                             payload: (kind == FrameKind::Data).then_some(MacSdu {
                                 stream: StreamId(9), transport_seq: esn, bytes,
                             }),
-                        });
+                        }).unwrap();
                     }
                 }
                 Stimulus::FireTimer => {
+                    // A timer is never left armed in a transmit state, so
+                    // firing unguarded can't hit the transmit-state arm.
                     if ctx.fire_timer() {
-                        mac.on_timer(&mut ctx);
+                        mac.on_timer(&mut ctx).unwrap();
                     }
                 }
                 Stimulus::TxEnd => {}

@@ -34,6 +34,7 @@ pub mod event;
 pub mod grid;
 pub mod hash;
 pub mod rng;
+pub mod symtime;
 pub mod time;
 
 pub use event::{
@@ -43,4 +44,5 @@ pub use event::{
 pub use grid::BucketGrid;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use rng::SimRng;
+pub use symtime::TieBand;
 pub use time::{SimDuration, SimTime};

@@ -17,6 +17,7 @@
 //! RNG crate changed its stream between versions.
 
 /// A seeded deterministic RNG stream.
+#[derive(Clone)]
 pub struct SimRng {
     seed: u64,
     state: [u64; 4],
@@ -115,6 +116,21 @@ impl SimRng {
         } else {
             self.uniform_f64() < p
         }
+    }
+
+    /// A 64-bit digest of the generator's exact position in its stream.
+    ///
+    /// Two `SimRng`s with equal digests (and equal seeds) produce identical
+    /// future draws, so state-space explorers can fold the RNG into a
+    /// canonical-state hash: interleavings that consumed the same draws per
+    /// station deduplicate, while paths that diverged in consumption do not
+    /// falsely merge.
+    pub fn digest(&self) -> u64 {
+        let mut d = splitmix64(self.seed);
+        for w in self.state {
+            d = splitmix64(d ^ w);
+        }
+        d
     }
 
     /// Exponentially distributed value with the given mean (for Poisson
