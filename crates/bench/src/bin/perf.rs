@@ -38,7 +38,7 @@ use macaw_bench::sharding::{self, parse_shards_arg, set_shards_override};
 use macaw_bench::stopwatch::{bench, time_once};
 use macaw_bench::{all_tables, run_specs_with, warm_for, TABLES, TABLE_SPECS};
 use macaw_core::figures;
-use macaw_core::prelude::{scale_topology, MacKind, ScaleConfig, SimDuration, SimTime};
+use macaw_core::prelude::{scale_topology, MacKind, MediumStats, ScaleConfig, SimDuration, SimTime};
 
 /// A simulation error in this harness means a paper scenario failed to
 /// run — report it and fail the process instead of panicking.
@@ -73,6 +73,11 @@ struct Probe {
     /// feature): allocations + bytes are per-run deltas, peak is the
     /// process-lifetime live-bytes high-water mark.
     alloc: Option<AllocSnapshot>,
+    /// Medium op counters for the run: end_tx calls, restricted folds and
+    /// the fold terms they visited, and the slab high-water mark — these
+    /// attribute a throughput change to the medium layer (or rule it out),
+    /// the way `queue` does for the FEL.
+    medium: MediumStats,
 }
 
 fn engine_probe(seed: u64) -> Vec<Probe> {
@@ -81,8 +86,8 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
     let mut out = Vec::new();
     let mut go = |name: &'static str, sc: macaw_core::scenario::Scenario, d: SimDuration| {
         let before = alloc_stats::snapshot();
-        let (report, secs) =
-            time_once(|| sharding::run_report(sc, d, warm).unwrap_or_else(|e| die(&e)));
+        let ((report, medium), secs) =
+            time_once(|| sharding::run_report_instrumented(sc, d, warm).unwrap_or_else(|e| die(&e)));
         let alloc = alloc_stats::snapshot().zip(before).map(|(now, then)| now.since(&then));
         assert!(
             report.total_throughput().is_finite() && report.total_throughput() > 0.0,
@@ -94,6 +99,7 @@ fn engine_probe(seed: u64) -> Vec<Probe> {
             secs,
             queue: report.queue_stats,
             alloc,
+            medium,
         });
     };
     go("figure10-maca", figures::figure10(MacKind::Maca, seed), dur);
@@ -218,6 +224,16 @@ fn main() {
             "  {:<16} queue: {} pushes, {} pops, {} cancels, depth high-water {}",
             "", p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water
         );
+        let terms_per_end = if p.medium.end_tx_ops == 0 {
+            0.0
+        } else {
+            p.medium.fold_terms as f64 / p.medium.end_tx_ops as f64
+        };
+        println!(
+            "  {:<16} medium: {} end_tx, {} folds, {} fold terms ({:.1} terms/end), slab high-water {}",
+            "", p.medium.end_tx_ops, p.medium.folds, p.medium.fold_terms, terms_per_end,
+            p.medium.slab_high_water
+        );
         let alloc_json = match &p.alloc {
             Some(a) => {
                 println!(
@@ -238,9 +254,13 @@ fn main() {
         tot_secs += p.secs;
         probe_json.push_str(&format!(
             "    {{ \"scenario\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \
-             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_high_water\": {}{} }},\n",
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_high_water\": {}, \
+             \"medium_end_tx_ops\": {}, \"medium_folds\": {}, \"medium_fold_terms\": {}, \
+             \"fold_terms_per_end_tx\": {:.2}, \"slab_high_water\": {}{} }},\n",
             p.name, p.events, p.secs, evps,
             p.queue.scheduled, p.queue.popped, p.queue.cancelled, p.queue.high_water,
+            p.medium.end_tx_ops, p.medium.folds, p.medium.fold_terms, terms_per_end,
+            p.medium.slab_high_water,
             alloc_json
         ));
     }

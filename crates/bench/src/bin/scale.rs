@@ -1,11 +1,12 @@
-//! Medium-scaling harness: events/sec, wall time, peak RSS and medium
-//! memory across station counts N ∈ {16, 64, 256, 1024} on the synthetic
-//! office floor ([`macaw_core::topology`]), per protocol (CSMA / MACA /
-//! MACAW), plus a serial-vs-sharded sweep at N ∈ {4096, 16384}, written
-//! to `BENCH_scale.json`.
+//! Medium-scaling harness: events/sec, wall time, peak RSS, medium memory
+//! and medium op counters across station counts N ∈ {16, 64, 256, 1024}
+//! per protocol (CSMA / MACA / MACAW) on the synthetic office floor
+//! ([`macaw_core::topology`]), extended MACAW-only to
+//! N ∈ {4096, 16384, 65536}, plus a serial-vs-sharded sweep at
+//! N ∈ {4096, 16384}, written to `BENCH_scale.json`.
 //!
 //! Usage:
-//!   scale [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]
+//!   scale [--quick] [--smoke] [--seed N] [--out PATH] [--jobs N] [--shards N]
 //!
 //! `--jobs N` (or `MACAW_JOBS`) sizes the executor used by the quick
 //! smoke's sparse/dense pair; the timed sweep always runs serially so
@@ -40,7 +41,11 @@
 //!
 //! `--quick` is a smoke mode for CI (`scripts/verify.sh`): one short
 //! N = 64 run plus a miniature dense-equivalence check and a
-//! serial-vs-sharded bitwise assertion, no JSON output.
+//! serial-vs-sharded bitwise assertion, no JSON output. `--smoke` is the
+//! per-event-cost guard: events/s and fold-terms-per-end_tx at N = 4096
+//! must stay within a fixed factor of the N = 256 rates, so an O(active)
+//! scan creeping back into the medium's per-event path fails CI instead
+//! of quietly re-bending the scaling curve.
 //!
 //! [`SparseMedium`]: macaw_phy::SparseMedium
 //! [`Medium::memory_footprint`]: macaw_phy::Medium::memory_footprint
@@ -61,7 +66,7 @@ fn die(e: &dyn std::fmt::Display) -> ! {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: scale [--quick] [--seed N] [--out PATH] [--jobs N] [--shards N]");
+    eprintln!("usage: scale [--quick] [--smoke] [--seed N] [--out PATH] [--jobs N] [--shards N]");
     std::process::exit(2);
 }
 
@@ -98,7 +103,11 @@ fn protocols() -> Vec<(&'static str, MacKind)> {
 /// every cell still runs thousands of frames.
 fn floor_config(n: usize) -> ScaleConfig {
     let mut cfg = ScaleConfig::with_stations(n);
-    cfg.pps = if n >= 1024 {
+    cfg.pps = if n >= 16384 {
+        1
+    } else if n >= 4096 {
+        2
+    } else if n >= 1024 {
         4
     } else if n >= 256 {
         8
@@ -129,17 +138,22 @@ struct Cell {
     /// Per-cell live-bytes peak (counting allocator), `None` without
     /// `--features alloc-stats`.
     alloc_peak_live: Option<u64>,
+    /// Medium-layer op counters — the perf-attribution side channel. The
+    /// fold-terms-per-end_tx ratio staying flat across N is the direct
+    /// evidence the per-event medium cost is O(k), not O(active).
+    medium: MediumStats,
 }
 
 /// Build the floor and run it on medium `M`, returning the report, wall
-/// time of the run loop (excluding scenario build) and medium footprint.
+/// time of the run loop (excluding scenario build), medium footprint,
+/// stream count and the medium's op counters.
 fn run_cell<M: PhyMedium>(
     n: usize,
     mac: MacKind,
     seed: u64,
     dur: SimDuration,
     warm: SimDuration,
-) -> (RunReport, f64, usize, usize) {
+) -> (RunReport, f64, usize, usize, MediumStats) {
     let sc = scale_topology(&floor_config(n), mac, seed);
     let mut net = sc.build_with::<M>().unwrap_or_else(|e| die(&e));
     let footprint = net.medium().memory_footprint();
@@ -148,7 +162,18 @@ fn run_cell<M: PhyMedium>(
     net.set_warmup(SimTime::ZERO + warm);
     let (res, wall_secs) = time_once(|| net.run_until(end));
     res.unwrap_or_else(|e| die(&e));
-    (net.report(end), wall_secs, footprint, streams)
+    let medium = net.medium().medium_stats();
+    (net.report(end), wall_secs, footprint, streams, medium)
+}
+
+/// Fold terms visited per `end_tx` — the per-event medium cost the slab
+/// keeps flat as N grows (0.0 when the medium saw no traffic).
+fn terms_per_end(m: &MediumStats) -> f64 {
+    if m.end_tx_ops == 0 {
+        0.0
+    } else {
+        m.fold_terms as f64 / m.end_tx_ops as f64
+    }
 }
 
 /// One row of the serial-vs-sharded large-floor sweep.
@@ -206,6 +231,7 @@ fn run_shard_cell(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut smoke = false;
     let mut seed = 1u64;
     let mut out_path = "BENCH_scale.json".to_string();
     let mut jobs: Option<usize> = None;
@@ -213,6 +239,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
             "--seed" => {
                 i += 1;
                 seed = match args.get(i).map(|s| s.parse()) {
@@ -248,6 +275,65 @@ fn main() {
         i += 1;
     }
 
+    if smoke {
+        // Per-event-cost guard for CI (`scripts/verify.sh`): the medium
+        // must not regress to O(active) per event. Two checks, one noisy
+        // and one deterministic:
+        //
+        // 1. events/s at N = 4096 must stay within 5x of the N = 256 rate.
+        //    Pre-slab, the O(active) scans made the 16x-station cell pay
+        //    ~10x+ per event; with the slab both cells do O(k) work per
+        //    event and the ratio rides well under the guard. 5x leaves
+        //    headroom for a loaded CI host.
+        // 2. fold terms visited per end_tx must stay within 4x across the
+        //    same pair. This is a pure op count — deterministic, immune to
+        //    machine load — and is the direct signature of an O(active)
+        //    scan creeping back into the per-event path.
+        // Best of two timed runs per cell: the first run in a fresh
+        // process pays page-fault and cache-warmup costs that can triple
+        // its wall time on a contended CI host, which is exactly the noise
+        // a ratio guard must not trip on. Repeats are deterministic, so
+        // the reports must agree exactly.
+        let dur = SimDuration::from_secs(2);
+        let warm = SimDuration::from_millis(500);
+        let best_of_2 = |n: usize| {
+            let (r1, s1, _, _, m) = run_cell::<SparseMedium>(n, MacKind::Macaw, seed, dur, warm);
+            let (r2, s2, _, _, _) = run_cell::<SparseMedium>(n, MacKind::Macaw, seed, dur, warm);
+            assert_eq!(r1, r2, "repeated smoke runs at N={n} must agree exactly");
+            (r1, s1.min(s2), m)
+        };
+        let (r_small, s_small, m_small) = best_of_2(256);
+        let (r_big, s_big, m_big) = best_of_2(4096);
+        let evps_small = r_small.events_processed as f64 / s_small;
+        let evps_big = r_big.events_processed as f64 / s_big;
+        let (t_small, t_big) = (terms_per_end(&m_small), terms_per_end(&m_big));
+        println!(
+            "scale --smoke: N=256 {:.2} Mev/s ({t_small:.1} terms/end, slab hw {})  \
+             N=4096 {:.2} Mev/s ({t_big:.1} terms/end, slab hw {})",
+            evps_small / 1e6,
+            m_small.slab_high_water,
+            evps_big / 1e6,
+            m_big.slab_high_water
+        );
+        assert!(
+            evps_big * 5.0 >= evps_small,
+            "per-event cost regressed: N=4096 ran at {evps_big:.0} ev/s vs {evps_small:.0} ev/s \
+             at N=256 ({:.1}x slower; guard is 5x)",
+            evps_small / evps_big
+        );
+        assert!(
+            t_big <= t_small * 4.0 + 1.0,
+            "medium fold work regressed: {t_big:.1} fold terms per end_tx at N=4096 vs \
+             {t_small:.1} at N=256 — an O(active) scan is back in the per-event path"
+        );
+        println!(
+            "scale --smoke: per-event cost flat (events/s ratio {:.2}x, terms/end ratio {:.2}x)",
+            evps_small / evps_big,
+            if t_small > 0.0 { t_big / t_small } else { 0.0 }
+        );
+        return;
+    }
+
     if quick {
         // Smoke mode: one short N = 64 floor per medium, both cells on the
         // work-stealing executor; the reports must agree exactly and every
@@ -262,8 +348,8 @@ fn main() {
                 run_cell::<DenseMedium>(64, MacKind::Macaw, seed, dur, warm)
             }
         });
-        let (dense, _, _, _) = pair.pop().expect("two cells");
-        let (sparse, secs, footprint, streams) = pair.pop().expect("two cells");
+        let (dense, _, _, _, _) = pair.pop().expect("two cells");
+        let (sparse, secs, footprint, streams, _) = pair.pop().expect("two cells");
         assert_eq!(sparse, dense, "sparse and dense runs must agree exactly");
         assert!(
             sparse.total_throughput().is_finite() && sparse.total_throughput() > 0.0,
@@ -300,10 +386,10 @@ fn main() {
     // of three runs per medium — the runs are deterministic, so repeats
     // must agree exactly and differ only in wall time.
     println!("dense vs sparse, N=256 MACAW (best of 3):");
-    let best_of_3 = |run: &dyn Fn() -> (RunReport, f64, usize, usize)| {
-        let (report, mut secs, bytes, streams) = run();
+    let best_of_3 = |run: &dyn Fn() -> (RunReport, f64, usize, usize, MediumStats)| {
+        let (report, mut secs, bytes, streams, _) = run();
         for _ in 0..2 {
-            let (again, s, _, _) = run();
+            let (again, s, _, _, _) = run();
             assert_eq!(report, again, "repeated runs of one cell must agree exactly");
             secs = secs.min(s);
         }
@@ -327,40 +413,80 @@ fn main() {
     );
 
     println!("\nscale sweep: office floor, {sizes:?} stations x {{CSMA, MACA, MACAW}}, 5 s runs");
+    // Above 1024 stations only MACAW runs — the point of the large cells
+    // is per-event medium cost, and one protocol pins it down at a third
+    // of the wall time. N = 65536 is the stamp-ordered slab's headline:
+    // before it, the O(active) scans in `end_tx` made this size untenable.
+    let large_sizes = [4096usize, 16384, 65536];
     let mut cells: Vec<Cell> = Vec::new();
+    let run_sweep_cell = |n: usize, name: &'static str, mac: MacKind, cells: &mut Vec<Cell>| {
+        alloc_stats::reset_peak();
+        let (report, wall_secs, footprint, streams, medium) =
+            run_cell::<SparseMedium>(n, mac, seed, dur, warm);
+        let alloc_peak_live = alloc_stats::snapshot().map(|s| s.peak_bytes);
+        let evps = report.events_processed as f64 / wall_secs;
+        println!(
+            "  {name:<6} N={n:<5} {streams:>5} streams  {:>9} events  {:>8.1} ms  \
+             {:>6.2} Mev/s  {:>8.1} pps  fairness {:.3}  medium {:>8.1} KiB  \
+             {:>5.1} terms/end  slab hw {}",
+            report.events_processed,
+            wall_secs * 1e3,
+            evps / 1e6,
+            report.total_throughput(),
+            report.jain_fairness(),
+            footprint as f64 / 1024.0,
+            terms_per_end(&medium),
+            medium.slab_high_water
+        );
+        assert!(
+            report.total_throughput().is_finite() && report.total_throughput() > 0.0,
+            "{name} N={n}: non-finite or zero throughput"
+        );
+        cells.push(Cell {
+            protocol: name,
+            stations: n,
+            streams,
+            footprint,
+            report,
+            wall_secs,
+            rss_kb: peak_rss_kb(),
+            alloc_peak_live,
+            medium,
+        });
+    };
     for &n in &sizes {
         for (name, mac) in protocols() {
-            alloc_stats::reset_peak();
-            let (report, wall_secs, footprint, streams) =
-                run_cell::<SparseMedium>(n, mac, seed, dur, warm);
-            let alloc_peak_live = alloc_stats::snapshot().map(|s| s.peak_bytes);
-            let evps = report.events_processed as f64 / wall_secs;
-            println!(
-                "  {name:<6} N={n:<5} {streams:>4} streams  {:>9} events  {:>8.1} ms  \
-                 {:>6.2} Mev/s  {:>8.1} pps  fairness {:.3}  medium {:>8.1} KiB",
-                report.events_processed,
-                wall_secs * 1e3,
-                evps / 1e6,
-                report.total_throughput(),
-                report.jain_fairness(),
-                footprint as f64 / 1024.0
-            );
-            assert!(
-                report.total_throughput().is_finite() && report.total_throughput() > 0.0,
-                "{name} N={n}: non-finite or zero throughput"
-            );
-            cells.push(Cell {
-                protocol: name,
-                stations: n,
-                streams,
-                footprint,
-                report,
-                wall_secs,
-                rss_kb: peak_rss_kb(),
-                alloc_peak_live,
-            });
+            run_sweep_cell(n, name, mac, &mut cells);
         }
     }
+    for &n in &large_sizes {
+        run_sweep_cell(n, "MACAW", MacKind::Macaw, &mut cells);
+    }
+
+    // The per-event-cost trajectory the slab was built for: events/s for
+    // MACAW across the whole size range, normalized to the N = 1024 rate.
+    let macaw_evps = |n: usize| {
+        cells
+            .iter()
+            .find(|c| c.stations == n && c.protocol == "MACAW")
+            .map(|c| c.report.events_processed as f64 / c.wall_secs)
+            .expect("sweep covers this size")
+    };
+    let base_evps = macaw_evps(1024);
+    println!("\nMACAW events/s vs N (relative to N=1024):");
+    let mut trajectory_json = String::new();
+    for &n in sizes.iter().chain(large_sizes.iter()) {
+        let evps = macaw_evps(n);
+        println!("  N={n:<6} {:>7.2} Mev/s  ({:>5.2}x of N=1024)", evps / 1e6, evps / base_evps);
+        trajectory_json.push_str(&format!(
+            "    {{ \"stations\": {n}, \"events_per_sec\": {:.0}, \"relative_to_n1024\": {:.4} }},\n",
+            evps,
+            evps / base_evps
+        ));
+    }
+    trajectory_json.pop();
+    trajectory_json.pop();
+    trajectory_json.push('\n');
 
     // Serial vs sharded at large N, on the cellular floor (one island per
     // room). The default floor's edge coupling welds almost everything
@@ -421,7 +547,9 @@ fn main() {
             "    {{ \"protocol\": \"{}\", \"stations\": {}, \"streams\": {}, \"events\": {}, \
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \"total_throughput_pps\": {:.3}, \
              \"jain_fairness\": {:.4}, \"medium_bytes\": {}, \"peak_rss_kb\": {}, \
-             \"alloc_peak_live_bytes\": {} }},\n",
+             \"alloc_peak_live_bytes\": {}, \"medium_end_tx_ops\": {}, \"medium_folds\": {}, \
+             \"medium_fold_terms\": {}, \"fold_terms_per_end_tx\": {:.2}, \
+             \"slab_high_water\": {} }},\n",
             c.protocol,
             c.stations,
             c.streams,
@@ -432,7 +560,12 @@ fn main() {
             c.report.jain_fairness(),
             c.footprint,
             c.rss_kb,
-            alloc
+            alloc,
+            c.medium.end_tx_ops,
+            c.medium.folds,
+            c.medium.fold_terms,
+            terms_per_end(&c.medium),
+            c.medium.slab_high_water
         ));
     }
     sweep_json.pop();
@@ -484,6 +617,8 @@ fn main() {
         "{{\n  \"workload\": \"random office floor (topology::scale_topology), seed {seed}, 5 s sim with 1 s warm-up\",\n  \
            \"peak_rss_note\": \"peak_rss_kb is the process-wide VmHWM high-water mark up to and including that cell — monotone, so cells smaller than whatever ran first repeat its value; alloc_peak_live_bytes is the true per-cell live-bytes peak from the counting allocator (null without --features alloc-stats)\",\n  \
            \"sweep\": [\n{sweep_json}  ],\n  \
+           \"macaw_events_per_sec_trajectory_note\": \"MACAW events/s across the full size range, normalized to the N=1024 rate — flat-ish is the stamp-ordered slab working; the pre-slab build fell to ~0.04x by N=16384\",\n  \
+           \"macaw_events_per_sec_trajectory\": [\n{trajectory_json}  ],\n  \
            \"dense_vs_sparse_n256_macaw\": {{\n    \
              \"sparse_wall_secs\": {sp_secs:.6},\n    \
              \"dense_wall_secs\": {de_secs:.6},\n    \

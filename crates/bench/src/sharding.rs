@@ -76,6 +76,24 @@ pub fn run_report(
     }
 }
 
+/// [`run_report`] that also surfaces the medium's side-channel operation
+/// counters ([`MediumStats`]) for perf attribution. The report half is
+/// bitwise identical to [`run_report`]'s — serial runs read the counters
+/// off the network after the run; sharded runs take the merged counters
+/// the engine already collects in [`ShardRunStats`].
+pub fn run_report_instrumented(
+    sc: Scenario,
+    dur: SimDuration,
+    warm: SimDuration,
+) -> Result<(RunReport, MediumStats), SimError> {
+    match effective_shards() {
+        1 => sc.run_with_medium_stats::<macaw_phy::SparseMedium>(dur, warm),
+        n => sc
+            .run_with_shards(dur, warm, n)
+            .map(|(report, stats)| (report, stats.medium)),
+    }
+}
+
 /// [`run_report`] on an explicit medium and future-event-list family
 /// (the engine benchmark pins both backends).
 pub fn run_report_queue<M: macaw_phy::Medium, Q: macaw_sim::FelChoice>(

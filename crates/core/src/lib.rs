@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::stats::{RunReport, StreamReport};
     pub use crate::topology::{scale_topology, ScaleConfig};
     pub use macaw_mac::{BackoffAlgo, BackoffSharing, MacConfig, QueueMode};
-    pub use macaw_phy::{CutoffMode, Point, PropagationConfig};
+    pub use macaw_phy::{CutoffMode, MediumStats, Point, PropagationConfig};
     pub use macaw_sim::{SimDuration, SimTime};
     pub use macaw_transport::TcpConfig;
 }

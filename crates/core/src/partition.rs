@@ -47,7 +47,7 @@
 
 use std::collections::HashMap;
 
-use macaw_phy::{CutoffMode, Point};
+use macaw_phy::{CutoffMode, MediumStats, Point};
 
 use crate::network::ActionKind;
 use crate::scenario::Scenario;
@@ -169,6 +169,11 @@ pub struct ShardRunStats {
     /// `Σ(max_wall − wall_i) / (shards · max_wall)`. 0 = perfectly
     /// balanced, →1 = one shard did all the work.
     pub barrier_wait_share: f64,
+    /// Medium operation counters merged across shards (ops and fold terms
+    /// sum; slab high-water is the per-shard max). Like the rest of this
+    /// struct they live outside [`RunReport`](crate::stats::RunReport) so
+    /// instrumentation can never perturb the bitwise-identity contract.
+    pub medium: MediumStats,
     /// Per-shard records, by shard index.
     pub per_shard: Vec<ShardStats>,
 }

@@ -11,7 +11,7 @@ use macaw_mac::csma::{Csma, CsmaConfig};
 use macaw_mac::frames::{Addr, StreamId, Timing};
 use macaw_mac::wmac::WMac;
 use macaw_phy::{
-    DenseMedium, LinkWindow, Medium, Point, Propagation, PropagationConfig, StationId,
+    DenseMedium, LinkWindow, Medium, MediumStats, Point, Propagation, PropagationConfig, StationId,
 };
 use macaw_sim::{SimDuration, SimRng, SimTime};
 use macaw_traffic::{Cbr, Poisson, TrafficSource};
@@ -729,6 +729,30 @@ impl Scenario {
         Ok(net.report(end))
     }
 
+    /// [`Scenario::run_with`] that also returns the medium's side-channel
+    /// operation counters ([`MediumStats`]). The report is byte-for-byte
+    /// what `run_with` produces — the counters ride outside it so the
+    /// bitwise-identity contracts (dense vs sparse, serial vs sharded,
+    /// cache fingerprints) are untouched by instrumentation.
+    pub fn run_with_medium_stats<M: Medium>(
+        self,
+        duration: SimDuration,
+        warmup: SimDuration,
+    ) -> Result<(RunReport, MediumStats), SimError> {
+        if warmup >= duration {
+            return Err(SimError::InvalidScenario(
+                "warmup must end before the run does".to_string(),
+            ));
+        }
+        let mut net = self.build_with_queue::<M, macaw_sim::LadderFel>()?;
+        let warmup_end = SimTime::ZERO + warmup;
+        let end = SimTime::ZERO + duration;
+        net.set_warmup(warmup_end);
+        net.run_until(end)?;
+        let medium = net.medium().medium_stats();
+        Ok((net.report(end), medium))
+    }
+
     /// Run the scenario **sharded**: decompose it into coupling islands
     /// (see [`crate::partition`]), assign whole islands to `shards` OS
     /// threads, run each shard as an independent event loop, and merge the
@@ -837,7 +861,7 @@ impl Scenario {
 
         let warmup_end = SimTime::ZERO + warmup;
         let end = SimTime::ZERO + duration;
-        type ShardOutcome = Result<(RunReport, (u64, u64), u64, f64), SimError>;
+        type ShardOutcome = Result<(RunReport, (u64, u64), u64, f64, MediumStats), SimError>;
         let results: Vec<ShardOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = shard_scs
                 .into_iter()
@@ -850,7 +874,8 @@ impl Scenario {
                         let report = net.report(end);
                         let air = net.air_totals_ns();
                         let events = net.events_processed();
-                        Ok((report, air, events, t0.elapsed().as_secs_f64()))
+                        let medium = net.medium().medium_stats();
+                        Ok((report, air, events, t0.elapsed().as_secs_f64(), medium))
                     })
                 })
                 .collect();
@@ -863,11 +888,13 @@ impl Scenario {
         let mut walls = Vec::with_capacity(n_shards);
         let mut events = Vec::with_capacity(n_shards);
         let (mut data_ns, mut air_ns, mut total_events) = (0u64, 0u64, 0u64);
+        let mut medium = MediumStats::default();
         for r in results {
-            let (rep, (d, a), ev, wall) = r?;
+            let (rep, (d, a), ev, wall, med) = r?;
             data_ns += d;
             air_ns += a;
             total_events += ev;
+            medium.merge(med);
             events.push(ev);
             walls.push(wall);
             reports.push(rep);
@@ -945,6 +972,7 @@ impl Scenario {
             largest_island: sizes.iter().copied().max().unwrap_or(0),
             epochs: 1,
             barrier_wait_share,
+            medium,
             per_shard,
         };
         Ok((report, stats))

@@ -97,7 +97,12 @@ pub struct Backoff {
     /// Per-peer state, directly indexed by the peer's station index.
     /// Station indices are small and dense, so a vector beats any hash map
     /// on this per-frame path; absent peers are `None`.
-    peers: Vec<Option<Peer>>,
+    /// Per-peer learned state, keyed by the peer's station index and kept
+    /// ascending. A station only ever exchanges with its radio
+    /// neighborhood, so a sorted vec stays O(neighbors); a dense
+    /// station-indexed table would cost O(stations) memory *per station*
+    /// (quadratic fleet-wide) and realloc-churn on every new high index.
+    peers: Vec<(usize, Peer)>,
 }
 
 impl Backoff {
@@ -120,21 +125,35 @@ impl Backoff {
             panic!("per-destination backoff is undefined for multicast")
         };
         let (min, my) = (self.min, self.my);
-        if idx >= self.peers.len() {
-            self.peers.resize_with(idx + 1, || None);
-        }
-        self.peers[idx].get_or_insert_with(|| Peer {
-            remote: None,
-            local: my.max(min),
-            esn_out: 0,
-            esn_in: None,
-            retry_in: 1,
-        })
+        let at = match self.peers.binary_search_by_key(&idx, |e| e.0) {
+            Ok(at) => at,
+            Err(at) => {
+                self.peers.insert(
+                    at,
+                    (
+                        idx,
+                        Peer {
+                            remote: None,
+                            local: my.max(min),
+                            esn_out: 0,
+                            esn_in: None,
+                            retry_in: 1,
+                        },
+                    ),
+                );
+                at
+            }
+        };
+        &mut self.peers[at].1
     }
 
     fn peer_ro(&self, addr: Addr) -> Option<&Peer> {
         match addr {
-            Addr::Unicast(idx) => self.peers.get(idx).and_then(|p| p.as_ref()),
+            Addr::Unicast(idx) => self
+                .peers
+                .binary_search_by_key(&idx, |e| e.0)
+                .ok()
+                .map(|at| &self.peers[at].1),
             Addr::Multicast(_) => None,
         }
     }
@@ -272,8 +291,8 @@ impl Backoff {
     /// retransmissions forever.
     pub fn forget_peer(&mut self, addr: Addr) {
         if let Addr::Unicast(idx) = addr {
-            if let Some(slot) = self.peers.get_mut(idx) {
-                *slot = None;
+            if let Ok(at) = self.peers.binary_search_by_key(&idx, |e| e.0) {
+                self.peers.remove(at);
             }
         }
     }
@@ -287,12 +306,8 @@ impl Backoff {
     pub fn snapshot(&self) -> BackoffSnapshot {
         BackoffSnapshot {
             my: self.my,
-            peers: self
-                .peers
-                .iter()
-                .enumerate()
-                .filter_map(|(i, p)| p.map(|p| (i, p)))
-                .collect(),
+            // Already keyed ascending by peer index with only live entries.
+            peers: self.peers.clone(),
         }
     }
 
@@ -411,7 +426,7 @@ impl std::fmt::Debug for Backoff {
             .field("algo", &self.algo)
             .field("sharing", &self.sharing)
             .field("my", &self.my)
-            .field("peers", &self.peers.iter().flatten().count())
+            .field("peers", &self.peers.len())
             .finish()
     }
 }

@@ -159,9 +159,10 @@ pub struct WMac {
     /// exchanges from two streams to the same peer interleave, and a
     /// retransmission of the older exchange must still be recognized as a
     /// duplicate or the packet is delivered twice.
-    /// Directly indexed by the peer's station index (small and dense);
-    /// stations we have never ACKed hold an empty deque.
-    acked: Vec<VecDeque<u64>>,
+    /// Keyed by the peer's station index, kept ascending and sparse —
+    /// stations we have never ACKed have no entry (a dense station-indexed
+    /// table would grow to O(stations) per station at fleet scale).
+    acked: Vec<(usize, VecDeque<u64>)>,
     /// In NACK mode (no link ACK): the most recent packet presumed
     /// delivered, kept so a returning NACK can resurrect it.
     nack_cache: Option<Packet>,
@@ -565,8 +566,8 @@ impl WMac {
             if let Addr::Unicast(src_idx) = peer {
                 if self
                     .acked
-                    .get(src_idx)
-                    .is_some_and(|recent| recent.contains(&esn))
+                    .binary_search_by_key(&src_idx, |e| e.0)
+                    .is_ok_and(|at| self.acked[at].1.contains(&esn))
                     && matches!(self.state, State::Idle | State::Contend { .. })
                 {
                     ctx.clear_timer();
@@ -673,10 +674,14 @@ impl WMac {
         ctx.deliver_up(frame.src, sdu);
         if self.cfg.use_ack {
             if let Addr::Unicast(src_idx) = frame.src {
-                if src_idx >= self.acked.len() {
-                    self.acked.resize_with(src_idx + 1, VecDeque::new);
-                }
-                let recent = &mut self.acked[src_idx];
+                let at = match self.acked.binary_search_by_key(&src_idx, |e| e.0) {
+                    Ok(at) => at,
+                    Err(at) => {
+                        self.acked.insert(at, (src_idx, VecDeque::new()));
+                        at
+                    }
+                };
+                let recent = &mut self.acked[at].1;
                 recent.push_back(frame.backoff.esn);
                 // Bound the memory: interleaving depth is limited by the
                 // retry budget, so a short window suffices.
@@ -1047,9 +1052,8 @@ impl MacSnapshot for WMac {
             acked: self
                 .acked
                 .iter()
-                .enumerate()
                 .filter(|(_, w)| !w.is_empty())
-                .map(|(i, w)| (i, w.clone()))
+                .cloned()
                 .collect(),
             nack_cache: self.nack_cache,
             groups: self.groups.clone(),

@@ -23,10 +23,10 @@
 
 use std::ops::Deref;
 
-use macaw_sim::{SimDuration, SimTime};
+use macaw_sim::{FastHashMap, SimDuration, SimTime};
 
 use crate::geometry::Point;
-use crate::medium::{Delivery, Medium, StationId, TxId};
+use crate::medium::{Delivery, Medium, MediumStats, StationId, TxId};
 use crate::propagation::Propagation;
 use crate::sparse::SparseMedium;
 use macaw_sim::SimRng;
@@ -91,6 +91,11 @@ pub fn corrupt_deliveries(
 pub struct ChaosMedium<M: Medium = SparseMedium> {
     inner: M,
     windows: Vec<LinkWindow>,
+    /// Window indices grouped by source station, in installation order —
+    /// `end_tx` consults only the ended transmission's own source's
+    /// windows, O(windows-per-source) instead of O(windows). Lookup-only
+    /// (never iterated), so hash order cannot leak into results.
+    win_by_src: FastHashMap<usize, Vec<usize>>,
 }
 
 impl<M: Medium> ChaosMedium<M> {
@@ -99,6 +104,7 @@ impl<M: Medium> ChaosMedium<M> {
         ChaosMedium {
             inner,
             windows: Vec::new(),
+            win_by_src: FastHashMap::default(),
         }
     }
 
@@ -115,6 +121,10 @@ impl<M: Medium> ChaosMedium<M> {
     /// Install a corruption window. Windows are independent; overlapping
     /// windows on the same link are harmless.
     pub fn add_corruption_window(&mut self, window: LinkWindow) {
+        self.win_by_src
+            .entry(window.src.0)
+            .or_default()
+            .push(self.windows.len());
         self.windows.push(window);
     }
 
@@ -176,7 +186,8 @@ impl<M: Medium> ChaosMedium<M> {
     /// See [`Medium::end_tx_into`]; additionally applies any corruption
     /// window covering the transmission's air interval.
     pub fn end_tx_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Delivery>) {
-        // Attribution must be captured before the inner call retires `tx`.
+        // Attribution must be captured before the inner call retires `tx`
+        // (both lookups are O(1) id→slot map hits on the sparse medium).
         let origin = if self.windows.is_empty() {
             None
         } else {
@@ -184,7 +195,24 @@ impl<M: Medium> ChaosMedium<M> {
         };
         self.inner.end_tx_into(tx, now, out);
         if let Some((source, start)) = origin {
-            corrupt_deliveries(&self.windows, source, start, now, out);
+            // Same rule as `corrupt_deliveries`, restricted to this
+            // source's windows — the `w.src != source` filter is what the
+            // index precomputed. Corruption only clears flags, so applying
+            // the windows in installation order (as stored) is exact.
+            if let Some(idxs) = self.win_by_src.get(&source.0) {
+                for &wi in idxs {
+                    let w = self.windows[wi];
+                    debug_assert_eq!(w.src, source);
+                    if !w.hits(start, now) {
+                        continue;
+                    }
+                    for d in out.iter_mut() {
+                        if d.station == w.dst {
+                            d.clean = false;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -288,6 +316,10 @@ impl<M: Medium> Medium for ChaosMedium<M> {
     fn memory_footprint(&self) -> usize {
         self.inner.memory_footprint()
             + self.windows.capacity() * std::mem::size_of::<LinkWindow>()
+    }
+
+    fn medium_stats(&self) -> MediumStats {
+        self.inner.medium_stats()
     }
 }
 

@@ -51,7 +51,7 @@
 //! mid-fidelity oracle in the sparse medium's equivalence tests and as the
 //! baseline the `scale` bench measures its speedup against.
 
-use macaw_sim::{SimRng, SimTime};
+use macaw_sim::{FastHashMap, SimRng, SimTime};
 
 use crate::geometry::{cube_center, Point};
 use crate::medium::{Delivery, Medium, StationId, TxId};
@@ -70,10 +70,11 @@ struct StationEntry {
     tx_power: f64,
 }
 
+/// One entry in the ordered active list, which defines fold order. The
+/// start time lives in the `live` map (the list is never searched by time).
 struct ActiveTx {
     id: TxId,
     source: StationId,
-    start: SimTime,
 }
 
 struct Reception {
@@ -96,6 +97,12 @@ pub struct DenseMedium {
     prop: Propagation,
     stations: Vec<StationEntry>,
     active: Vec<ActiveTx>,
+    /// `TxId` raw → `(source, start)` for in-flight transmissions: O(1)
+    /// `tx_source`/`tx_start`/reception-recheck lookups instead of a linear
+    /// `active` scan (the same id→slot map pattern as the sparse slab; the
+    /// ordered `active` list itself stays, it defines fold order). Lookup
+    /// only, never iterated.
+    live: FastHashMap<u64, (StationId, SimTime)>,
     receptions: Vec<Reception>,
     noise: Vec<NoiseSource>,
     rng: SimRng,
@@ -131,6 +138,7 @@ impl Medium for DenseMedium {
             prop,
             stations: Vec::new(),
             active: Vec::new(),
+            live: FastHashMap::default(),
             receptions: Vec::new(),
             noise: Vec::new(),
             rng,
@@ -406,11 +414,8 @@ impl Medium for DenseMedium {
             }
         }
 
-        self.active.push(ActiveTx {
-            id,
-            source,
-            start: now,
-        });
+        self.active.push(ActiveTx { id, source });
+        self.live.insert(id.0, (source, now));
 
         // The new signal may drown existing receptions elsewhere. The new
         // transmission is already in `active`, so `interference_at` sees it.
@@ -477,6 +482,7 @@ impl Medium for DenseMedium {
         // (matching the reference medium), so fold order at any station is
         // independent of when transmissions outside its neighborhood end.
         self.active.remove(idx);
+        self.live.remove(&tx.0);
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
 
@@ -520,11 +526,11 @@ impl Medium for DenseMedium {
     }
 
     fn tx_start(&self, tx: TxId) -> Option<SimTime> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+        self.live.get(&tx.0).map(|&(_, start)| start)
     }
 
     fn tx_source(&self, tx: TxId) -> Option<StationId> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
+        self.live.get(&tx.0).map(|&(source, _)| source)
     }
 
     fn memory_footprint(&self) -> usize {
@@ -638,7 +644,7 @@ impl DenseMedium {
                 continue;
             }
             let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
-            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+            let Some(&(src, _)) = self.live.get(&tx.0) else {
                 continue;
             };
             let signal =

@@ -39,6 +39,6 @@ pub mod sparse;
 pub use chaos::{corrupt_deliveries, ChaosMedium, LinkWindow};
 pub use dense::DenseMedium;
 pub use geometry::{cube_center, Point};
-pub use medium::{Delivery, Medium, StationId, TxId};
+pub use medium::{Delivery, Medium, MediumStats, StationId, TxId};
 pub use propagation::{CutoffMode, Propagation, PropagationConfig};
 pub use sparse::SparseMedium;

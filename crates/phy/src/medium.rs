@@ -62,6 +62,52 @@ impl TxId {
     }
 }
 
+/// Medium-layer operation counters, reported on the side (never inside a
+/// `RunReport`, whose bitwise identity across engines and builds is load
+/// bearing — see `macaw-core`'s report plumbing). The perf and scale
+/// binaries print these to attribute wall time to the medium vs the FEL vs
+/// the MAC machines.
+///
+/// Implementations that don't track counters return the all-zero default.
+/// [`SparseMedium`](crate::sparse::SparseMedium) tracks all fields; the
+/// chaos wrapper delegates to its inner medium. Under the sharded engine
+/// the per-shard counters are summed, so totals stay comparable (each
+/// shard replays its islands' exact serial schedule).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MediumStats {
+    /// Transmissions started.
+    pub start_tx_ops: u64,
+    /// Transmissions ended (deliveries produced).
+    pub end_tx_ops: u64,
+    /// Restricted neighborhood folds performed (refolds after end_tx /
+    /// mobility / drown checks).
+    pub folds: u64,
+    /// Active fold terms visited across all restricted folds — the real
+    /// per-event medium cost. Flat terms-per-end_tx across N is the slab
+    /// design working; growth with N means an O(active) scan crept back.
+    pub fold_terms: u64,
+    /// Peak concurrently active transmissions (slab high-water mark).
+    pub slab_high_water: u64,
+    /// Slab slots ever allocated (`high_water` bounds it; the free list
+    /// recycles the rest).
+    pub slab_slots: u64,
+}
+
+impl MediumStats {
+    /// Fold another medium's counters into this one. The sharded engine
+    /// builds one medium per shard: operation and fold counters sum, the
+    /// slab high-water takes the per-medium max (each shard's slab is its
+    /// own allocation), and `slab_slots` sums into a total footprint.
+    pub fn merge(&mut self, o: MediumStats) {
+        self.start_tx_ops += o.start_tx_ops;
+        self.end_tx_ops += o.end_tx_ops;
+        self.folds += o.folds;
+        self.fold_terms += o.fold_terms;
+        self.slab_high_water = self.slab_high_water.max(o.slab_high_water);
+        self.slab_slots += o.slab_slots;
+    }
+}
+
 /// Verdict for one station at the end of a transmission.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Delivery {
@@ -197,6 +243,13 @@ pub trait Medium {
     /// (geometry caches, neighbor tables, running sums). The `scale` bench
     /// reports this to show O(N·k) sparse growth against O(N²) dense.
     fn memory_footprint(&self) -> usize;
+
+    /// Side-channel operation counters (see [`MediumStats`]). The default
+    /// is the all-zero struct; implementations without counters need not
+    /// override it.
+    fn medium_stats(&self) -> MediumStats {
+        MediumStats::default()
+    }
 }
 
 /// The medium contract test suite, instantiated per implementation.
@@ -589,6 +642,62 @@ macro_rules! medium_contract_tests {
             let b = m.add_station(Point::new(8.0, 0.0, 0.0));
             assert_eq!(m.hears(a, b), m.hears(b, a));
             assert!(m.hears(a, b));
+        }
+
+        /// End_tx-heavy churn: interleaved out-of-order starts and ends
+        /// across clustered cells with mid-flight mobility. Debug builds
+        /// assert every restricted fold against the full reference fold on
+        /// every operation, so this schedule stresses admission-order
+        /// preservation through arbitrary removal patterns (the slab's
+        /// free-list recycling in the sparse medium, the ordered removal in
+        /// the dense one).
+        #[test]
+        fn interleaved_churn_keeps_folds_consistent() {
+            let mut m = mk(14);
+            let mut ids = Vec::new();
+            for i in 0..24usize {
+                let cluster = (i / 6) as f64 * 14.0;
+                let off = (i % 6) as f64 * 2.0;
+                ids.push(m.add_station(Point::new(cluster + off, 0.0, 0.0)));
+            }
+            // A fixed LCG drives the schedule so every implementation sees
+            // the identical operation sequence.
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            let mut next = move |bound: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % bound
+            };
+            let mut in_flight: Vec<crate::medium::TxId> = Vec::new();
+            let mut clock = 0u64;
+            for _ in 0..600 {
+                clock += 37;
+                let r = next(10);
+                if r < 4 && in_flight.len() < ids.len() / 2 {
+                    let mut k = next(ids.len() as u64) as usize;
+                    while m.is_transmitting(ids[k]) {
+                        k = (k + 1) % ids.len();
+                    }
+                    in_flight.push(m.start_tx(ids[k], t(clock)));
+                } else if r < 8 && !in_flight.is_empty() {
+                    let at = next(in_flight.len() as u64) as usize;
+                    let tx = in_flight.remove(at);
+                    let _ = m.end_tx(tx, t(clock));
+                } else {
+                    // Mobility — including mid-flight moves of an active
+                    // transmitter, the heaviest refold path.
+                    let k = next(ids.len() as u64) as usize;
+                    let x = next(60) as f64;
+                    m.set_position(ids[k], Point::new(x, 1.0, 0.0));
+                }
+                assert_eq!(m.active_count(), in_flight.len());
+            }
+            for tx in in_flight {
+                clock += 1;
+                let _ = m.end_tx(tx, t(clock));
+            }
+            assert_eq!(m.active_count(), 0);
         }
     };
 }

@@ -35,17 +35,32 @@
 //! refold stations whose *nonzero* fold terms changed membership or order,
 //! because all other stations' folds are term-for-term bit-identical.
 //!
+//! # The stamp-ordered active slab
+//!
+//! Active transmissions live in a **free-list slab**, not an ordered list:
+//! `start_tx` fills a recycled (or fresh) slot in O(1), `end_tx` vacates it
+//! in O(1) — no shifting, no global position renumbering — and an id→slot
+//! map answers every `tx` lookup in O(1). Each entry carries a monotone
+//! **admission stamp**; because the reference's active list is append-only
+//! with in-place removal, its fold order *is* admission order, so a
+//! restricted fold reproduces the reference's exact term sequence by
+//! sorting its O(k) local subset by stamp. Slot indices carry no ordering
+//! meaning at all: a slot freed mid-schedule and recycled by a younger
+//! transmission folds last (largest stamp) even though its slot index is
+//! smallest. This is what makes per-event cost a function of the radio
+//! neighborhood only, never of the global active count.
+//!
 //! Per-operation refold sets (station counts, not matrix rows):
 //!
 //! * `start_tx` appends one fold term — add the contribution to the running
-//!   sums of the transmitter and its neighbors (append preserves the fold).
-//! * `end_tx` removes its active entry *in place* (the list stays in
-//!   transmission-start order), deleting one term — refold around the ended
-//!   source only. The ordered removal also makes every fold a function of
-//!   the station's own radio neighborhood: the active sub-sequence visible
-//!   at a station never depends on when unrelated transmissions elsewhere
-//!   end, which is what lets the sharded run in `macaw-core` reproduce the
-//!   serial trajectory island by island.
+//!   sums of the transmitter and its neighbors (append preserves the fold,
+//!   and a fresh stamp is by construction the largest).
+//! * `end_tx` vacates the slot, deleting one term — refold around the ended
+//!   source only. Stamp order makes every fold a function of the station's
+//!   own radio neighborhood: the active sub-sequence visible at a station
+//!   never depends on when unrelated transmissions elsewhere end, which is
+//!   what lets the sharded run in `macaw-core` reproduce the serial
+//!   trajectory island by island.
 //! * `set_position` changes terms involving the mover only — refold the
 //!   mover, plus its old and new neighborhoods if it is mid-transmission.
 //! * `set_tx_power` / `set_link_gain` scale one source's terms — refold its
@@ -67,10 +82,10 @@
 //! [`CutoffMode::Physical`]: crate::propagation::CutoffMode::Physical
 //! [`BucketGrid`]: macaw_sim::BucketGrid
 
-use macaw_sim::{BucketGrid, SimRng, SimTime};
+use macaw_sim::{BucketGrid, FastHashMap, SimRng, SimTime};
 
 use crate::geometry::{cube_center, Point};
-use crate::medium::{Delivery, Medium, StationId, TxId};
+use crate::medium::{Delivery, Medium, MediumStats, StationId, TxId};
 use crate::propagation::{CutoffMode, Propagation};
 
 struct StationEntry {
@@ -80,14 +95,19 @@ struct StationEntry {
     tx_power: f64,
 }
 
+/// One occupied slab slot. `stamp` is the admission stamp — strictly
+/// increasing in `start_tx` order — that restricted folds sort by to
+/// reproduce the reference medium's append-only active-list fold order.
 struct ActiveTx {
     id: TxId,
     source: StationId,
     start: SimTime,
+    stamp: u64,
 }
 
+/// One open reception, stored in its transmission's per-slot list (the
+/// owning `TxId` is implied by the slot), ascending by `rx`.
 struct Reception {
-    tx: TxId,
     rx: StationId,
     signal: f64,
     clean: bool,
@@ -120,8 +140,33 @@ pub struct SparseMedium {
     /// Grid cell edge in feet (the reception radius, rounded up).
     cell_edge: i64,
     stations: Vec<StationEntry>,
-    active: Vec<ActiveTx>,
-    receptions: Vec<Reception>,
+    /// The active-transmission slab: `None` slots are free (chained through
+    /// `free`), occupied slots hold stamp-carrying entries. Never iterated
+    /// on a hot path — restricted folds reach it through `active_slot` and
+    /// `slot_of`.
+    slab: Vec<Option<ActiveTx>>,
+    /// Free-slot stack (LIFO). `start_tx` pops, `end_tx` pushes: O(1) both
+    /// ways, and the slab never grows past the high-water active count.
+    free: Vec<usize>,
+    /// `TxId` raw → slab slot, for O(1) `end_tx`/`tx_start`/`tx_source`
+    /// lookups. Only ever *looked up*, never iterated, so hash-order
+    /// nondeterminism cannot leak into results.
+    slot_of: FastHashMap<u64, usize>,
+    /// Live entries in `slab` (it has holes; `slab.len()` overcounts).
+    active_len: usize,
+    /// Next admission stamp (provably equal to `next_tx`, but kept separate
+    /// so fold correctness never silently couples to TxId allocation).
+    next_stamp: u64,
+    /// Open receptions of each active transmission, indexed by slab slot
+    /// (parallel to `slab`) and ascending by `rx` (opened in `audible`
+    /// order, which is ascending). `end_tx` takes the whole list in O(k);
+    /// no global reception vector exists to scan or compact.
+    rx_of: Vec<Vec<Reception>>,
+    /// Slab slots with an open reception *at* each station — the per-rx
+    /// side of the dual index. `start_tx`'s half-duplex and drown passes
+    /// visit only `recs_at[rx]` for the stations they can affect, so their
+    /// cost tracks the local neighborhood, not the global active count.
+    recs_at: Vec<Vec<u32>>,
     noise: Vec<NoiseSource>,
     rng: SimRng,
     next_tx: u64,
@@ -148,13 +193,13 @@ pub struct SparseMedium {
     /// Reusable candidate buffers (no steady-state allocation).
     scratch_a: Vec<usize>,
     scratch_b: Vec<usize>,
-    /// Each station's index in `active` (`usize::MAX` while idle), so a
-    /// refold can enumerate the nearby active transmissions in list order
-    /// without scanning the whole list.
-    active_pos: Vec<usize>,
-    /// Reusable `(active index, source, int_gain)` buffer for
-    /// [`Self::fold_incident_fast`].
-    scratch_fold: Vec<(usize, usize, f64)>,
+    /// Each station's slab slot (`usize::MAX` while idle), so a refold can
+    /// enumerate the nearby active transmissions without scanning anything
+    /// global; their fold order comes from the slots' stamps.
+    active_slot: Vec<usize>,
+    /// Reusable `(stamp, source, int_gain)` buffer for
+    /// [`Self::fold_incident_fast`] and [`Self::interference_at_fast`].
+    scratch_fold: Vec<(u64, usize, f64)>,
     /// Stamp-marked scatter of one station's neighbor list: `mark[b]`
     /// holds `(mark_stamp, int_gain, gain)` when `b` was a neighbor of the
     /// last stamped station — an O(1) replacement for the `nbrs` binary
@@ -165,6 +210,10 @@ pub struct SparseMedium {
     /// lets a refold skip idle neighborhoods and stop its neighbor scan
     /// as soon as every active one has been found.
     near_count: Vec<u32>,
+    /// Side-channel operation counters (updated through a `Cell` so the
+    /// `&self` query paths can count too). Reported by
+    /// [`Medium::medium_stats`]; never part of a `RunReport`.
+    stats: std::cell::Cell<MediumStats>,
 }
 
 impl Medium for SparseMedium {
@@ -177,8 +226,13 @@ impl Medium for SparseMedium {
             physical,
             cell_edge,
             stations: Vec::new(),
-            active: Vec::new(),
-            receptions: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            slot_of: FastHashMap::default(),
+            active_len: 0,
+            next_stamp: 0,
+            rx_of: Vec::new(),
+            recs_at: Vec::new(),
             noise: Vec::new(),
             rng,
             next_tx: 0,
@@ -193,11 +247,12 @@ impl Medium for SparseMedium {
             max_link: 1.0,
             scratch_a: Vec::new(),
             scratch_b: Vec::new(),
-            active_pos: Vec::new(),
+            active_slot: Vec::new(),
             scratch_fold: Vec::new(),
             mark: Vec::new(),
             mark_stamp: 0,
             near_count: Vec::new(),
+            stats: std::cell::Cell::new(MediumStats::default()),
         }
     }
 
@@ -277,14 +332,17 @@ impl Medium for SparseMedium {
         self.ambient.push(0.0);
         self.rebuild_ambient_of(idx);
         self.incident.push(0.0);
-        self.incident[idx] = self.fold_incident(idx);
-        self.active_pos.push(usize::MAX);
+        self.active_slot.push(usize::MAX);
+        self.recs_at.push(Vec::new());
         self.mark.push((0, 0.0, 0.0));
         let near = self.nbrs[idx]
             .iter()
-            .filter(|n| self.active_pos[n.idx] != usize::MAX)
+            .filter(|n| self.active_slot[n.idx] != usize::MAX)
             .count() as u32;
         self.near_count.push(near);
+        let mut buf = std::mem::take(&mut self.scratch_fold);
+        self.incident[idx] = self.fold_incident_fast(idx, &mut buf);
+        self.scratch_fold = buf;
         id
     }
 
@@ -332,11 +390,12 @@ impl Medium for SparseMedium {
             Err(at) => list.insert(at, (dst.0, factor)),
         }
         self.max_link = self.max_link.max(factor);
-        if let Some(tx) = self.stations[src.0].transmitting {
-            for r in &mut self.receptions {
-                if r.tx == tx && r.rx == dst {
-                    r.clean = false;
-                }
+        if self.stations[src.0].transmitting.is_some() {
+            // Only `src`'s own in-flight transmission can have a reception
+            // at `dst` whose link factor just changed.
+            let slot = self.active_slot[src.0];
+            if let Ok(at) = self.rx_of[slot].binary_search_by_key(&dst.0, |r| r.rx.0) {
+                self.rx_of[slot][at].clean = false;
             }
         }
         // Only `dst`'s membership in `audible[src]` can have flipped.
@@ -356,7 +415,9 @@ impl Medium for SparseMedium {
         }
         if self.stations[src.0].transmitting.is_some() {
             // `src`'s fold term changed at `dst` and nowhere else.
-            self.incident[dst.0] = self.fold_incident(dst.0);
+            let mut buf = std::mem::take(&mut self.scratch_fold);
+            self.incident[dst.0] = self.fold_incident_fast(dst.0, &mut buf);
+            self.scratch_fold = buf;
         }
         self.recheck_all_receptions();
     }
@@ -394,8 +455,19 @@ impl Medium for SparseMedium {
         self.stations[moved].pos = cube_center(pos);
         let new_pos = self.stations[moved].pos;
         let moving_tx = self.stations[moved].transmitting;
-        for r in &mut self.receptions {
-            if r.rx == id || Some(r.tx) == moving_tx {
+        // Receptions *at* the mover (via its per-rx index) and receptions
+        // *of* the mover's own transmission (its per-slot list) go dirty;
+        // nothing else depends on the mover's position.
+        for ri in 0..self.recs_at[moved].len() {
+            let slot = self.recs_at[moved][ri] as usize;
+            let at = self.rx_of[slot]
+                .binary_search_by_key(&moved, |r| r.rx.0)
+                .expect("recs_at pointed at a slot without this reception");
+            self.rx_of[slot][at].clean = false;
+        }
+        if moving_tx.is_some() {
+            let slot = self.active_slot[moved];
+            for r in &mut self.rx_of[slot] {
                 r.clean = false;
             }
         }
@@ -466,7 +538,7 @@ impl Medium for SparseMedium {
         self.near_count[moved] = (moving_tx.is_some() as u32)
             + self.nbrs[moved]
                 .iter()
-                .filter(|n| self.active_pos[n.idx] != usize::MAX)
+                .filter(|n| self.active_slot[n.idx] != usize::MAX)
                 .count() as u32;
 
         // Audibility: the mover's own list, plus its membership in every
@@ -512,16 +584,18 @@ impl Medium for SparseMedium {
         // Fold terms changed only on pairs involving the mover: its own sum
         // always, and — if it is mid-transmission — the sums of its old and
         // new neighborhoods.
-        self.incident[moved] = self.fold_incident(moved);
+        let mut buf = std::mem::take(&mut self.scratch_fold);
+        self.incident[moved] = self.fold_incident_fast(moved, &mut buf);
         if moving_tx.is_some() {
             for &b in &old_nbrs {
-                self.incident[b] = self.fold_incident(b);
+                self.incident[b] = self.fold_incident_fast(b, &mut buf);
             }
             for i in 0..self.nbrs[moved].len() {
                 let b = self.nbrs[moved][i].idx;
-                self.incident[b] = self.fold_incident(b);
+                self.incident[b] = self.fold_incident_fast(b, &mut buf);
             }
         }
+        self.scratch_fold = buf;
         old_nbrs.clear();
         self.scratch_b = old_nbrs;
 
@@ -547,18 +621,20 @@ impl Medium for SparseMedium {
             );
             return self.incident[id.0] >= self.prop.threshold_power();
         }
-        let mut power = self.ambient[id.0];
-        for tx in &self.active {
-            if tx.source == id {
-                continue;
-            }
-            power += self.contribution(tx.source.0, id.0);
-        }
+        // Transmitting: the fold excludes the station's own term, so the
+        // running sum doesn't apply. The exclusion is exactly the
+        // `source == rx` rule of `interference_at`, with the station's own
+        // transmission as a (redundant) excluded id.
+        let own = self.stations[id.0]
+            .transmitting
+            .expect("checked transmitting above");
+        let mut near: Vec<(u64, usize, f64)> = Vec::with_capacity(self.near_count[id.0] as usize);
+        let power = self.interference_at_fast(id, own, &mut near);
         power >= self.prop.threshold_power()
     }
 
     fn active_count(&self) -> usize {
-        self.active.len()
+        self.active_len
     }
 
     fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
@@ -570,12 +646,49 @@ impl Medium for SparseMedium {
         self.next_tx += 1;
         self.stations[source.0].transmitting = Some(id);
 
-        self.active.push(ActiveTx {
+        // Admit into the slab: pop a recycled slot or grow by one. The
+        // fresh stamp is strictly larger than every live one, so the new
+        // entry folds last everywhere — exactly the reference's append.
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let entry = ActiveTx {
             id,
             source,
             start: now,
-        });
-        self.active_pos[source.0] = self.active.len() - 1;
+            stamp,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slab[s].is_none(), "free list pointed at a live slot");
+                self.slab[s] = Some(entry);
+                s
+            }
+            None => {
+                self.slab.push(Some(entry));
+                // The per-slot reception list grows in lockstep; recycled
+                // slots reuse the (cleared) list and its capacity.
+                self.rx_of.push(Vec::new());
+                self.slab.len() - 1
+            }
+        };
+        debug_assert!(self.rx_of[slot].is_empty(), "vacated slot kept receptions");
+        self.slot_of.insert(id.0, slot);
+        self.active_slot[source.0] = slot;
+        self.active_len += 1;
+
+        // The slab entry exists: bring `near_count` up to date *now* so the
+        // restricted folds in the drown pass below see a consistent view.
+        self.near_count[source.0] += 1;
+        for i in 0..self.nbrs[source.0].len() {
+            let n = self.nbrs[source.0][i].idx;
+            self.near_count[n] += 1;
+        }
+
+        let mut s = self.stats.get();
+        s.start_tx_ops += 1;
+        s.slab_high_water = s.slab_high_water.max(self.active_len as u64);
+        s.slab_slots = self.slab.len() as u64;
+        self.stats.set(s);
 
         // Stamp-scatter the transmitter's neighbor gains so the hot loops
         // below replace every `nbrs` binary search with one load (neighbor
@@ -588,35 +701,56 @@ impl Medium for SparseMedium {
             self.mark[n.idx] = (self.mark_stamp, n.int_gain, n.gain);
         }
 
-        // One pass over the in-flight receptions: half-duplex (anything
-        // addressed *to* the new transmitter is lost) and drowning (the new
-        // signal may push a nearby reception's interference over its
-        // threshold; `interference_at` already sees the pushed entry). The
-        // half-duplex kill never feeds the drown check — drowning skips
-        // `rx == source` — so fusing the reference's two passes is exact.
-        for i in 0..self.receptions.len() {
-            let rx = self.receptions[i].rx;
-            if rx == source {
-                self.receptions[i].clean = false;
+        // Half-duplex: anything addressed *to* the new transmitter is lost.
+        // `recs_at[source]` lists exactly the slots with an open reception
+        // at `source`, and each slot's list is ascending by `rx`, so every
+        // kill is one binary search — no global reception scan exists.
+        for ri in 0..self.recs_at[source.0].len() {
+            let slot = self.recs_at[source.0][ri] as usize;
+            let at = self.rx_of[slot]
+                .binary_search_by_key(&source.0, |r| r.rx.0)
+                .expect("recs_at pointed at a slot without this reception");
+            self.rx_of[slot][at].clean = false;
+        }
+
+        // Drowning: the new signal may push a nearby reception's
+        // interference over its threshold (the restricted fold already sees
+        // the admitted entry). The new term is nonzero only at `source`'s
+        // cutoff neighbors, so visiting `recs_at[b]` for each neighbor `b`
+        // covers every reception the old global pass could have flipped.
+        // The marks are idempotent and the folds never read `clean`, so
+        // visiting by neighbor instead of in global insertion order is
+        // exact; `rx == source` never appears (`nbrs` excludes self), which
+        // keeps the half-duplex kills out of the drown check.
+        let mut fold_buf = std::mem::take(&mut self.scratch_fold);
+        for ni in 0..self.nbrs[source.0].len() {
+            let nb = self.nbrs[source.0][ni];
+            let added = tx_power * self.link_of(source.0, nb.idx) * nb.int_gain;
+            debug_assert_eq!(added.to_bits(), self.contribution(source.0, nb.idx).to_bits());
+            if added <= 0.0 {
                 continue;
             }
-            if !self.receptions[i].clean {
-                continue;
-            }
-            let (stamp, int_gain, _) = self.mark[rx.0];
-            if stamp != self.mark_stamp {
-                continue;
-            }
-            let added = tx_power * self.link_of(source.0, rx.0) * int_gain;
-            debug_assert_eq!(added.to_bits(), self.contribution(source.0, rx.0).to_bits());
-            if added > 0.0 {
-                let interference = self.interference_at(rx, self.receptions[i].tx);
-                let signal = self.receptions[i].signal;
+            let rx = StationId(nb.idx);
+            for ri in 0..self.recs_at[nb.idx].len() {
+                let slot = self.recs_at[nb.idx][ri] as usize;
+                let at = self.rx_of[slot]
+                    .binary_search_by_key(&nb.idx, |r| r.rx.0)
+                    .expect("recs_at pointed at a slot without this reception");
+                if !self.rx_of[slot][at].clean {
+                    continue;
+                }
+                let of = self.slab[slot]
+                    .as_ref()
+                    .expect("recs_at pointed at a free slot")
+                    .id;
+                let interference = self.interference_at_fast(rx, of, &mut fold_buf);
+                let signal = self.rx_of[slot][at].signal;
                 if !self.prop.clean(signal, interference) {
-                    self.receptions[i].clean = false;
+                    self.rx_of[slot][at].clean = false;
                 }
             }
         }
+        self.scratch_fold = fold_buf;
 
         // Open a reception record at every station that can hear `source`.
         // `audible[source]` is exactly the set passing the reference's
@@ -645,64 +779,66 @@ impl Medium for SparseMedium {
                 let interference = self.incident[idx];
                 self.prop.clean(signal, interference)
             };
-            self.receptions.push(Reception {
-                tx: id,
-                rx,
-                signal,
-                clean,
-            });
+            self.rx_of[slot].push(Reception { rx, signal, clean });
+            self.recs_at[idx].push(slot as u32);
         }
 
         // Append the new fold term to the running sums. The term is nonzero
         // only at the transmitter itself and its cutoff neighbors; appending
         // an exactly-zero term anywhere else would change nothing.
+        // (`near_count` was already brought up to date at admission.)
         self.incident[source.0] += tx_power * self.self_gain;
-        self.near_count[source.0] += 1;
         for i in 0..self.nbrs[source.0].len() {
             let n = self.nbrs[source.0][i];
             self.incident[n.idx] += tx_power * self.link_of(source.0, n.idx) * n.int_gain;
-            self.near_count[n.idx] += 1;
         }
         id
     }
 
     fn end_tx_into(&mut self, tx: TxId, _now: SimTime, out: &mut Vec<Delivery>) {
-        let idx = self
-            .active
-            .iter()
-            .position(|t| t.id == tx)
+        let slot = self
+            .slot_of
+            .remove(&tx.0)
             .expect("end_tx: transmission not in flight");
-        let source = self.active[idx].source;
-        // Ordered removal: the list stays in transmission-start order, so
-        // every remaining fold keeps its exact term sequence and only the
-        // ended source's (nonzero) term disappears. Entries behind the gap
-        // shift left by one; their owners' `active_pos` follow.
-        self.active.remove(idx);
-        self.active_pos[source.0] = usize::MAX;
-        for p in idx..self.active.len() {
-            self.active_pos[self.active[p].source.0] = p;
-        }
+        let ended = self.slab[slot]
+            .take()
+            .expect("slot_of pointed at a free slot");
+        debug_assert_eq!(ended.id, tx);
+        let source = ended.source;
+        // O(1) vacate: the slot joins the free list and every *other* entry
+        // keeps its slot and its stamp, so every remaining fold keeps its
+        // exact term sequence — only the ended source's (nonzero) term
+        // disappears. No shifting, no renumbering, no O(active) anything.
+        self.free.push(slot);
+        self.active_slot[source.0] = usize::MAX;
+        self.active_len -= 1;
         debug_assert_eq!(self.stations[source.0].transmitting, Some(tx));
         self.stations[source.0].transmitting = None;
+        let mut s = self.stats.get();
+        s.end_tx_ops += 1;
+        self.stats.set(s);
 
-        // Extract this transmission's receptions and compact the rest in
-        // place, preserving their relative order.
+        // The ended transmission's receptions are exactly its per-slot
+        // list, already in the delivery order the oracles define (opened
+        // ascending, never reordered) — drain it in O(k) and unhook each
+        // receiver's index entry. Nobody else's receptions are touched.
+        let mut list = std::mem::take(&mut self.rx_of[slot]);
         out.clear();
-        let mut write = 0;
-        for read in 0..self.receptions.len() {
-            let r = &self.receptions[read];
-            if r.tx == tx {
-                out.push(Delivery {
-                    station: r.rx,
-                    clean: r.clean,
-                    signal: r.signal,
-                });
-            } else {
-                self.receptions.swap(write, read);
-                write += 1;
-            }
+        for r in &list {
+            out.push(Delivery {
+                station: r.rx,
+                clean: r.clean,
+                signal: r.signal,
+            });
+            let idx = &mut self.recs_at[r.rx.0];
+            let at = idx
+                .iter()
+                .position(|&s| s as usize == slot)
+                .expect("reception missing from its receiver's index");
+            idx.swap_remove(at);
         }
-        self.receptions.truncate(write);
+        list.clear();
+        self.rx_of[slot] = list;
         debug_assert!(out.windows(2).all(|w| w[0].station < w[1].station));
 
         self.near_count[source.0] -= 1;
@@ -731,11 +867,11 @@ impl Medium for SparseMedium {
     }
 
     fn tx_start(&self, tx: TxId) -> Option<SimTime> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.start)
+        self.entry_of(tx).map(|t| t.start)
     }
 
     fn tx_source(&self, tx: TxId) -> Option<StationId> {
-        self.active.iter().find(|t| t.id == tx).map(|t| t.source)
+        self.entry_of(tx).map(|t| t.source)
     }
 
     fn memory_footprint(&self) -> usize {
@@ -759,7 +895,26 @@ impl Medium for SparseMedium {
             * size_of::<Vec<usize>>();
         let flat = (self.ambient.capacity() + self.incident.capacity()) * size_of::<f64>()
             + self.stations.capacity() * size_of::<StationEntry>();
-        nbr_rows + aud_rows + link_rows + spines + flat + self.grid.memory_footprint()
+        let slab = self.slab.capacity() * size_of::<Option<ActiveTx>>()
+            + self.free.capacity() * size_of::<usize>()
+            + self.slot_of.capacity() * (size_of::<u64>() + 2 * size_of::<usize>());
+        let rec_rows: usize = self
+            .rx_of
+            .iter()
+            .map(|r| r.capacity() * size_of::<Reception>())
+            .sum::<usize>()
+            + self
+                .recs_at
+                .iter()
+                .map(|r| r.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + (self.rx_of.capacity() + self.recs_at.capacity()) * size_of::<Vec<usize>>();
+        nbr_rows + aud_rows + link_rows + spines + flat + slab + rec_rows
+            + self.grid.memory_footprint()
+    }
+
+    fn medium_stats(&self) -> MediumStats {
+        self.stats.get()
     }
 }
 
@@ -841,12 +996,32 @@ impl SparseMedium {
         }
     }
 
+    /// The slab entry for an in-flight transmission, if any.
+    fn entry_of(&self, tx: TxId) -> Option<&ActiveTx> {
+        let &slot = self.slot_of.get(&tx.0)?;
+        let t = self.slab[slot].as_ref().expect("slot_of pointed at a free slot");
+        debug_assert_eq!(t.id, tx);
+        Some(t)
+    }
+
+    /// The occupied slab entries in stamp (= admission) order — the exact
+    /// order the reference medium's append-only active list folds in. This
+    /// is the O(slab) *reference* walk: production paths never call it, but
+    /// every restricted fold is debug-asserted against it, and the oracle
+    /// tests lean on those asserts.
+    fn active_in_stamp_order(&self) -> Vec<&ActiveTx> {
+        let mut live: Vec<&ActiveTx> = self.slab.iter().flatten().collect();
+        live.sort_unstable_by_key(|t| t.stamp);
+        live
+    }
+
     /// Summed interference power at station `rx` from all active
     /// transmissions except `except`, plus spatial noise — the reference's
-    /// exact left-to-right fold over the active list.
+    /// exact left-to-right fold, replayed over the slab in stamp order.
+    /// Debug-assert oracle for [`Self::interference_at_fast`].
     fn interference_at(&self, rx: StationId, except: TxId) -> f64 {
         let mut power = self.ambient[rx.0];
-        for t in &self.active {
+        for t in self.active_in_stamp_order() {
             if t.id == except || t.source == rx {
                 continue;
             }
@@ -856,10 +1031,11 @@ impl SparseMedium {
     }
 
     /// The reference fold for `incident[b]`: ambient noise plus every
-    /// active transmission in list order.
+    /// active transmission in stamp order. Debug-assert oracle for
+    /// [`Self::fold_incident_fast`].
     fn fold_incident(&self, b: usize) -> f64 {
         let mut power = self.ambient[b];
-        for t in &self.active {
+        for t in self.active_in_stamp_order() {
             power += self.contribution(t.source.0, b);
         }
         power
@@ -867,22 +1043,29 @@ impl SparseMedium {
 
     /// [`Self::fold_incident`] restricted to the active transmissions whose
     /// term at `b` can be nonzero — `b` itself and its cutoff neighbors —
-    /// visited in active-list order via `active_pos`. Every skipped term is
-    /// exactly `+0.0` and the running sum is never `-0.0` (ambient folds
-    /// seed with `+0.0`), so adding the skipped terms would change no bits:
-    /// the result is identical to the full fold, in O(k log k) instead of
-    /// O(A·log k).
-    fn fold_incident_fast(&self, b: usize, near: &mut Vec<(usize, usize, f64)>) -> f64 {
+    /// ordered by their admission stamps. Every skipped term is exactly
+    /// `+0.0` and the running sum is never `-0.0` (ambient folds seed with
+    /// `+0.0`), so adding the skipped terms would change no bits: the
+    /// result is identical to the full fold, in O(k log k) with k the
+    /// *local* active count — the global active count never appears.
+    fn fold_incident_fast(&self, b: usize, near: &mut Vec<(u64, usize, f64)>) -> f64 {
         near.clear();
         let mut remaining = self.near_count[b];
-        if self.active_pos[b] != usize::MAX {
-            near.push((self.active_pos[b], b, self.self_gain));
+        if self.active_slot[b] != usize::MAX {
+            let t = self.slab[self.active_slot[b]]
+                .as_ref()
+                .expect("active_slot pointed at a free slot");
+            near.push((t.stamp, b, self.self_gain));
             remaining -= 1;
         }
         if remaining > 0 {
             for n in &self.nbrs[b] {
-                if self.active_pos[n.idx] != usize::MAX {
-                    near.push((self.active_pos[n.idx], n.idx, n.int_gain));
+                let slot = self.active_slot[n.idx];
+                if slot != usize::MAX {
+                    let t = self.slab[slot]
+                        .as_ref()
+                        .expect("active_slot pointed at a free slot");
+                    near.push((t.stamp, n.idx, n.int_gain));
                     remaining -= 1;
                     if remaining == 0 {
                         break;
@@ -890,8 +1073,8 @@ impl SparseMedium {
                 }
             }
         }
-        debug_assert_eq!(remaining, 0, "near_count diverged from active_pos");
-        near.sort_unstable_by_key(|&(pos, _, _)| pos);
+        debug_assert_eq!(remaining, 0, "near_count diverged from active_slot");
+        near.sort_unstable_by_key(|&(stamp, _, _)| stamp);
         let mut power = self.ambient[b];
         for &(_, s, int_gain) in near.iter() {
             // The same product `contribution` computes, with the gain taken
@@ -909,13 +1092,72 @@ impl SparseMedium {
             self.fold_incident(b).to_bits(),
             "restricted fold diverged from the full reference fold"
         );
+        let mut st = self.stats.get();
+        st.folds += 1;
+        st.fold_terms += near.len() as u64;
+        self.stats.set(st);
+        power
+    }
+
+    /// [`Self::interference_at`] restricted the same way: active stations
+    /// in `{rx} ∪ nbrs[rx]`, minus `rx`'s own term and `except`, folded in
+    /// stamp order. Any excluded-or-distant transmission's term at `rx` is
+    /// exactly `+0.0`, so the restriction is bit-exact (asserted below).
+    fn interference_at_fast(
+        &self,
+        rx: StationId,
+        except: TxId,
+        near: &mut Vec<(u64, usize, f64)>,
+    ) -> f64 {
+        let b = rx.0;
+        near.clear();
+        let mut remaining = self.near_count[b];
+        // `rx` transmitting counts toward `near_count` but its term is
+        // excluded by the `source == rx` rule.
+        if self.active_slot[b] != usize::MAX {
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            for n in &self.nbrs[b] {
+                let slot = self.active_slot[n.idx];
+                if slot != usize::MAX {
+                    let t = self.slab[slot]
+                        .as_ref()
+                        .expect("active_slot pointed at a free slot");
+                    if t.id != except {
+                        near.push((t.stamp, n.idx, n.int_gain));
+                    }
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0, "near_count diverged from active_slot");
+        near.sort_unstable_by_key(|&(stamp, _, _)| stamp);
+        let mut power = self.ambient[b];
+        for &(_, s, int_gain) in near.iter() {
+            let term = self.stations[s].tx_power * self.link_of(s, b) * int_gain;
+            debug_assert_eq!(term.to_bits(), self.contribution(s, b).to_bits());
+            power += term;
+        }
+        debug_assert_eq!(
+            power.to_bits(),
+            self.interference_at(rx, except).to_bits(),
+            "restricted exclusion fold diverged from the full reference fold"
+        );
+        let mut st = self.stats.get();
+        st.folds += 1;
+        st.fold_terms += near.len() as u64;
+        self.stats.set(st);
         power
     }
 
     /// Refold the running sums of `s` and every station in its cutoff ball
     /// — the only stations where `s`'s fold term is nonzero.
     fn refold_around(&mut self, s: usize) {
-        let mut near: Vec<(usize, usize, f64)> = std::mem::take(&mut self.scratch_fold);
+        let mut near: Vec<(u64, usize, f64)> = std::mem::take(&mut self.scratch_fold);
         self.incident[s] = self.fold_incident_fast(s, &mut near);
         for i in 0..self.nbrs[s].len() {
             let b = self.nbrs[s][i].idx;
@@ -942,11 +1184,13 @@ impl SparseMedium {
     /// or lost an exactly-zero term).
     fn refresh_noise_neighborhood(&mut self, pos: Point) {
         let mut cands = std::mem::take(&mut self.scratch_a);
+        let mut buf = std::mem::take(&mut self.scratch_fold);
         self.collect_candidates(pos, 1, &mut cands);
         for &b in &cands {
             self.rebuild_ambient_of(b);
-            self.incident[b] = self.fold_incident(b);
+            self.incident[b] = self.fold_incident_fast(b, &mut buf);
         }
+        self.scratch_fold = buf;
         self.scratch_a = cands;
     }
 
@@ -979,23 +1223,27 @@ impl SparseMedium {
     /// Re-validate every in-flight reception against the current geometry
     /// and interference (used after mobility / noise changes).
     fn recheck_all_receptions(&mut self) {
-        for i in 0..self.receptions.len() {
-            if !self.receptions[i].clean {
-                continue;
-            }
-            let (tx, rx) = (self.receptions[i].tx, self.receptions[i].rx);
-            let Some(src) = self.active.iter().find(|t| t.id == tx).map(|t| t.source) else {
+        let mut buf = std::mem::take(&mut self.scratch_fold);
+        for slot in 0..self.slab.len() {
+            let Some((tx, src)) = self.slab[slot].as_ref().map(|e| (e.id, e.source)) else {
                 continue;
             };
-            let signal = self.stations[src.0].tx_power
-                * self.link_of(src.0, rx.0)
-                * self.gain_of(src.0, rx.0);
-            self.receptions[i].signal = signal;
-            let interference = self.interference_at(rx, tx);
-            if !self.prop.clean(signal, interference) {
-                self.receptions[i].clean = false;
+            for i in 0..self.rx_of[slot].len() {
+                if !self.rx_of[slot][i].clean {
+                    continue;
+                }
+                let rx = self.rx_of[slot][i].rx;
+                let signal = self.stations[src.0].tx_power
+                    * self.link_of(src.0, rx.0)
+                    * self.gain_of(src.0, rx.0);
+                self.rx_of[slot][i].signal = signal;
+                let interference = self.interference_at_fast(rx, tx, &mut buf);
+                if !self.prop.clean(signal, interference) {
+                    self.rx_of[slot][i].clean = false;
+                }
             }
         }
+        self.scratch_fold = buf;
     }
 }
 
@@ -1098,6 +1346,45 @@ mod sparse_tests {
         assert!(m.fold_incident(b.0) > before, "the r^-γ tail must be felt");
         let _ = m.end_tx(tx, t(10));
         let _ = a;
+    }
+
+    /// Free-list regression: a slot vacated mid-schedule and recycled by a
+    /// younger transmission must fold *last* (largest stamp) even though
+    /// its slot index is the smallest — slot order means nothing, stamp
+    /// order is the fold order.
+    #[test]
+    fn recycled_slot_keeps_stamp_order() {
+        let mut m = mk(6);
+        // Four stations in one cell: every fold sees every transmission.
+        let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+        let b = m.add_station(Point::new(2.0, 0.0, 0.0));
+        let c = m.add_station(Point::new(4.0, 0.0, 0.0));
+        let d = m.add_station(Point::new(6.0, 0.0, 0.0));
+        let ta = m.start_tx(a, t(0));
+        let tb = m.start_tx(b, t(1));
+        let _ = m.end_tx(ta, t(2)); // frees a's slot while b flies on
+        let tc = m.start_tx(c, t(3)); // recycles it with a younger stamp
+        assert_eq!(m.active_slot[a.0], usize::MAX);
+        assert_eq!(m.active_slot[c.0], 0, "the freed slot must be recycled");
+        assert_eq!(m.active_slot[b.0], 1);
+        let mut buf = Vec::new();
+        assert_eq!(
+            m.fold_incident_fast(d.0, &mut buf).to_bits(),
+            m.fold_incident(d.0).to_bits()
+        );
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].1, b.0, "older stamp folds first");
+        assert_eq!(buf[1].1, c.0, "the recycled slot folds last");
+        assert!(buf[0].0 < buf[1].0, "stamps must order the fold");
+        let _ = m.end_tx(tb, t(4));
+        let _ = m.end_tx(tc, t(5));
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.slab.len(), 2, "the slab never grows past high water");
+        assert_eq!(m.free.len(), 2);
+        let stats = m.medium_stats();
+        assert_eq!(stats.slab_high_water, 2);
+        assert_eq!(stats.start_tx_ops, 3);
+        assert_eq!(stats.end_tx_ops, 3);
     }
 
     /// Mobility across many cells keeps grid and neighbor lists symmetric.

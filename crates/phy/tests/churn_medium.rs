@@ -1,0 +1,197 @@
+//! End_tx-heavy churn schedules: the stamp-ordered slab must stay
+//! bit-identical to the dense and reference oracles through arbitrary
+//! start/end interleavings — including the free-list regime the randomized
+//! oracle suite rarely reaches, where most `end_tx` calls vacate a slot in
+//! the *middle* of the admission order and a later `start_tx` recycles it
+//! while older transmissions fly on.
+//!
+//! The schedules are driven by a fixed LCG (not proptest) so the big
+//! variants stay deterministic and cheap to rerun; sizes scale up in
+//! release builds (`scripts/verify.sh` runs this suite with `--release`)
+//! where the dense oracle can afford thousands of concurrent flights.
+
+use macaw_phy::reference::ReferenceMedium;
+use macaw_phy::{DenseMedium, Medium, Point, Propagation, PropagationConfig, SparseMedium, StationId, TxId};
+use macaw_sim::{SimDuration, SimRng, SimTime};
+
+/// Deterministic schedule driver (splitmix-style LCG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+/// Clustered floor: `clusters` cells of `per` stations each, cells spaced
+/// far beyond the cutoff so the sparse medium's neighborhoods stay small
+/// while the global active count grows without bound.
+fn cluster_points(clusters: usize, per: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(clusters * per);
+    for c in 0..clusters {
+        let cx = (c % 64) as f64 * 40.0;
+        let cy = (c / 64) as f64 * 40.0;
+        for s in 0..per {
+            pts.push(Point::new(cx + (s % 3) as f64 * 3.0, cy + (s / 3) as f64 * 3.0, 0.0));
+        }
+    }
+    pts
+}
+
+/// Assert two deliveries vectors are bitwise identical (station, clean,
+/// and the exact f64 signal bits).
+fn assert_deliveries(
+    a: &[macaw_phy::Delivery],
+    b: &[macaw_phy::Delivery],
+    what: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{what}: delivery count diverged");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.station, y.station, "{what}: station diverged");
+        assert_eq!(x.clean, y.clean, "{what}: clean flag diverged");
+        assert_eq!(
+            x.signal.to_bits(),
+            y.signal.to_bits(),
+            "{what}: signal bits diverged"
+        );
+    }
+}
+
+/// Lockstep churn over two media: ramp up to `target_live` concurrent
+/// flights, then run `churn_ops` interleaved starts / out-of-order ends /
+/// mid-flight moves, then drain. Every end's deliveries are compared
+/// bitwise; carrier sense is sampled each round.
+fn churn_pair<A: Medium, B: Medium>(seed: u64, clusters: usize, per: usize, churn_ops: usize) {
+    let prop = Propagation::new(PropagationConfig::default());
+    let mut fast = A::new(prop, SimRng::new(seed));
+    let mut slow = B::new(prop, SimRng::new(seed));
+    let pts = cluster_points(clusters, per);
+    let ids: Vec<StationId> = pts
+        .iter()
+        .map(|&p| {
+            let f = fast.add_station(p);
+            let s = slow.add_station(p);
+            assert_eq!(f, s);
+            f
+        })
+        .collect();
+    // A little per-packet noise exercises RNG-stream lockstep.
+    for &id in ids.iter().step_by(7) {
+        fast.set_rx_error_rate(id, 0.05);
+        slow.set_rx_error_rate(id, 0.05);
+    }
+
+    let mut rng = Lcg(seed ^ 0xC0FFEE);
+    let mut live: Vec<TxId> = Vec::new();
+    let mut clock = 0u64;
+    let target_live = clusters * (per - 1);
+
+    // Ramp: key up all but one station per cluster.
+    for c in 0..clusters {
+        for s in 0..per - 1 {
+            clock += 3;
+            let id = ids[c * per + s];
+            let tf = fast.start_tx(id, t(clock));
+            let ts = slow.start_tx(id, t(clock));
+            assert_eq!(tf, ts);
+            live.push(tf);
+        }
+    }
+    assert_eq!(fast.active_count(), target_live);
+    assert_eq!(slow.active_count(), target_live);
+
+    let mut buf_f = Vec::new();
+    let mut buf_s = Vec::new();
+    for _ in 0..churn_ops {
+        clock += 11;
+        let r = rng.next(100);
+        if r < 42 && !live.is_empty() {
+            // Out-of-order end: vacate a random admission-order position.
+            let at = rng.next(live.len() as u64) as usize;
+            let tx = live.swap_remove(at);
+            fast.end_tx_into(tx, t(clock), &mut buf_f);
+            slow.end_tx_into(tx, t(clock), &mut buf_s);
+            assert_deliveries(&buf_f, &buf_s, "churn end");
+        } else if r < 84 {
+            // Start an idle station (recycles a freed slab slot, if any).
+            let mut k = rng.next(ids.len() as u64) as usize;
+            let mut hops = 0;
+            while fast.is_transmitting(ids[k]) {
+                k = (k + 1) % ids.len();
+                hops += 1;
+                if hops > ids.len() {
+                    break;
+                }
+            }
+            if !fast.is_transmitting(ids[k]) {
+                let tf = fast.start_tx(ids[k], t(clock));
+                let ts = slow.start_tx(ids[k], t(clock));
+                assert_eq!(tf, ts);
+                live.push(tf);
+            }
+        } else {
+            // Mobility mid-flight: hop a station (transmitting or not) to a
+            // fresh spot in a random cluster.
+            let k = rng.next(ids.len() as u64) as usize;
+            let c = rng.next(clusters as u64) as f64;
+            let jx = rng.next(9) as f64;
+            let jy = rng.next(9) as f64;
+            let p = Point::new(
+                (c as usize % 64) as f64 * 40.0 + jx,
+                (c as usize / 64) as f64 * 40.0 + jy,
+                0.0,
+            );
+            fast.set_position(ids[k], p);
+            slow.set_position(ids[k], p);
+        }
+        // Sampled query-surface check.
+        let probe = ids[rng.next(ids.len() as u64) as usize];
+        assert_eq!(fast.carrier_busy(probe), slow.carrier_busy(probe));
+        assert_eq!(fast.active_count(), slow.active_count());
+    }
+
+    // Drain in a scrambled order: every remaining slot is vacated
+    // out-of-admission-order.
+    while !live.is_empty() {
+        let pick = rng.next(live.len() as u64) as usize;
+        let tx = live.swap_remove(pick);
+        clock += 5;
+        fast.end_tx_into(tx, t(clock), &mut buf_f);
+        slow.end_tx_into(tx, t(clock), &mut buf_s);
+        assert_deliveries(&buf_f, &buf_s, "drain end");
+    }
+    assert_eq!(fast.active_count(), 0);
+    assert_eq!(slow.active_count(), 0);
+}
+
+/// Three-way bitwise agreement on a small, dense-enough floor where the
+/// naive reference is affordable: sparse == reference and dense ==
+/// reference on the same schedule.
+#[test]
+fn churn_small_three_way() {
+    churn_pair::<SparseMedium, ReferenceMedium>(0xA5A5, 8, 6, 900);
+    churn_pair::<DenseMedium, ReferenceMedium>(0xA5A5, 8, 6, 900);
+}
+
+/// The slab's reason to exist: a floor with a large global active count
+/// and small neighborhoods. Debug builds run a few hundred concurrent
+/// flights (the dense oracle's O(N·active) end_tx is the budget);
+/// `verify.sh` reruns this suite in release where the schedule holds
+/// thousands of flights concurrently in the air.
+#[test]
+fn churn_thousands_concurrent_sparse_vs_dense() {
+    let (clusters, ops) = if cfg!(debug_assertions) {
+        (64, 1200) // 384 stations, ~320 concurrent
+    } else {
+        (256, 4000) // 1536 stations, ~1280 concurrent; thousands of flights
+    };
+    churn_pair::<SparseMedium, DenseMedium>(0xBEEF, clusters, 6, ops);
+}

@@ -35,6 +35,12 @@ cargo run --release -p macaw-bench --bin faults -- --smoke
 echo "== scale smoke (serial vs 4-shard bitwise identity) =="
 cargo run --release -p macaw-bench --bin scale -- --quick --shards 4
 
+echo "== per-event-cost guard (flat medium cost across N) =="
+cargo run --release -p macaw-bench --bin scale -- --smoke
+
+echo "== medium churn suite (slab vs oracles under end_tx-heavy schedules) =="
+cargo test -q --release -p macaw-phy --test churn_medium
+
 echo "== sharded-engine invariance suite =="
 cargo test -q --release -p macaw-bench --test sharding
 
