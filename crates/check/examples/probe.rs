@@ -1,0 +1,93 @@
+//! Ad-hoc calibration probe for the 5-station matrix rows: run a reduced
+//! check and a budgeted oracle check on one row and print both.
+//!
+//!   cargo run --release -p macaw-check --example probe -- <topo> <fault> <budget> [depth]
+
+use macaw_check::{check, CheckConfig, Expectation, FaultClass, Topology};
+use macaw_mac::{Addr, MacConfig, WMac};
+use std::time::Instant;
+
+fn macaw_cfg() -> MacConfig {
+    let mut cfg = MacConfig::macaw();
+    cfg.max_retries = std::env::var("PROBE_RETRIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    cfg.bo_max = std::env::var("PROBE_BO_MAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let topo = match args[0].as_str() {
+        "mirrored_chain" => Topology::mirrored_chain(),
+        "mirrored_chain_burst" => Topology::mirrored_chain_burst(),
+        "contended_cell" => Topology::contended_cell(),
+        "hidden_star" => Topology::hidden_star(),
+        "exposed_contenders" => Topology::exposed_contenders(),
+        "ring" => Topology::ring(),
+        "twin_cells" => Topology::twin_cells(),
+        "triple_cells" => Topology::triple_cells(),
+        "twin_contended" => Topology::twin_contended(),
+        "quad_cells" => Topology::quad_cells(),
+        "quint_cells" => Topology::pair_cells(5),
+        "sext_cells" => Topology::pair_cells(6),
+        other => panic!("unknown topology {other}"),
+    };
+    let budget: u8 = args[2].parse().unwrap();
+    let fault = match args[1].as_str() {
+        "none" => FaultClass::None,
+        "loss" => FaultClass::Loss { budget },
+        "noise" => FaultClass::Noise { budget },
+        "blind" => FaultClass::CarrierBlind { budget },
+        other => panic!("unknown fault {other}"),
+    };
+    let max_depth: u32 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(96);
+
+    let mut cfg = CheckConfig::new(fault, Expectation::ResolveAll);
+    cfg.max_depth = max_depth;
+    cfg.reduce = true;
+    let t = Instant::now();
+    let red = check("macaw", &topo, &cfg, |i| {
+        WMac::new(Addr::Unicast(i), macaw_cfg())
+    });
+    let red_secs = t.elapsed().as_secs_f64();
+    println!(
+        "reduced: {} states, {} dedup, {} sleep_skips, depth {}, complete={} ok={} in {:.2}s",
+        red.stats.states_explored,
+        red.stats.dedup_hits,
+        red.stats.sleep_skips,
+        red.stats.max_depth_reached,
+        red.complete,
+        red.ok(),
+        red_secs
+    );
+
+    let mut ocfg = CheckConfig::new(fault, Expectation::ResolveAll);
+    ocfg.max_depth = max_depth;
+    ocfg.state_budget = Some(
+        std::env::var("PROBE_BUDGET")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000_000),
+    );
+    let t = Instant::now();
+    let or = check("macaw", &topo, &ocfg, |i| {
+        WMac::new(Addr::Unicast(i), macaw_cfg())
+    });
+    let or_secs = t.elapsed().as_secs_f64();
+    println!(
+        "oracle:  {} states, {} dedup, depth {}, complete={} exhausted={} ok={} in {:.2}s ({:.0} states/s)",
+        or.stats.states_explored,
+        or.stats.dedup_hits,
+        or.stats.max_depth_reached,
+        or.complete,
+        or.exhausted,
+        or.ok(),
+        or_secs,
+        or.stats.states_explored as f64 / or_secs.max(1e-9)
+    );
+}

@@ -30,13 +30,24 @@
 //!
 //! Everything is deterministic: same seed, same topology, same fault class
 //! → the same number of states explored, bit for bit.
+//!
+//! Three sound reductions ([`CheckConfig::reduce`]) scale the same search
+//! to 5-station topologies and fault budget 2: sleep-set partial-order
+//! reduction over [`World::independent`], symmetry quotienting over the
+//! topology's declared station-permutation group ([`SymPerm`]), and
+//! reception-order (Foata) filtering. [`check_fan`] additionally splits
+//! the frontier at a fixed depth and fans subtrees out over a
+//! caller-supplied executor, merging deterministically so reports are
+//! bitwise identical for any worker count. The unreduced serial explorer
+//! is kept bit-for-bit intact as the validation oracle.
 
 pub mod explore;
 pub mod topology;
 pub mod world;
 
 pub use explore::{
-    check, CheckConfig, CheckReport, CheckStats, Expectation, TraceStep, Violation, ViolationKind,
+    check, check_fan, CheckConfig, CheckReport, CheckStats, Expectation, SubtreeOut, TraceStep,
+    Violation, ViolationKind,
 };
-pub use topology::Topology;
+pub use topology::{SymPerm, Topology};
 pub use world::{CanonState, FaultClass, World, WorldEvent};

@@ -34,12 +34,12 @@
 use macaw_mac::context::MacFeedback;
 use macaw_mac::harness::Action;
 use macaw_mac::{
-    Addr, Frame, MacInvariantViolation, MacProtocol, MacSdu, MacSnapshot, Oracle, Stimulus,
-    StreamId, Timing,
+    Addr, Frame, MacInvariantViolation, MacProtocol, MacSdu, MacSnapshot, Oracle, Relabeling,
+    Stimulus, StreamId, Timing,
 };
 use macaw_sim::{SimDuration, SimTime, TieBand};
 
-use crate::topology::Topology;
+use crate::topology::{SymPerm, Topology};
 
 /// The bounded fault adversary active during exploration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,8 +71,8 @@ impl FaultClass {
 
 /// One transition of the world, fully determined: which deadline fired and
 /// every adversary choice attached to it. Doubles as the trace alphabet of
-/// counterexamples.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// counterexamples. `Ord` gives sleep sets a deterministic sorted form.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum WorldEvent {
     /// Station `station`'s MAC timer fires. With `blind`, the adversary
     /// spends one budget point making its carrier-sense query report idle.
@@ -86,6 +86,45 @@ pub enum WorldEvent {
         lost: Vec<usize>,
         noise: bool,
     },
+}
+
+impl WorldEvent {
+    /// Rewrite every station index through `p`, producing the event the
+    /// relabeled world would take. `order` is an ordered delivery sequence
+    /// and keeps its order; `lost` is a set and is re-sorted.
+    pub fn relabel(&self, p: &SymPerm) -> WorldEvent {
+        match self {
+            WorldEvent::Fire { station, blind } => WorldEvent::Fire {
+                station: p.station[*station],
+                blind: *blind,
+            },
+            WorldEvent::FlightEnd {
+                src,
+                order,
+                lost,
+                noise,
+            } => {
+                let mut lost: Vec<usize> = lost.iter().map(|&r| p.station[r]).collect();
+                lost.sort_unstable();
+                WorldEvent::FlightEnd {
+                    src: p.station[*src],
+                    order: order.iter().map(|&r| p.station[r]).collect(),
+                    lost,
+                    noise: *noise,
+                }
+            }
+        }
+    }
+
+    /// `true` iff this event spends adversary budget. Two budget-spending
+    /// events are never independent: the shared budget couples their
+    /// enabledness.
+    pub fn spends_budget(&self) -> bool {
+        match self {
+            WorldEvent::Fire { blind, .. } => *blind,
+            WorldEvent::FlightEnd { lost, noise, .. } => *noise || !lost.is_empty(),
+        }
+    }
 }
 
 /// A transmission on the air.
@@ -107,7 +146,7 @@ struct Flight {
 /// makes deduplication and on-path cycle detection sound. Monotone
 /// progress counters also make the livelock check self-contained: any
 /// on-path revisit *is* a cycle without progress.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CanonState<S> {
     stations: Vec<(S, Option<SimDuration>, u64)>,
     flights: Vec<(usize, Frame, SimDuration, Vec<bool>)>,
@@ -127,6 +166,11 @@ pub struct World<P: MacProtocol + MacSnapshot> {
     fault: FaultClass,
     budget: u8,
     flights: Vec<Flight>,
+    /// Per-station hearing-closure bitmask: station `s`, everyone who
+    /// hears `s` and everyone `s` hears. Any interaction between two
+    /// events passes through a station in both closures, so events with
+    /// disjoint closure footprints commute (see [`World::independent`]).
+    closure: Vec<u64>,
     /// Packets handed to senders at injection.
     pub offered: u32,
     /// `deliver_up` calls observed at receivers.
@@ -138,14 +182,31 @@ pub struct World<P: MacProtocol + MacSnapshot> {
 
 impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
     /// Build a world over `topo` with one station per node, seeding each
-    /// station's RNG stream from `seed` and its index.
+    /// station's RNG stream from `seed` and its symmetry orbit
+    /// ([`Topology::seed_class`]). Symmetric stations share a seed — the
+    /// RNG digest is part of the canonical state, so orbit-identical seeds
+    /// are what make the declared permutations true automorphisms. With no
+    /// declared symmetry the classes are the station indices and the
+    /// seeding is the historical per-station scheme, bit for bit.
     pub fn new(topo: Topology, fault: FaultClass, band: TieBand, seed: u64, make: impl Fn(usize) -> P) -> Self {
         let stations = (0..topo.n)
             .map(|i| {
                 Oracle::new(
                     make(i),
-                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    seed ^ (topo.seed_class[i] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 )
+            })
+            .collect();
+        debug_assert!(topo.n <= 64, "closure footprints are u64 bitmasks");
+        let closure: Vec<u64> = (0..topo.n)
+            .map(|s| {
+                let mut m = 1u64 << s;
+                for r in 0..topo.n {
+                    if topo.hears[s][r] || topo.hears[r][s] {
+                        m |= 1 << r;
+                    }
+                }
+                m
             })
             .collect();
         World {
@@ -157,6 +218,7 @@ impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
             fault,
             budget: fault.budget(),
             flights: Vec::new(),
+            closure,
             offered: 0,
             delivered: 0,
             resolved: 0,
@@ -270,6 +332,21 @@ impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
     /// for each deadline in the current [`TieBand`], one event per
     /// adversary choice attached to it. Empty iff the world is quiescent.
     pub fn choices(&self) -> Vec<WorldEvent> {
+        self.choices_in(false)
+    }
+
+    /// [`World::choices`] with the reception-order reduction: delivery
+    /// orders of one flight are filtered to Foata normal forms — orders
+    /// with no adjacent descending pair of mutually-inaudible receivers.
+    /// Two receivers that cannot hear each other react to the same frame
+    /// without interacting (neither's reaction reaches the other, carrier
+    /// included), so every order is equivalent to the kept ascending
+    /// representative of its commutation class.
+    pub fn choices_reduced(&self) -> Vec<WorldEvent> {
+        self.choices_in(true)
+    }
+
+    fn choices_in(&self, reduce: bool) -> Vec<WorldEvent> {
         enum Tag {
             Timer(usize),
             Flight(usize),
@@ -322,6 +399,9 @@ impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
                         let surviving: Vec<usize> =
                             clean.iter().copied().filter(|r| !lost.contains(r)).collect();
                         for order in permutations(&surviving) {
+                            if reduce && !self.foata_minimal(&order) {
+                                continue;
+                            }
                             out.push(WorldEvent::FlightEnd {
                                 src: f.src,
                                 order,
@@ -445,8 +525,24 @@ impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
         None
     }
 
-    /// Canonical state for deduplication and cycle detection.
+    /// Canonical state for deduplication and cycle detection. Flights are
+    /// sorted by transmitter (unique per flight), so two worlds whose
+    /// flight *sets* are equal but were keyed up in different orders — the
+    /// residue of commuted event orders — canonicalize equal.
     pub fn canon(&self) -> CanonState<P::Snap> {
+        let mut flights: Vec<(usize, Frame, SimDuration, Vec<bool>)> = self
+            .flights
+            .iter()
+            .map(|f| {
+                (
+                    f.src,
+                    f.frame,
+                    f.ends.saturating_since(self.clock),
+                    f.dirty.clone(),
+                )
+            })
+            .collect();
+        flights.sort_by_key(|(src, ..)| *src);
         CanonState {
             stations: self
                 .stations
@@ -459,22 +555,132 @@ impl<P: MacProtocol + MacSnapshot + Clone> World<P> {
                     )
                 })
                 .collect(),
-            flights: self
-                .flights
-                .iter()
-                .map(|f| {
-                    (
-                        f.src,
-                        f.frame,
-                        f.ends.saturating_since(self.clock),
-                        f.dirty.clone(),
-                    )
-                })
-                .collect(),
+            flights,
             budget: self.budget,
             delivered: self.delivered,
             resolved: self.resolved,
         }
+    }
+
+    /// Symmetry-reduced canonical state: the lexicographically-least image
+    /// of [`World::canon`] under the topology's symmetry group, plus the
+    /// index of the minimizing permutation (the explorer relabels sleep
+    /// sets through it so they live in the same canonical label space).
+    /// With the identity-only group this is exactly `canon()`.
+    pub fn canon_min(&self) -> (CanonState<P::Snap>, usize) {
+        let base = self.canon();
+        if self.topo.sym.len() <= 1 {
+            return (base, 0);
+        }
+        let mut best: Option<(CanonState<P::Snap>, usize)> = None;
+        for (pi, p) in self.topo.sym.iter().enumerate() {
+            let cand = self.relabel_canon(&base, p);
+            match &best {
+                Some((b, _)) if *b <= cand => {}
+                _ => best = Some((cand, pi)),
+            }
+        }
+        best.expect("symmetry group is non-empty")
+    }
+
+    /// Rewrite a canonical state through one symmetry: station tuples move
+    /// to their images (snapshots internally relabeled — peer tables
+    /// re-sorted by the MAC's own `relabel`), flight dirty vectors are
+    /// permuted, and flights re-sorted by their new transmitter. Applied
+    /// to every orbit candidate, identity included, so the per-snapshot
+    /// normalizations compare consistently.
+    fn relabel_canon(&self, c: &CanonState<P::Snap>, p: &SymPerm) -> CanonState<P::Snap> {
+        let map = Relabeling {
+            station: &p.station,
+            stream: &p.stream,
+        };
+        type StationTuple<S> = (S, Option<SimDuration>, u64);
+        let mut stations: Vec<(usize, StationTuple<P::Snap>)> = c
+            .stations
+            .iter()
+            .enumerate()
+            .map(|(i, (s, t, d))| (p.station[i], (P::relabel(s, &map), *t, *d)))
+            .collect();
+        stations.sort_by_key(|(i, _)| *i);
+        let mut flights: Vec<(usize, Frame, SimDuration, Vec<bool>)> = c
+            .flights
+            .iter()
+            .map(|(src, frame, ends, dirty)| {
+                let mut nd = vec![false; dirty.len()];
+                for (r, d) in dirty.iter().enumerate() {
+                    nd[p.station[r]] = *d;
+                }
+                (p.station[*src], map.frame(frame), *ends, nd)
+            })
+            .collect();
+        flights.sort_by_key(|(src, ..)| *src);
+        CanonState {
+            stations: stations.into_iter().map(|(_, v)| v).collect(),
+            flights,
+            budget: c.budget,
+            delivered: c.delivered,
+            resolved: c.resolved,
+        }
+    }
+
+    /// The instant `ev` fires (its deadline; both events of an independent
+    /// pair must share it exactly, or the later-first order would make the
+    /// earlier event fire "late" and shift every timer it arms).
+    pub fn event_deadline(&self, ev: &WorldEvent) -> SimTime {
+        match ev {
+            WorldEvent::Fire { station, .. } => self.stations[*station]
+                .timer_deadline()
+                .expect("deadline of a Fire for a station with no armed timer"),
+            WorldEvent::FlightEnd { src, .. } => {
+                self.flights
+                    .iter()
+                    .find(|f| f.src == *src)
+                    .expect("deadline of a FlightEnd for an idle station")
+                    .ends
+            }
+        }
+    }
+
+    /// Hearing-closure footprint of `ev`: the stations whose state the
+    /// event can read or write, directly or through a reaction it
+    /// triggers. A `Fire` acts at its station and radiates at most one
+    /// hop; a `FlightEnd` steps the transmitter and every delivered
+    /// receiver, each of which may key up its own radio.
+    pub fn footprint(&self, ev: &WorldEvent) -> u64 {
+        match ev {
+            WorldEvent::Fire { station, .. } => self.closure[*station],
+            WorldEvent::FlightEnd { src, order, .. } => order
+                .iter()
+                .fold(self.closure[*src], |m, &r| m | self.closure[r]),
+        }
+    }
+
+    /// Conditional independence of two enabled events: they commute
+    /// exactly — either order reaches the same state and preserves the
+    /// other's enabledness — iff their closure footprints are disjoint,
+    /// their deadlines coincide, and they do not both spend adversary
+    /// budget. Any physical interaction (overlap dirtying, carrier sense,
+    /// half-duplex, a reception racing a reaction) passes through a
+    /// station that hears or is heard by both acting stations, which the
+    /// closure masks then share.
+    pub fn independent(&self, a: &WorldEvent, b: &WorldEvent) -> bool {
+        if a.spends_budget() && b.spends_budget() {
+            return false;
+        }
+        if self.event_deadline(a) != self.event_deadline(b) {
+            return false;
+        }
+        self.footprint(a) & self.footprint(b) == 0
+    }
+
+    /// Reception-order reduction predicate: keep `order` iff no adjacent
+    /// pair is descending *and* mutually inaudible. Each commutation class
+    /// of delivery orders keeps exactly its ascending-sorted
+    /// representatives.
+    fn foata_minimal(&self, order: &[usize]) -> bool {
+        order.windows(2).all(|w| {
+            w[0] < w[1] || self.topo.hears[w[0]][w[1]] || self.topo.hears[w[1]][w[0]]
+        })
     }
 }
 

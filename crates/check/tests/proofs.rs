@@ -201,6 +201,55 @@ fn every_protocol_fails_cleanly_on_an_asymmetric_link() {
     assert_proved(&check_csma(topo, cfg));
 }
 
+// ---------------------------------------------------------------------
+// Five-station theorems. These spaces are out of reach for the plain
+// explorer at test-suite budgets; the reduced explorer (sleep-set partial
+// order + declared symmetry + reception-order filtering, proven sound
+// against the oracle in `tests/reduction.rs`) proves them in milliseconds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn macaw_delivers_on_mirrored_chains_despite_any_single_loss() {
+    // Two disjoint two-station cells plus a relay-adjacent fifth station:
+    // the declared mirror symmetry halves the space, and every
+    // interleaving with one lost frame still delivers everything.
+    let mut cfg = CheckConfig::new(FaultClass::Loss { budget: 1 }, Expectation::DeliverAll);
+    cfg.max_depth = 96;
+    let report = check_macaw(Topology::mirrored_chain(), cfg.reduced());
+    assert_proved(&report);
+}
+
+#[test]
+fn macaw_resolves_a_five_station_contended_cell() {
+    // Four senders contending for one receiver: delivery is probabilistic
+    // (as with hidden terminals), but every interleaving resolves cleanly.
+    let mut cfg = CheckConfig::new(FaultClass::None, Expectation::ResolveAll);
+    cfg.max_depth = 96;
+    let report = check_macaw(Topology::contended_cell(), cfg.reduced());
+    assert_proved(&report);
+}
+
+#[test]
+fn macaw_resolves_a_ring_of_contenders() {
+    // A 5-cycle where every station both sends and receives; the rotation
+    // group C5 quotients the space.
+    let mut cfg = CheckConfig::new(FaultClass::None, Expectation::ResolveAll);
+    cfg.max_depth = 96;
+    let report = check_macaw(Topology::ring(), cfg.reduced());
+    assert_proved(&report);
+}
+
+#[test]
+fn macaw_resolves_parallel_cells_under_a_double_fault() {
+    // Three mutually-deaf two-station cells, two faults to spend: the
+    // oracle pays the cross-cell tie factorial and the fault-placement
+    // product; sleep sets and the cell-permutation symmetry collapse both.
+    let mut cfg = CheckConfig::new(FaultClass::Loss { budget: 2 }, Expectation::ResolveAll);
+    cfg.max_depth = 96;
+    let report = check_macaw(Topology::triple_cells(), cfg.reduced());
+    assert_proved(&report);
+}
+
 #[test]
 fn exploration_is_deterministic() {
     let mut cfg = CheckConfig::new(FaultClass::Loss { budget: 1 }, Expectation::DeliverAll);

@@ -8,7 +8,9 @@
 
 use macaw_check::{check, CheckConfig, Expectation, FaultClass, Topology, ViolationKind, WorldEvent};
 use macaw_mac::context::{MacContext, MacResult};
-use macaw_mac::{Addr, Frame, MacConfig, MacProtocol, MacSdu, MacSnapshot, WMac, WMacSnapshot};
+use macaw_mac::{
+    Addr, Frame, MacConfig, MacProtocol, MacSdu, MacSnapshot, Relabeling, WMac, WMacSnapshot,
+};
 use macaw_sim::SimTime;
 
 /// MACAW with its WfCts timeout arm suppressed: the timer is consumed but
@@ -60,6 +62,10 @@ impl MacSnapshot for NoWfCtsTimeout {
 
     fn transmitting(&self) -> bool {
         self.0.transmitting()
+    }
+
+    fn relabel(snap: &WMacSnapshot, map: &Relabeling<'_>) -> WMacSnapshot {
+        WMac::relabel(snap, map)
     }
 }
 

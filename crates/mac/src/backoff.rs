@@ -66,7 +66,7 @@ pub enum BackoffSharing {
 }
 
 /// Per-peer state for the per-destination scheme (Appendix B.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 struct Peer {
     /// "Q's backoff": our estimate of the congestion at the peer's end.
     /// `None` is the paper's `I_DONT_KNOW`.
@@ -414,10 +414,25 @@ impl Backoff {
 /// Canonical snapshot of a [`Backoff`]'s learned state (see
 /// [`Backoff::snapshot`]). Opaque: used only for equality, hashing and
 /// counterexample printing by state-space explorers.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BackoffSnapshot {
     my: u32,
     peers: Vec<(usize, Peer)>,
+}
+
+impl BackoffSnapshot {
+    /// Rewrite the peer-index keys through a station permutation and
+    /// restore the ascending-key order the snapshot promises. Counters and
+    /// sequence numbers are per-exchange scalars and survive unchanged.
+    pub(crate) fn relabel(&self, map: &crate::context::Relabeling<'_>) -> BackoffSnapshot {
+        let mut peers: Vec<(usize, Peer)> = self
+            .peers
+            .iter()
+            .map(|(i, p)| (map.station.get(*i).copied().unwrap_or(*i), *p))
+            .collect();
+        peers.sort_by_key(|(i, _)| *i);
+        BackoffSnapshot { my: self.my, peers }
+    }
 }
 
 impl std::fmt::Debug for Backoff {

@@ -11,6 +11,57 @@ use macaw_sim::{SimDuration, SimRng, SimTime};
 
 use crate::frames::{Addr, Frame, MacSdu, StreamId};
 
+/// A station/stream renaming, used by state-space explorers to collapse
+/// symmetric orbits: station index `i` becomes `station[i]`, stream id `s`
+/// becomes `stream[s]`. Both maps are permutations chosen by the explorer
+/// from a topology's declared symmetry group; indices outside the maps
+/// (possible only outside the checker, where stream ids are arbitrary) are
+/// left unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct Relabeling<'a> {
+    /// Station permutation: old index → new index.
+    pub station: &'a [usize],
+    /// Stream-id permutation induced by the flow permutation.
+    pub stream: &'a [u32],
+}
+
+impl Relabeling<'_> {
+    /// Apply the station permutation to an address. Multicast groups name
+    /// sets of stations symmetric under the group, so they are fixed.
+    pub fn addr(&self, a: Addr) -> Addr {
+        match a {
+            Addr::Unicast(i) => Addr::Unicast(self.station.get(i).copied().unwrap_or(i)),
+            m @ Addr::Multicast(_) => m,
+        }
+    }
+
+    /// Apply the stream permutation to a stream id.
+    pub fn stream_id(&self, s: StreamId) -> StreamId {
+        StreamId(self.stream.get(s.0 as usize).copied().unwrap_or(s.0))
+    }
+
+    /// Apply the stream permutation to a packet payload (addresses live in
+    /// the frame header, not the SDU).
+    pub fn sdu(&self, s: MacSdu) -> MacSdu {
+        MacSdu {
+            stream: self.stream_id(s.stream),
+            ..s
+        }
+    }
+
+    /// Relabel a frame: source/destination addresses and the payload's
+    /// stream id. Backoff counters and sequence numbers are per-exchange
+    /// scalars, identical across a symmetric orbit, so they are fixed.
+    pub fn frame(&self, f: &Frame) -> Frame {
+        Frame {
+            src: self.addr(f.src),
+            dst: self.addr(f.dst),
+            payload: f.payload.map(|p| self.sdu(p)),
+            ..*f
+        }
+    }
+}
+
 /// Upcalls a MAC can make into its environment.
 pub trait MacContext {
     /// Current simulated time.
@@ -148,11 +199,20 @@ pub trait MacProtocol {
 /// rebased to offsets from `now`, so that the same periodic behaviour
 /// reached at different absolute times canonicalizes to the same snapshot.
 pub trait MacSnapshot {
-    /// The canonical-state value.
-    type Snap: Clone + PartialEq + Eq + std::hash::Hash + std::fmt::Debug;
+    /// The canonical-state value. `Ord` so explorers can pick the
+    /// lexicographically-least snapshot vector over a symmetry orbit.
+    type Snap: Clone + PartialEq + Eq + PartialOrd + Ord + std::hash::Hash + std::fmt::Debug;
 
     /// Capture the canonical state, rebasing embedded deadlines to `now`.
     fn snapshot(&self, now: SimTime) -> Self::Snap;
+
+    /// Rewrite every station index and stream id inside `snap` through
+    /// `map`, producing the snapshot this machine would have if the whole
+    /// world were relabeled by the same permutation. Internal collections
+    /// keyed by peer index or arrival order must be re-sorted into a
+    /// permutation-stable order, so that for any two symmetric stations
+    /// `relabel(snapshot(a)) == snapshot(b)` holds exactly.
+    fn relabel(snap: &Self::Snap, map: &Relabeling<'_>) -> Self::Snap;
 
     /// Short name of the current protocol state (e.g. `"WfCts"`), for
     /// counterexample traces and stuck-state reporting.

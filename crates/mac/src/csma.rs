@@ -46,14 +46,14 @@ impl Default for CsmaConfig {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 struct Packet {
     dst: Addr,
     sdu: MacSdu,
     attempts: u32,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum State {
     Idle,
     /// Carrier was busy; waiting a random number of slots before re-sensing.
@@ -228,7 +228,7 @@ impl MacProtocol for Csma {
 /// state, backoff counter and queue contents. The `sent`/`dropped` counters
 /// are observer state and excluded (see [`MacSnapshot`]). Opaque: explorers
 /// only clone, compare, hash and debug-print it.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CsmaSnapshot {
     state: State,
     bo: u32,
@@ -246,6 +246,24 @@ impl MacSnapshot for Csma {
             state: self.state,
             bo: self.bo,
             queue: self.queue.clone(),
+        }
+    }
+
+    fn relabel(snap: &CsmaSnapshot, map: &crate::context::Relabeling<'_>) -> CsmaSnapshot {
+        // The queue is FIFO, so its order is behavioural and kept as-is;
+        // only embedded addresses and stream ids are rewritten.
+        CsmaSnapshot {
+            state: snap.state,
+            bo: snap.bo,
+            queue: snap
+                .queue
+                .iter()
+                .map(|p| Packet {
+                    dst: map.addr(p.dst),
+                    sdu: map.sdu(p.sdu),
+                    attempts: p.attempts,
+                })
+                .collect(),
         }
     }
 

@@ -31,7 +31,7 @@ impl Addr {
 pub struct StreamId(pub u32);
 
 /// The frame types of the RTS-CTS-DS-DATA-ACK exchange plus RRTS.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FrameKind {
     /// Request-to-send: sender → receiver, opens an exchange.
     Rts,
@@ -59,7 +59,7 @@ pub enum FrameKind {
 /// (Appendix B.2) `local` is the transmitter's backoff used with this peer,
 /// `remote` is its estimate of the peer's backoff (`None` = the paper's
 /// `I_DONT_KNOW`), and `esn` is the exchange sequence number.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct BackoffHeader {
     /// Transmitter's own backoff (its end of the exchange).
     pub local: u32,
@@ -71,7 +71,7 @@ pub struct BackoffHeader {
 }
 
 /// An upper-layer packet carried by a DATA frame.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MacSdu {
     /// The stream this packet belongs to.
     pub stream: StreamId,
@@ -83,7 +83,7 @@ pub struct MacSdu {
 }
 
 /// A MAC frame as it appears on the air.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Frame {
     pub kind: FrameKind,
     pub src: Addr,

@@ -32,6 +32,7 @@ pub use backoff::{Backoff, BackoffAlgo, BackoffSharing, BackoffSnapshot};
 pub use config::{MacConfig, QueueMode};
 pub use context::{
     MacContext, MacFeedback, MacInvariantViolation, MacProtocol, MacResult, MacSnapshot,
+    Relabeling,
 };
 pub use csma::{Csma, CsmaConfig, CsmaSnapshot};
 pub use frames::{Addr, BackoffHeader, Frame, FrameKind, MacSdu, StreamId, Timing};

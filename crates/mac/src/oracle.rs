@@ -44,6 +44,27 @@ pub enum Stimulus {
     Receive(Frame),
 }
 
+impl Stimulus {
+    /// Independence metadata: the *other* station this stimulus couples the
+    /// acted-on station to, if any. `Timer` and `TxEnd` are station-local
+    /// (their effects radiate only through subsequent transmissions);
+    /// `Receive` couples to the frame's transmitter and `Enqueue` to the
+    /// packet's destination. Two stimuli at different stations whose
+    /// hearing-closure footprints (the station, its peer, and everyone who
+    /// can hear either) are disjoint commute exactly: neither transition
+    /// can read state the other writes, so a partial-order reducer may
+    /// explore them in one canonical order. The checker crate derives the
+    /// closures from its hearing matrix; this accessor is the per-stimulus
+    /// half of that computation.
+    pub fn peer(&self) -> Option<Addr> {
+        match self {
+            Stimulus::Enqueue { dst, .. } => Some(*dst),
+            Stimulus::Timer | Stimulus::TxEnd => None,
+            Stimulus::Receive(frame) => Some(frame.src),
+        }
+    }
+}
+
 /// Everything a station did in response to one stimulus.
 #[derive(Clone, Debug)]
 pub struct StepObs {

@@ -43,11 +43,12 @@ use crate::backoff::{Backoff, BackoffSnapshot};
 use crate::config::{MacConfig, QueueMode};
 use crate::context::{
     MacContext, MacFeedback, MacInvariantViolation, MacProtocol, MacResult, MacSnapshot,
+    Relabeling,
 };
 use crate::frames::{Addr, Frame, FrameKind, MacSdu, StreamId};
 
 /// A queued upper-layer packet with its retransmission bookkeeping.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 struct Packet {
     dst: Addr,
     sdu: MacSdu,
@@ -69,14 +70,14 @@ struct Packet {
 
 /// One transmit queue (the whole station in `SingleFifo` mode, one stream in
 /// `PerStream` mode).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 struct QueueSlot {
     key: Option<(Addr, StreamId)>,
     q: VecDeque<Packet>,
 }
 
 /// What the station decided to transmit when the contention timer fires.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum ContendFor {
     /// Service the head packet of queue `slot`.
     Data { slot: usize },
@@ -85,7 +86,7 @@ enum ContendFor {
 }
 
 /// Protocol state (Appendices A and B).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum State {
     Idle,
     /// Contention timer armed; transmit when it fires.
@@ -1018,7 +1019,7 @@ impl MacProtocol for WMac {
 /// would make every revisited state hash fresh and defeat deduplication).
 ///
 /// Opaque by design: explorers only clone, compare, hash and debug-print it.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WMacSnapshot {
     state: State,
     current: Option<usize>,
@@ -1058,6 +1059,81 @@ impl MacSnapshot for WMac {
             nack_cache: self.nack_cache,
             groups: self.groups.clone(),
             backoff: self.backoff.snapshot(),
+        }
+    }
+
+    fn relabel(snap: &WMacSnapshot, map: &Relabeling<'_>) -> WMacSnapshot {
+        let packet = |p: &Packet| Packet {
+            dst: map.addr(p.dst),
+            sdu: map.sdu(p.sdu),
+            ..*p
+        };
+        let state = match snap.state {
+            State::Contend {
+                what: ContendFor::Rrts { peer },
+            } => State::Contend {
+                what: ContendFor::Rrts {
+                    peer: map.addr(peer),
+                },
+            },
+            State::SendCts { peer, bytes, esn } => State::SendCts {
+                peer: map.addr(peer),
+                bytes,
+                esn,
+            },
+            State::WfDs { peer, bytes, esn } => State::WfDs {
+                peer: map.addr(peer),
+                bytes,
+                esn,
+            },
+            State::WfData { peer, bytes, esn } => State::WfData {
+                peer: map.addr(peer),
+                bytes,
+                esn,
+            },
+            State::SendRrts { peer } => State::SendRrts {
+                peer: map.addr(peer),
+            },
+            State::WfRts { peer } => State::WfRts {
+                peer: map.addr(peer),
+            },
+            s => s,
+        };
+        // Slot order is arrival order, which is not permutation-stable (two
+        // symmetric stations may have created their per-stream slots in
+        // different orders), so relabeled slots are re-sorted by key and
+        // `current` follows its slot to the new position. The explorer
+        // relabels *every* orbit candidate, identity permutation included,
+        // so the sort applies uniformly and comparisons stay consistent.
+        let mut slots: Vec<(QueueSlot, bool)> = snap
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mapped = QueueSlot {
+                    key: s.key.map(|(a, st)| (map.addr(a), map.stream_id(st))),
+                    q: s.q.iter().map(packet).collect(),
+                };
+                (mapped, snap.current == Some(i))
+            })
+            .collect();
+        slots.sort_by_key(|(s, _)| s.key);
+        let current = slots.iter().position(|(_, cur)| *cur);
+        let mut acked: Vec<(usize, VecDeque<u64>)> = snap
+            .acked
+            .iter()
+            .map(|(peer, w)| (map.station.get(*peer).copied().unwrap_or(*peer), w.clone()))
+            .collect();
+        acked.sort_by_key(|(peer, _)| *peer);
+        WMacSnapshot {
+            state,
+            current,
+            rrts_pending: snap.rrts_pending.map(|a| map.addr(a)),
+            slots: slots.into_iter().map(|(s, _)| s).collect(),
+            acked,
+            nack_cache: snap.nack_cache.as_ref().map(packet),
+            groups: snap.groups.clone(),
+            backoff: snap.backoff.relabel(map),
         }
     }
 

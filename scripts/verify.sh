@@ -24,10 +24,14 @@ cargo run --release -p macaw-bench --bin engine -- --quick
 cargo test -q --release -p macaw-sim --test proptest_queue
 cargo test -q --release -p macaw-bench --test determinism ladder_and_heap
 
-echo "== model-checker smoke (exhaustive proofs + seeded-bug detection) =="
+echo "== model-checker smoke (exhaustive proofs + reduction-ratio guard + --jobs determinism + seeded-bug detection) =="
 cargo run --release -p macaw-bench --bin check -- --smoke
 cargo test -q --release -p macaw-check --test proofs
 cargo test -q --release -p macaw-check --test regression
+
+echo "== reduction soundness (reduced explorer vs oracle + parallel split determinism) =="
+cargo test -q --release -p macaw-check --test reduction
+cargo test -q --release -p macaw-bench --test check_par
 
 echo "== faults smoke =="
 cargo run --release -p macaw-bench --bin faults -- --smoke
