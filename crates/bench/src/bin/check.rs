@@ -546,12 +546,16 @@ fn main() {
     rows.pop();
     rows.pop(); // drop trailing ",\n"
     rows.push('\n');
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"workload\": \"exhaustive model check, full proof matrix (seed={seed}, \
            reduced explorer, split_depth={SPLIT_DEPTH}, oracle budget {ORACLE_STATE_BUDGET})\",\n  \
+           \"host_cores\": {host_cores},\n  \
+           \"workers\": {},\n  \
            \"checks\": [\n{rows}  ],\n  \
            \"total\": {{ \"states_explored\": {tot_states}, \"wall_secs\": {tot_secs:.6}, \
            \"states_per_sec\": {total_rate:.0}, \"oracle_infeasible_rows\": {infeasible_rows} }}\n}}\n",
+        executor.workers(),
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write {out_path}: {e}");

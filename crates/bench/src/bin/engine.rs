@@ -424,8 +424,11 @@ fn main() {
     pre_json.pop();
     pre_json.push('\n');
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \
+           \"host_cores\": {host_cores},\n  \
+           \"workers\": 1,\n  \
            \"events_per_sec\": {headline:.0},\n  \
            \"events_per_sec_note\": \"FEL dispatch capacity: hold model at depth 16 (the paper figures' live-depth regime), ladder queue — the future-event list alone, which is what this PR optimizes\",\n  \
            \"baseline\": {{\n    \

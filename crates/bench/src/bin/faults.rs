@@ -118,8 +118,11 @@ fn main() {
     }
 
     let classes: Vec<String> = results.iter().map(|t| t.to_json()).collect();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"workload\": \"all_faults(seed={seed}, {}s) — protocol ladder under injected faults\",\n  \
+           \"host_cores\": {host_cores},\n  \
+           \"workers\": 1,\n  \
            \"classes\": [\n{}\n  ]\n}}\n",
         dur.as_secs_f64() as u64,
         classes.join(",\n")

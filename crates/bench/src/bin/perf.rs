@@ -276,8 +276,11 @@ fn main() {
         "non-finite measurement"
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"workload\": \"all_tables(seed={seed}, 100s) — same work as `tables --quick`\",\n  \
+           \"host_cores\": {host_cores},\n  \
+           \"workers\": 1,\n  \
            \"iters\": {iters},\n  \
            \"tables_quick_ms\": {{ \"min\": {:.1}, \"mean\": {:.1}, \"max\": {:.1} }},\n  \
            \"baseline\": {{\n    \

@@ -279,10 +279,12 @@ pub fn to_json(rep: &Replication, cfg: &SweepConfig, jobs: usize, wall_secs: f64
     tables.pop();
     tables.pop();
     tables.push('\n');
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     format!(
         "{{\n  \"workload\": \"every paper table replicated over R independent seeds; \
          per-stream throughput as mean ± 95% CI (Student-t)\",\n  \
          \"root_seed\": {},\n  \"replications\": {},\n  \"base_duration_secs\": {},\n  \
+         \"host_cores\": {host_cores},\n  \
          \"jobs\": {jobs},\n  \"simulations\": {},\n  \"executed\": {},\n  \
          \"wall_secs\": {wall_secs:.3},\n  \
          \"seed_derivation\": \"SimRng::new(root_seed).stream_seed(r)\",\n  \

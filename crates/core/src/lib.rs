@@ -15,6 +15,9 @@
 //! * [`faults`] — the deterministic fault-injection plan ([`faults::FaultPlan`]):
 //!   noise bursts, corruption windows, station crashes, link asymmetry and
 //!   position jitter, applied to a scenario before it is built.
+//! * [`mobility`] — campus workloads: a [`topology`] floor whose pads roam
+//!   under seeded random-waypoint motion, emitted as batched move actions
+//!   so mobility composes with fault plans, sharding and the run cache.
 //! * [`partition`] — the conservative coupling partition
 //!   ([`partition::Partition`]) behind [`scenario::Scenario::run_with_shards`]:
 //!   islands of stations that can ever interact, run in parallel with a
@@ -45,6 +48,7 @@
 pub mod error;
 pub mod faults;
 pub mod figures;
+pub mod mobility;
 pub mod network;
 pub mod partition;
 pub mod scenario;
@@ -53,6 +57,7 @@ pub mod topology;
 
 pub use error::SimError;
 pub use faults::{Fault, FaultPlan, FaultPlanConfig};
+pub use mobility::{campus_topology, CampusConfig, WaypointConfig};
 pub use network::Network;
 pub use partition::{Partition, ShardRunStats, ShardStats};
 pub use scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
@@ -65,6 +70,7 @@ pub mod prelude {
     pub use crate::faults::{Fault, FaultPlan, FaultPlanConfig};
     pub use crate::figures;
     pub use crate::network::Network;
+    pub use crate::mobility::{campus_topology, CampusConfig, WaypointConfig};
     pub use crate::partition::{Partition, ShardRunStats, ShardStats};
     pub use crate::scenario::{Dest, MacKind, Scenario, SourceKind, StreamSpec, TransportKind};
     pub use crate::stats::{RunReport, StreamReport};

@@ -288,6 +288,12 @@ enum Effect {
 pub(crate) enum ActionKind {
     /// Move a station (mobility).
     Move { station: usize, to: Point },
+    /// Move several stations at one instant: entries `start..start + len`
+    /// of the network's move table, applied through
+    /// [`Medium::set_positions`] so the medium coalesces the interference
+    /// re-folds across the batch. The table lives outside this enum so the
+    /// action stays `Copy`.
+    MoveBatch { start: u32, len: u32 },
     /// Power a station off (the Figure-9 "pad is turned off").
     PowerOff { station: usize },
     /// Power a station back on.
@@ -385,6 +391,9 @@ pub struct Network<M: Medium = SparseMedium, Q: FelChoice = LadderFel> {
     /// Earliest-pending-timer index over `mac_timers` + `tp_timers`.
     timer_index: TimerIndex,
     actions: Vec<ScheduledAction>,
+    /// Flat move table for [`ActionKind::MoveBatch`]: each batch action
+    /// names a `start..start + len` slice of this vector.
+    moves: Vec<(StationId, Point)>,
     effects: VecDeque<Effect>,
     warmup_end: SimTime,
     /// Total on-air time of DATA frames after warm-up (utilization).
@@ -444,6 +453,7 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
             tp_timers: Vec::new(),
             timer_index: TimerIndex::default(),
             actions: Vec::new(),
+            moves: Vec::new(),
             effects: VecDeque::new(),
             warmup_end: SimTime::ZERO,
             data_air_ns: 0,
@@ -584,6 +594,11 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
 
     pub(crate) fn schedule_action(&mut self, action: ScheduledAction) {
         self.actions.push(action);
+    }
+
+    /// Install the move table [`ActionKind::MoveBatch`] actions slice into.
+    pub(crate) fn set_moves(&mut self, moves: Vec<(StationId, Point)>) {
+        self.moves = moves;
     }
 
     /// Install the coupling partition's island labels (station, stream and
@@ -936,6 +951,10 @@ impl<M: Medium, Q: FelChoice> Network<M, Q> {
         match kind {
             ActionKind::Move { station, to } => {
                 self.medium.set_position(StationId(station), to);
+            }
+            ActionKind::MoveBatch { start, len } => {
+                let s = start as usize;
+                self.medium.set_positions(&self.moves[s..s + len as usize]);
             }
             ActionKind::PowerOff { station } => {
                 self.stations[station].on = false;

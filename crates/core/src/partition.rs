@@ -236,8 +236,25 @@ pub(crate) fn compute(sc: &Scenario) -> Partition {
         .map(|(i, s)| (i as u32, s.pos))
         .collect();
     for a in &sc.actions {
-        if let ActionKind::Move { station, to } = a.kind {
-            instances.push((station as u32, to));
+        match a.kind {
+            ActionKind::Move { station, to } => instances.push((station as u32, to)),
+            ActionKind::MoveBatch { start, len } => {
+                for &(id, to) in &sc.moves[start as usize..(start + len) as usize] {
+                    instances.push((id.0 as u32, to));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // A move batch is a single event that touches the medium state of
+    // every station it names, so all of them must share an island.
+    for a in &sc.actions {
+        if let ActionKind::MoveBatch { start, len } = a.kind {
+            let batch = &sc.moves[start as usize..(start + len) as usize];
+            for w in batch.windows(2) {
+                dsu.union(w[0].0 .0 as u32, w[1].0 .0 as u32);
+            }
         }
     }
 
@@ -376,6 +393,11 @@ pub(crate) fn compute(sc: &Scenario) -> Partition {
             | ActionKind::Restart { station } => station_island[station],
             ActionKind::SetLinkGain { src, .. } => station_island[src],
             ActionKind::SetNoise { index, .. } => noise_island[index],
+            // Batches are never empty (the builder drops empty ones), and
+            // every batch station shares one island by the unions above.
+            ActionKind::MoveBatch { start, .. } => {
+                station_island[sc.moves[start as usize].0 .0]
+            }
         })
         .collect();
     let window_island: Vec<u32> = sc

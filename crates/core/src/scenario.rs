@@ -145,6 +145,12 @@ pub struct Scenario {
     pub(crate) streams: Vec<StreamSpec>,
     pub(crate) noise: Vec<(Point, f64, bool)>,
     pub(crate) actions: Vec<ScheduledAction>,
+    /// Flat move table for batched mobility: each
+    /// [`ActionKind::MoveBatch`] action names a `start..start + len` slice
+    /// of this vector. Kept beside `actions` (not inside them) so the
+    /// action enum stays `Copy`; shard projections replicate the whole
+    /// table because batch indices are global.
+    pub(crate) moves: Vec<(StationId, Point)>,
     pub(crate) windows: Vec<LinkWindow>,
     /// Global stream ids, by position in `streams`. `None` (every
     /// user-built scenario) means stream `i` is `StreamId(i)`; shard
@@ -171,6 +177,7 @@ impl Scenario {
             streams: Vec::new(),
             noise: Vec::new(),
             actions: Vec::new(),
+            moves: Vec::new(),
             windows: Vec::new(),
             stream_ids: None,
             islands: None,
@@ -236,7 +243,7 @@ impl Scenario {
     pub fn fingerprint(&self) -> [u64; 2] {
         use std::hash::Hasher;
         let text = format!(
-            "macaw {} seed={} prop={:?} stations={:?} streams={:?} noise={:?} actions={:?} windows={:?}",
+            "macaw {} seed={} prop={:?} stations={:?} streams={:?} noise={:?} actions={:?} moves={:?} windows={:?}",
             env!("CARGO_PKG_VERSION"),
             self.seed,
             self.prop,
@@ -244,6 +251,7 @@ impl Scenario {
             self.streams,
             self.noise,
             self.actions,
+            self.moves,
             self.windows,
         );
         let mut lo = macaw_sim::FastHasher::default();
@@ -364,6 +372,34 @@ impl Scenario {
         self.actions.push(ScheduledAction {
             at,
             kind: ActionKind::Move { station, to },
+        });
+        self
+    }
+
+    /// Schedule a simultaneous move of several stations at time `at`: one
+    /// batch, applied through [`macaw_phy::Medium::set_positions`] so the
+    /// medium coalesces the interference re-folds across the batch. The
+    /// waypoint mobility driver ([`crate::mobility`]) emits one batch per
+    /// tick. An empty batch is a no-op; a batch is one event, so all its
+    /// stations are coupled into one island by [`Scenario::partition`].
+    pub fn move_stations_at(&mut self, at: SimTime, moves: &[(usize, Point)]) -> &mut Self {
+        if moves.is_empty() {
+            return self;
+        }
+        for &(station, _) in moves {
+            if !self.check_station(station, "move_stations_at") {
+                return self;
+            }
+        }
+        let start = self.moves.len() as u32;
+        self.moves
+            .extend(moves.iter().map(|&(s, p)| (StationId(s), p)));
+        self.actions.push(ScheduledAction {
+            at,
+            kind: ActionKind::MoveBatch {
+                start,
+                len: moves.len() as u32,
+            },
         });
         self
     }
@@ -660,6 +696,7 @@ impl Scenario {
             }
         }
 
+        net.set_moves(std::mem::take(&mut self.moves));
         for a in self.actions.drain(..) {
             net.schedule_action(a);
         }
@@ -815,6 +852,9 @@ impl Scenario {
                 streams: Vec::new(),
                 noise: self.noise.clone(),
                 actions: Vec::new(),
+                // The whole move table rides along: batch actions index it
+                // globally, and an unreferenced entry is inert.
+                moves: self.moves.clone(),
                 windows: Vec::new(),
                 stream_ids: Some(Vec::new()),
                 islands: None,

@@ -170,6 +170,11 @@ impl<M: Medium> ChaosMedium<M> {
         self.inner.set_position(id, pos)
     }
 
+    /// See [`Medium::set_positions`].
+    pub fn set_positions(&mut self, moves: &[(StationId, Point)]) {
+        self.inner.set_positions(moves)
+    }
+
     /// See [`Medium::start_tx`].
     pub fn start_tx(&mut self, source: StationId, now: SimTime) -> TxId {
         self.inner.start_tx(source, now)
@@ -279,6 +284,10 @@ impl<M: Medium> Medium for ChaosMedium<M> {
 
     fn set_position(&mut self, id: StationId, pos: Point) {
         ChaosMedium::set_position(self, id, pos)
+    }
+
+    fn set_positions(&mut self, moves: &[(StationId, Point)]) {
+        ChaosMedium::set_positions(self, moves)
     }
 
     fn in_range(&self, a: StationId, b: StationId) -> bool {

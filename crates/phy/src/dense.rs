@@ -231,9 +231,18 @@ impl Medium for DenseMedium {
         assert!(power > 0.0 && power.is_finite(), "power must be positive");
         self.stations[id.0].tx_power = power;
         self.rebuild_audible(id.0);
-        // If `id` is mid-transmission its interference contribution changed.
-        if self.stations[id.0].transmitting.is_some() {
+        // If `id` is mid-transmission its waveform changed mid-frame (own
+        // packet lost) and its interference contribution changed everywhere
+        // (everyone else's receptions re-verdicted). An idle station
+        // contributes no interference term, so nothing more to do then.
+        if let Some(tx) = self.stations[id.0].transmitting {
+            for r in &mut self.receptions {
+                if r.tx == tx {
+                    r.clean = false;
+                }
+            }
             self.rebuild_incident();
+            self.recheck_all_receptions();
         }
     }
 
@@ -297,6 +306,8 @@ impl Medium for DenseMedium {
         );
         self.rebuild_ambient();
         self.rebuild_incident();
+        // Ambient noise increased: same rule as switching an emitter on.
+        self.recheck_all_receptions();
         self.noise.len() - 1
     }
 

@@ -91,6 +91,14 @@ pub struct MediumStats {
     /// Slab slots ever allocated (`high_water` bounds it; the free list
     /// recycles the rest).
     pub slab_slots: u64,
+    /// Station moves applied (one per `set_position` call or batch entry).
+    pub set_position_ops: u64,
+    /// Moves whose snapped cube center was unchanged: the same-cell
+    /// early-out skipped grid re-homing and neighbor reconciliation.
+    pub move_noop_ops: u64,
+    /// Moves that crossed a coarse grid-cell boundary and re-homed the
+    /// station's bucket (the subset of moves that touch the spatial hash).
+    pub move_cell_hops: u64,
 }
 
 impl MediumStats {
@@ -105,6 +113,9 @@ impl MediumStats {
         self.fold_terms += o.fold_terms;
         self.slab_high_water = self.slab_high_water.max(o.slab_high_water);
         self.slab_slots += o.slab_slots;
+        self.set_position_ops += o.set_position_ops;
+        self.move_noop_ops += o.move_noop_ops;
+        self.move_cell_hops += o.move_cell_hops;
     }
 }
 
@@ -155,6 +166,12 @@ pub trait Medium {
     /// powers, "A hears B" no longer implies "B hears A" and the CTS can no
     /// longer silence every potential collider. The knob exists so that
     /// consequence can be demonstrated.
+    ///
+    /// Changing the power of a station that is *currently transmitting*
+    /// corrupts its own in-flight packet (the waveform changed mid-frame)
+    /// and re-checks every other in-flight reception against the changed
+    /// interference geometry. An idle station contributes no interference
+    /// term, so changing its power affects no in-flight reception.
     fn set_tx_power(&mut self, id: StationId, power: f64);
 
     /// `true` iff a transmission by `from` is receivable at `to`
@@ -172,8 +189,10 @@ pub trait Medium {
     /// The current directional gain multiplier on the `src → dst` link.
     fn link_gain(&self, src: StationId, dst: StationId) -> f64;
 
-    /// Add a continuous spatial noise emitter. Returns an index usable with
-    /// [`Medium::set_noise_active`].
+    /// Add a continuous spatial noise emitter (initially active). Returns
+    /// an index usable with [`Medium::set_noise_active`]. Ambient noise
+    /// increased, so every in-flight reception the new emitter drowns out
+    /// is invalidated, exactly as if an existing emitter were switched on.
     fn add_noise_source(&mut self, pos: Point, power: f64) -> usize;
 
     /// Enable or disable a spatial noise emitter. Turning one **on**
@@ -185,6 +204,19 @@ pub trait Medium {
     /// a conservative rule for the general case), and all other in-flight
     /// receptions are re-checked against the new interference geometry.
     fn set_position(&mut self, id: StationId, pos: Point);
+
+    /// Move a batch of stations, in order. Semantically identical to
+    /// calling [`Medium::set_position`] once per entry — that loop *is*
+    /// the default implementation and the oracle — but implementations
+    /// may coalesce the redundant re-fold work between entries.
+    /// Intermediate interference states are still honored: a reception
+    /// drowned out halfway through the batch stays corrupted even if the
+    /// final geometry would have been clean.
+    fn set_positions(&mut self, moves: &[(StationId, Point)]) {
+        for &(id, pos) in moves {
+            self.set_position(id, pos);
+        }
+    }
 
     /// `true` iff stations `a` and `b` are within reception range.
     fn in_range(&self, a: StationId, b: StationId) -> bool;
@@ -698,6 +730,97 @@ macro_rules! medium_contract_tests {
                 let _ = m.end_tx(tx, t(clock));
             }
             assert_eq!(m.active_count(), 0);
+        }
+
+        /// A power change on a station that is mid-transmission must corrupt
+        /// its own in-flight packet and re-verdict everyone else's.
+        #[test]
+        fn mid_flight_power_change_corrupts_packets() {
+            let mut m = mk(21);
+            let near = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let rx = m.add_station(Point::new(2.0, 0.0, 0.0));
+            let far = m.add_station(Point::new(9.0, 0.0, 0.0));
+            let fr = m.add_station(Point::new(16.0, 0.0, 0.0));
+            let tn = m.start_tx(near, t(0));
+            let tf = m.start_tx(far, t(10));
+            // At equal powers the near signal captures at rx (see
+            // loud_interferer_defeats_capture); boosting far mid-flight must
+            // re-check the standing verdict, not just future packets.
+            m.set_tx_power(far, 1000.0);
+            let dn = m.end_tx(tn, t(1000));
+            assert!(
+                !dn.iter().find(|d| d.station == rx).unwrap().clean,
+                "interference that grows mid-flight corrupts the packet"
+            );
+            // And far's own packet is lost: the waveform changed mid-frame.
+            let df = m.end_tx(tf, t(1010));
+            assert!(!df.iter().find(|d| d.station == fr).unwrap().clean);
+            let _ = near;
+        }
+
+        /// The conservative mid-flight move rule applies even when the move
+        /// lands in the same quantized cube — the fast-path early-out may
+        /// skip the geometry work but never the corruption semantics.
+        #[test]
+        fn zero_distance_move_still_corrupts_in_flight() {
+            let (mut m, a, b, _c) = line_medium();
+            let ta = m.start_tx(a, t(0));
+            m.set_position(b, m.position(b));
+            let da = m.end_tx(ta, t(1000));
+            assert!(!da.iter().find(|d| d.station == b).unwrap().clean);
+        }
+
+        /// Adding a noise emitter mid-flight increases ambient interference
+        /// and must drown affected receptions, exactly like switching an
+        /// existing emitter on.
+        #[test]
+        fn noise_source_added_mid_flight_drowns_reception() {
+            let mut m = mk(22);
+            let a = m.add_station(Point::new(0.0, 0.0, 0.0));
+            let b = m.add_station(Point::new(8.0, 0.0, 0.0));
+            let tx = m.start_tx(a, t(0));
+            let _n = m.add_noise_source(Point::new(9.0, 0.0, 0.0), 1.0);
+            let d = m.end_tx(tx, t(1000));
+            assert!(!d[0].clean, "noise appearing mid-flight drowns the reception");
+            let _ = b;
+        }
+
+        /// A coalesced move batch is semantically the sequential loop: same
+        /// deliveries bit for bit, same carrier sense, same positions —
+        /// including a mid-flight transmitter move and a station moved twice
+        /// within one batch.
+        #[test]
+        fn batched_moves_match_sequential_moves() {
+            let build = || {
+                let mut m = mk(23);
+                let mut ids = Vec::new();
+                for i in 0..12usize {
+                    ids.push(m.add_station(Point::new(i as f64 * 3.0, 0.0, 0.0)));
+                }
+                (m, ids)
+            };
+            let (mut m1, ids) = build();
+            let (mut m2, _) = build();
+            let t1 = m1.start_tx(ids[0], t(0));
+            let t2 = m2.start_tx(ids[0], t(0));
+            let moves = [
+                (ids[3], Point::new(50.0, 0.0, 0.0)),
+                (ids[4], Point::new(4.0, 1.0, 0.0)),
+                (ids[0], Point::new(1.0, 1.0, 0.0)),
+                (ids[5], Point::new(15.0, 2.0, 0.0)),
+                (ids[3], Point::new(9.0, 0.0, 0.0)),
+            ];
+            m1.set_positions(&moves);
+            for &(id, p) in &moves {
+                m2.set_position(id, p);
+            }
+            for &k in &ids {
+                assert_eq!(m1.carrier_busy(k), m2.carrier_busy(k));
+                assert_eq!(m1.position(k), m2.position(k));
+            }
+            let d1 = m1.end_tx(t1, t(1000));
+            let d2 = m2.end_tx(t2, t(1000));
+            assert_eq!(d1, d2);
         }
     };
 }

@@ -120,6 +120,18 @@ impl ReferenceMedium {
     pub fn set_tx_power(&mut self, id: StationId, power: f64) {
         assert!(power > 0.0 && power.is_finite(), "power must be positive");
         self.stations[id.0].tx_power = power;
+        if let Some(tx) = self.stations[id.0].transmitting {
+            // The waveform changed mid-frame: the station's own in-flight
+            // packet is lost, and its interference contribution everywhere
+            // changed, so every other reception is re-verdicted. An idle
+            // station contributes no interference, so nothing to do then.
+            for r in &mut self.receptions {
+                if r.tx == tx {
+                    r.clean = false;
+                }
+            }
+            self.recheck_all_receptions();
+        }
     }
 
     /// `true` iff a transmission by `from` is receivable at `to`.
@@ -159,6 +171,8 @@ impl ReferenceMedium {
             power,
             active: true,
         });
+        // Ambient noise increased: same rule as switching an emitter on.
+        self.recheck_all_receptions();
         self.noise.len() - 1
     }
 

@@ -190,9 +190,23 @@ pub struct SparseMedium {
     max_tx_power: f64,
     /// Monotone upper bound on every link factor ever set.
     max_link: f64,
+    /// `true` while every tx power and link factor ever set is exactly 1.0
+    /// — the paper's uniform radio. Monotone: any override clears it for
+    /// good (the `max_*` bounds cannot stand in, because a *sub*-1.0
+    /// override leaves them at 1.0 while breaking uniformity). While set
+    /// (and the cutoff is hard), audibility coincides exactly with the
+    /// interference ball — `int_gain > 0 ⟺ gain ≥ threshold` — so the
+    /// mover fast path derives audible-list deltas from the neighbor merge
+    /// instead of running ring searches.
+    uniform_radio: bool,
     /// Reusable candidate buffers (no steady-state allocation).
     scratch_a: Vec<usize>,
     scratch_b: Vec<usize>,
+    /// Reusable mover buffer: the neighbor list being rebuilt swaps
+    /// through here, so steady-state moves allocate nothing.
+    scratch_nbr: Vec<Neighbor>,
+    /// Reusable deferred-refold target list for [`Medium::set_positions`].
+    scratch_refold: Vec<usize>,
     /// Each station's slab slot (`usize::MAX` while idle), so a refold can
     /// enumerate the nearby active transmissions without scanning anything
     /// global; their fold order comes from the slots' stamps.
@@ -245,8 +259,11 @@ impl Medium for SparseMedium {
             self_gain,
             max_tx_power: 1.0,
             max_link: 1.0,
+            uniform_radio: true,
             scratch_a: Vec::new(),
             scratch_b: Vec::new(),
+            scratch_nbr: Vec::new(),
+            scratch_refold: Vec::new(),
             active_slot: Vec::new(),
             scratch_fold: Vec::new(),
             mark: Vec::new(),
@@ -363,11 +380,21 @@ impl Medium for SparseMedium {
         assert!(power > 0.0 && power.is_finite(), "power must be positive");
         self.stations[id.0].tx_power = power;
         self.max_tx_power = self.max_tx_power.max(power);
+        if power != 1.0 {
+            self.uniform_radio = false;
+        }
         self.rebuild_audible(id.0);
-        // If `id` is mid-transmission its fold term changed — but only at
-        // stations where the term is nonzero: itself and its neighbors.
+        // If `id` is mid-transmission its waveform changed mid-frame (own
+        // packet lost) and its fold term changed — the term is nonzero only
+        // at itself and its neighbors, but the flipped verdicts can sit on
+        // any of their receptions, so every reception is re-verdicted.
         if self.stations[id.0].transmitting.is_some() {
+            let slot = self.active_slot[id.0];
+            for r in &mut self.rx_of[slot] {
+                r.clean = false;
+            }
             self.refold_around(id.0);
+            self.recheck_all_receptions();
         }
     }
 
@@ -390,6 +417,9 @@ impl Medium for SparseMedium {
             Err(at) => list.insert(at, (dst.0, factor)),
         }
         self.max_link = self.max_link.max(factor);
+        if factor != 1.0 {
+            self.uniform_radio = false;
+        }
         if self.stations[src.0].transmitting.is_some() {
             // Only `src`'s own in-flight transmission can have a reception
             // at `dst` whose link factor just changed.
@@ -437,6 +467,8 @@ impl Medium for SparseMedium {
         // ring regardless of its power multiplier; stations further away
         // gain an exactly-zero ambient term, which changes nothing.
         self.refresh_noise_neighborhood(pos);
+        // Ambient noise increased: same rule as switching an emitter on.
+        self.recheck_all_receptions();
         self.noise.len() - 1
     }
 
@@ -450,156 +482,31 @@ impl Medium for SparseMedium {
     }
 
     fn set_position(&mut self, id: StationId, pos: Point) {
-        let moved = id.0;
-        let old_pos = self.stations[moved].pos;
-        self.stations[moved].pos = cube_center(pos);
-        let new_pos = self.stations[moved].pos;
-        let moving_tx = self.stations[moved].transmitting;
-        // Receptions *at* the mover (via its per-rx index) and receptions
-        // *of* the mover's own transmission (its per-slot list) go dirty;
-        // nothing else depends on the mover's position.
-        for ri in 0..self.recs_at[moved].len() {
-            let slot = self.recs_at[moved][ri] as usize;
-            let at = self.rx_of[slot]
-                .binary_search_by_key(&moved, |r| r.rx.0)
-                .expect("recs_at pointed at a slot without this reception");
-            self.rx_of[slot][at].clean = false;
-        }
-        if moving_tx.is_some() {
-            let slot = self.active_slot[moved];
-            for r in &mut self.rx_of[slot] {
-                r.clean = false;
-            }
-        }
+        self.move_station(id, pos, None);
+    }
 
-        // Re-home in the grid and rebuild the symmetric neighbor entries:
-        // drop the mover from its old neighbors, recompute its own list at
-        // the new position, register it with the new neighbors.
-        self.grid.remove(self.cell_of(old_pos), moved);
-        self.grid.insert(self.cell_of(new_pos), moved);
-        let mut old_nbrs = std::mem::take(&mut self.scratch_b);
-        old_nbrs.clear();
-        old_nbrs.extend(self.nbrs[moved].iter().map(|n| n.idx));
-        for &o in &old_nbrs {
-            let olist = &mut self.nbrs[o];
-            let at = olist
-                .binary_search_by_key(&moved, |n| n.idx)
-                .expect("neighbor lists must be symmetric");
-            olist.remove(at);
+    fn set_positions(&mut self, moves: &[(StationId, Point)]) {
+        // Coalesced batch: every move runs its full structural update and
+        // reception recheck in sequence (intermediate interference states
+        // can corrupt packets a final-state-only recheck would miss, and
+        // clean flags are monotone), but the `incident` running-sum refolds
+        // are deferred — no in-batch operation reads them, and a station
+        // refolded mid-batch by the sequential loop whose terms later moves
+        // leave untouched gets the same bits from one final-state refold.
+        let mut pending = std::mem::take(&mut self.scratch_refold);
+        pending.clear();
+        for &(id, pos) in moves {
+            self.move_station(id, pos, Some(&mut pending));
         }
-        {
-            let mut cands = std::mem::take(&mut self.scratch_a);
-            self.collect_candidates(new_pos, 1, &mut cands);
-            let mut list = std::mem::take(&mut self.nbrs[moved]);
-            list.clear();
-            for &o in &cands {
-                if o == moved {
-                    continue;
-                }
-                let d = new_pos.distance(self.stations[o].pos);
-                let ig = self.prop.interference_power(d);
-                if self.physical || ig > 0.0 {
-                    let g = self.prop.power_at_distance(d);
-                    list.push(Neighbor {
-                        idx: o,
-                        gain: g,
-                        int_gain: ig,
-                    });
-                    let olist = &mut self.nbrs[o];
-                    let at = olist
-                        .binary_search_by_key(&moved, |n| n.idx)
-                        .expect_err("mover was removed from all old lists");
-                    olist.insert(
-                        at,
-                        Neighbor {
-                            idx: moved,
-                            gain: g,
-                            int_gain: ig,
-                        },
-                    );
-                }
-            }
-            self.nbrs[moved] = list;
-            self.scratch_a = cands;
-        }
-
-        // Active-neighbor counts: the mover's own count follows its new
-        // ball; other stations' counts change only if the mover is
-        // mid-transmission and entered or left their ball.
-        if moving_tx.is_some() {
-            for &o in &old_nbrs {
-                self.near_count[o] -= 1;
-            }
-            for i in 0..self.nbrs[moved].len() {
-                let o = self.nbrs[moved][i].idx;
-                self.near_count[o] += 1;
-            }
-        }
-        self.near_count[moved] = (moving_tx.is_some() as u32)
-            + self.nbrs[moved]
-                .iter()
-                .filter(|n| self.active_slot[n.idx] != usize::MAX)
-                .count() as u32;
-
-        // Audibility: the mover's own list, plus its membership in every
-        // list whose owner is close enough to either endpoint to possibly
-        // reach it (the monotone power bound sizes the search).
-        self.rebuild_audible(moved);
-        let rings = self.rings_for(self.max_tx_power * self.max_link);
-        let mut cands = std::mem::take(&mut self.scratch_a);
-        cands.clear();
-        if self.physical {
-            cands.extend(0..self.stations.len());
-        } else {
-            self.grid
-                .for_each_in_rings(self.cell_of(old_pos), rings, |i| cands.push(i));
-            self.grid
-                .for_each_in_rings(self.cell_of(new_pos), rings, |i| cands.push(i));
-            cands.sort_unstable();
-            cands.dedup();
-        }
-        let threshold = self.prop.threshold_power();
-        for &src in &cands {
-            if src == moved {
-                continue;
-            }
-            let qualifies = self.stations[src].tx_power
-                * self.link_of(src, moved)
-                * self.gain_of(src, moved)
-                >= threshold;
-            let list = &mut self.audible[src];
-            match list.binary_search(&moved) {
-                Ok(at) if !qualifies => {
-                    list.remove(at);
-                }
-                Err(at) if qualifies => {
-                    list.insert(at, moved);
-                }
-                _ => {}
-            }
-        }
-        self.scratch_a = cands;
-
-        self.rebuild_ambient_of(moved);
-        // Fold terms changed only on pairs involving the mover: its own sum
-        // always, and — if it is mid-transmission — the sums of its old and
-        // new neighborhoods.
+        pending.sort_unstable();
+        pending.dedup();
         let mut buf = std::mem::take(&mut self.scratch_fold);
-        self.incident[moved] = self.fold_incident_fast(moved, &mut buf);
-        if moving_tx.is_some() {
-            for &b in &old_nbrs {
-                self.incident[b] = self.fold_incident_fast(b, &mut buf);
-            }
-            for i in 0..self.nbrs[moved].len() {
-                let b = self.nbrs[moved][i].idx;
-                self.incident[b] = self.fold_incident_fast(b, &mut buf);
-            }
+        for &b in &pending {
+            self.incident[b] = self.fold_incident_fast(b, &mut buf);
         }
         self.scratch_fold = buf;
-        old_nbrs.clear();
-        self.scratch_b = old_nbrs;
-
-        self.recheck_all_receptions();
+        pending.clear();
+        self.scratch_refold = pending;
     }
 
     fn in_range(&self, a: StationId, b: StationId) -> bool {
@@ -1218,6 +1125,364 @@ impl SparseMedium {
         }
         self.audible[src] = list;
         self.scratch_a = cands;
+    }
+
+    /// Apply one station move — the mover pipeline behind
+    /// [`Medium::set_position`] and [`Medium::set_positions`].
+    ///
+    /// `deferred` collects `incident`-refold targets when the caller
+    /// batches moves (`None` refolds immediately). Everything else —
+    /// dirtying, neighbor reconciliation, audibility, rechecks — always
+    /// happens per move, because later moves observe that state.
+    ///
+    /// The pipeline replaces the old drop-and-rebuild with:
+    /// * a same-cube early-out (geometry unchanged ⇒ nothing beyond the
+    ///   conservative dirtying can differ),
+    /// * grid re-homing only when the coarse cell actually changed,
+    /// * a two-pointer merge of the old neighbor list against the new
+    ///   candidate set that edits both sides' lists in place and emits
+    ///   the went-out/came-in deltas,
+    /// * audible-list deltas derived from those same deltas under a
+    ///   uniform radio (ring searches otherwise), and
+    /// * a *restricted* reception recheck — see the comment at the end.
+    fn move_station(&mut self, id: StationId, pos: Point, deferred: Option<&mut Vec<usize>>) {
+        let moved = id.0;
+        let old_pos = self.stations[moved].pos;
+        let new_pos = cube_center(pos);
+        let moving_tx = self.stations[moved].transmitting;
+        let mut st = self.stats.get();
+        st.set_position_ops += 1;
+
+        // Receptions *at* the mover (via its per-rx index) and receptions
+        // *of* the mover's own transmission (its per-slot list) go dirty;
+        // nothing else depends on the mover's position.
+        for ri in 0..self.recs_at[moved].len() {
+            let slot = self.recs_at[moved][ri] as usize;
+            let at = self.rx_of[slot]
+                .binary_search_by_key(&moved, |r| r.rx.0)
+                .expect("recs_at pointed at a slot without this reception");
+            self.rx_of[slot][at].clean = false;
+        }
+        if moving_tx.is_some() {
+            let slot = self.active_slot[moved];
+            for r in &mut self.rx_of[slot] {
+                r.clean = false;
+            }
+        }
+
+        // Same-cube early-out: positions are cube-quantized, so a move
+        // that lands in its starting cube changes no distance, gain, fold
+        // term, or list membership — the conservative dirtying above is
+        // the entire observable effect, and the oracle's global recheck
+        // flips nothing when no fold changed.
+        if new_pos == old_pos {
+            st.move_noop_ops += 1;
+            self.stats.set(st);
+            #[cfg(debug_assertions)]
+            self.assert_no_stale_receptions();
+            return;
+        }
+        self.stations[moved].pos = new_pos;
+
+        // Re-home the grid bucket only when the coarse cell changed (cells
+        // are the 10 ft reception radius, cubes 1 ft — waypoint steps
+        // mostly stay in cell).
+        let old_cell = self.cell_of(old_pos);
+        let new_cell = self.cell_of(new_pos);
+        if old_cell != new_cell {
+            st.move_cell_hops += 1;
+            self.grid.remove(old_cell, moved);
+            self.grid.insert(new_cell, moved);
+        }
+        self.stats.set(st);
+
+        // Delta neighbor reconciliation: one ascending merge of the old
+        // neighbor list against the candidate cells of the new position.
+        // Old-only entries went out of the ball, candidate-only entries
+        // may have come in, shared entries get their gains recomputed in
+        // place on both sides — no drop-and-rebuild, no re-sort.
+        let mut cands = std::mem::take(&mut self.scratch_a);
+        self.collect_candidates(new_pos, 1, &mut cands);
+        let mut old_list = std::mem::take(&mut self.nbrs[moved]);
+        let mut new_list = std::mem::take(&mut self.scratch_nbr);
+        new_list.clear();
+        let mut went_out = std::mem::take(&mut self.scratch_b);
+        went_out.clear();
+        // Under a uniform radio (hard cutoff, all powers and link factors
+        // 1.0) audibility coincides exactly with the interference ball, so
+        // the went-out/came-in deltas *are* the audible-membership deltas.
+        let fast_audible = self.uniform_radio && !self.physical;
+        let (mut oi, mut ci) = (0usize, 0usize);
+        while oi < old_list.len() || ci < cands.len() {
+            if ci < cands.len() && cands[ci] == moved {
+                ci += 1;
+                continue;
+            }
+            let o = if oi < old_list.len() {
+                old_list[oi].idx
+            } else {
+                usize::MAX
+            };
+            let c = if ci < cands.len() { cands[ci] } else { usize::MAX };
+            if o < c {
+                // Not even in candidate reach: the mover left o's ball.
+                let olist = &mut self.nbrs[o];
+                let at = olist
+                    .binary_search_by_key(&moved, |n| n.idx)
+                    .expect("neighbor lists must be symmetric");
+                olist.remove(at);
+                went_out.push(o);
+                oi += 1;
+                continue;
+            }
+            let was_nbr = o == c;
+            let d = new_pos.distance(self.stations[c].pos);
+            let ig = self.prop.interference_power(d);
+            if self.physical || ig > 0.0 {
+                let g = self.prop.power_at_distance(d);
+                new_list.push(Neighbor {
+                    idx: c,
+                    gain: g,
+                    int_gain: ig,
+                });
+                let entry = Neighbor {
+                    idx: moved,
+                    gain: g,
+                    int_gain: ig,
+                };
+                let olist = &mut self.nbrs[c];
+                match olist.binary_search_by_key(&moved, |n| n.idx) {
+                    Ok(at) => {
+                        debug_assert!(was_nbr, "neighbor lists must be symmetric");
+                        olist[at] = entry;
+                    }
+                    Err(at) => {
+                        debug_assert!(!was_nbr, "neighbor lists must be symmetric");
+                        olist.insert(at, entry);
+                        // Came in: c gained an active neighbor if the mover
+                        // is mid-transmission, and (uniform radio) the
+                        // mover entered c's audible set.
+                        if moving_tx.is_some() {
+                            self.near_count[c] += 1;
+                        }
+                        if fast_audible {
+                            let alist = &mut self.audible[c];
+                            let at = alist.binary_search(&moved).expect_err(
+                                "audible must mirror the ball under a uniform radio",
+                            );
+                            alist.insert(at, moved);
+                        }
+                    }
+                }
+            } else if was_nbr {
+                // Still a candidate cell, but outside the ball now.
+                let olist = &mut self.nbrs[c];
+                let at = olist
+                    .binary_search_by_key(&moved, |n| n.idx)
+                    .expect("neighbor lists must be symmetric");
+                olist.remove(at);
+                went_out.push(c);
+            }
+            if was_nbr {
+                oi += 1;
+            }
+            ci += 1;
+        }
+        old_list.clear();
+        self.scratch_nbr = old_list;
+        self.nbrs[moved] = new_list;
+        self.scratch_a = cands;
+
+        // Went-out deltas mirror the came-in ones above.
+        for &o in &went_out {
+            if moving_tx.is_some() {
+                self.near_count[o] -= 1;
+            }
+            if fast_audible {
+                let alist = &mut self.audible[o];
+                let at = alist
+                    .binary_search(&moved)
+                    .expect("audible must mirror the ball under a uniform radio");
+                alist.remove(at);
+            }
+        }
+        self.near_count[moved] = (moving_tx.is_some() as u32)
+            + self.nbrs[moved]
+                .iter()
+                .filter(|n| self.active_slot[n.idx] != usize::MAX)
+                .count() as u32;
+
+        // The mover's own audible list: under a uniform radio it *is* the
+        // new neighbor ball (already ascending); otherwise rebuild it and
+        // fix its membership in every list an old∪new ring search reaches.
+        if fast_audible {
+            let mut list = std::mem::take(&mut self.audible[moved]);
+            list.clear();
+            list.extend(self.nbrs[moved].iter().map(|n| n.idx));
+            self.audible[moved] = list;
+            #[cfg(debug_assertions)]
+            {
+                let fast = self.audible[moved].clone();
+                self.rebuild_audible(moved);
+                assert_eq!(fast, self.audible[moved], "fast audible list diverged");
+            }
+        } else {
+            self.rebuild_audible(moved);
+            let rings = self.rings_for(self.max_tx_power * self.max_link);
+            let mut cands = std::mem::take(&mut self.scratch_a);
+            cands.clear();
+            if self.physical {
+                cands.extend(0..self.stations.len());
+            } else {
+                self.grid.for_each_in_rings(old_cell, rings, |i| cands.push(i));
+                self.grid.for_each_in_rings(new_cell, rings, |i| cands.push(i));
+                cands.sort_unstable();
+                cands.dedup();
+            }
+            let threshold = self.prop.threshold_power();
+            for &src in &cands {
+                if src == moved {
+                    continue;
+                }
+                let qualifies = self.stations[src].tx_power
+                    * self.link_of(src, moved)
+                    * self.gain_of(src, moved)
+                    >= threshold;
+                let list = &mut self.audible[src];
+                match list.binary_search(&moved) {
+                    Ok(at) if !qualifies => {
+                        list.remove(at);
+                    }
+                    Err(at) if qualifies => {
+                        list.insert(at, moved);
+                    }
+                    _ => {}
+                }
+            }
+            self.scratch_a = cands;
+        }
+
+        self.rebuild_ambient_of(moved);
+        // Fold terms changed only on pairs involving the mover: its own
+        // sum always, and — if it is mid-transmission — its old and new
+        // neighborhoods (went_out ∪ the new list covers both exactly).
+        match deferred {
+            Some(pending) => {
+                pending.push(moved);
+                if moving_tx.is_some() {
+                    pending.extend(went_out.iter().copied());
+                    pending.extend(self.nbrs[moved].iter().map(|n| n.idx));
+                }
+            }
+            None => {
+                let mut buf = std::mem::take(&mut self.scratch_fold);
+                self.incident[moved] = self.fold_incident_fast(moved, &mut buf);
+                if moving_tx.is_some() {
+                    for &b in &went_out {
+                        self.incident[b] = self.fold_incident_fast(b, &mut buf);
+                    }
+                    for i in 0..self.nbrs[moved].len() {
+                        let b = self.nbrs[moved][i].idx;
+                        self.incident[b] = self.fold_incident_fast(b, &mut buf);
+                    }
+                }
+                self.scratch_fold = buf;
+            }
+        }
+
+        // Restricted recheck. Receptions at the mover and of its own
+        // transmission are already dirty. Every other clean reception's
+        // endpoints did not move, so its signal is bit-unchanged, and its
+        // verdict can flip only where the interference fold changed: the
+        // mover's term is exactly `+0.0` outside its old∪new
+        // neighborhoods, and an *idle* mover has no term anywhere — no
+        // recheck at all. Given the invariant that every clean reception
+        // already matches a fresh recompute (asserted below), the oracle's
+        // global recheck is a bitwise no-op outside this set.
+        if moving_tx.is_some() {
+            let mut buf = std::mem::take(&mut self.scratch_fold);
+            for &b in &went_out {
+                self.recheck_receptions_at(b, &mut buf);
+            }
+            for i in 0..self.nbrs[moved].len() {
+                let b = self.nbrs[moved][i].idx;
+                self.recheck_receptions_at(b, &mut buf);
+            }
+            self.scratch_fold = buf;
+        }
+        went_out.clear();
+        self.scratch_b = went_out;
+        #[cfg(debug_assertions)]
+        self.assert_no_stale_receptions();
+    }
+
+    /// Re-validate the clean receptions *at* station `b` against the
+    /// current interference — the per-station slice of
+    /// [`Self::recheck_all_receptions`], for callers that can bound where
+    /// verdicts may flip. The stored signal is already current for every
+    /// clean reception (asserted), so only the verdict is recomputed.
+    fn recheck_receptions_at(&mut self, b: usize, buf: &mut Vec<(u64, usize, f64)>) {
+        for ri in 0..self.recs_at[b].len() {
+            let slot = self.recs_at[b][ri] as usize;
+            let at = self.rx_of[slot]
+                .binary_search_by_key(&b, |r| r.rx.0)
+                .expect("recs_at pointed at a slot without this reception");
+            if !self.rx_of[slot][at].clean {
+                continue;
+            }
+            let (tx, src) = {
+                let e = self.slab[slot]
+                    .as_ref()
+                    .expect("recs_at pointed at a free slot");
+                (e.id, e.source)
+            };
+            let signal = self.rx_of[slot][at].signal;
+            debug_assert_eq!(
+                signal.to_bits(),
+                (self.stations[src.0].tx_power
+                    * self.link_of(src.0, b)
+                    * self.gain_of(src.0, b))
+                .to_bits(),
+                "a clean reception carried a stale signal"
+            );
+            let interference = self.interference_at_fast(StationId(b), tx, buf);
+            if !self.prop.clean(signal, interference) {
+                self.rx_of[slot][at].clean = false;
+            }
+        }
+    }
+
+    /// Debug invariant behind the restricted recheck: every *clean*
+    /// reception's stored signal equals its fresh recompute, and its
+    /// verdict holds against the full slow interference fold. Given this,
+    /// a global recheck flips nothing outside the stations whose folds an
+    /// operation actually changed — which is what lets the mover pipeline
+    /// recheck only the old∪new neighborhoods (or nothing, for an idle
+    /// mover) and stay bitwise-oracle-identical.
+    #[cfg(debug_assertions)]
+    fn assert_no_stale_receptions(&self) {
+        for slot in 0..self.slab.len() {
+            let Some(e) = self.slab[slot].as_ref() else {
+                continue;
+            };
+            for r in &self.rx_of[slot] {
+                if !r.clean {
+                    continue;
+                }
+                let signal = self.stations[e.source.0].tx_power
+                    * self.link_of(e.source.0, r.rx.0)
+                    * self.gain_of(e.source.0, r.rx.0);
+                assert_eq!(
+                    signal.to_bits(),
+                    r.signal.to_bits(),
+                    "a clean reception carries a stale signal"
+                );
+                assert!(
+                    self.prop.clean(signal, self.interference_at(r.rx, e.id)),
+                    "a clean reception fails a fresh full recheck"
+                );
+            }
+        }
     }
 
     /// Re-validate every in-flight reception against the current geometry

@@ -195,3 +195,236 @@ fn churn_thousands_concurrent_sparse_vs_dense() {
     };
     churn_pair::<SparseMedium, DenseMedium>(0xBEEF, clusters, 6, ops);
 }
+
+/// Waypoint motion through live traffic: one walker per cluster follows
+/// straight-line legs toward other clusters' centers while the rest of the
+/// floor keys up and down around it. With 40 ft cluster spacing and a 7 ft
+/// stride, every leg spends several ticks in the dead zone between
+/// clusters — out of the cutoff reach of *everything* — so each crossing
+/// exercises the mover pipeline's full leave-then-rejoin reconciliation
+/// (the island-partition reach bound, crossed mid-flight). Half the
+/// walkers are themselves transmitting while they walk. Moves land as one
+/// `set_positions` batch per tick: the sparse medium runs its coalesced
+/// batch path while the oracle runs the trait's default sequential loop —
+/// the batched-vs-sequential equivalence rides along for free.
+fn waypoint_pair<A: Medium, B: Medium>(seed: u64, clusters: usize, per: usize, ticks: usize) {
+    let prop = Propagation::new(PropagationConfig::default());
+    let mut fast = A::new(prop, SimRng::new(seed));
+    let mut slow = B::new(prop, SimRng::new(seed));
+    let pts = cluster_points(clusters, per);
+    let ids: Vec<StationId> = pts
+        .iter()
+        .map(|&p| {
+            let f = fast.add_station(p);
+            let s = slow.add_station(p);
+            assert_eq!(f, s);
+            f
+        })
+        .collect();
+    for &id in ids.iter().step_by(7) {
+        fast.set_rx_error_rate(id, 0.05);
+        slow.set_rx_error_rate(id, 0.05);
+    }
+
+    let mut rng = Lcg(seed ^ 0x057A_7105);
+    let mut live: Vec<TxId> = Vec::new();
+    let mut clock = 0u64;
+
+    // Ramp: all but one station per cluster keys up — the walkers from
+    // even clusters (station 0) walk *while transmitting*.
+    for c in 0..clusters {
+        for s in 0..per - 1 {
+            clock += 3;
+            let id = ids[c * per + s];
+            let tf = fast.start_tx(id, t(clock));
+            let ts = slow.start_tx(id, t(clock));
+            assert_eq!(tf, ts);
+            live.push(tf);
+        }
+    }
+
+    // One walker per cluster: even clusters contribute their transmitting
+    // station 0, odd clusters their idle station per-1.
+    let walkers: Vec<usize> = (0..clusters)
+        .map(|c| c * per + if c % 2 == 0 { 0 } else { per - 1 })
+        .collect();
+    let center = |c: usize| Point::new((c % 64) as f64 * 40.0, (c / 64) as f64 * 40.0, 0.0);
+    let mut pos: Vec<Point> = walkers.iter().map(|&w| pts[w]).collect();
+    let mut target: Vec<Point> = walkers
+        .iter()
+        .map(|_| center(rng.next(clusters as u64) as usize))
+        .collect();
+
+    let mut buf_f = Vec::new();
+    let mut buf_s = Vec::new();
+    let mut batch: Vec<(StationId, Point)> = Vec::with_capacity(walkers.len());
+    const STEP: f64 = 7.0;
+    for _ in 0..ticks {
+        // Advance every walker one leg-step; batch the whole tick.
+        batch.clear();
+        for (k, &w) in walkers.iter().enumerate() {
+            let (p, tgt) = (pos[k], target[k]);
+            let (dx, dy) = (tgt.x - p.x, tgt.y - p.y);
+            let dist = (dx * dx + dy * dy).sqrt();
+            let next = if dist <= STEP {
+                // Waypoint reached: snap, then pick the next cluster.
+                target[k] = center(rng.next(clusters as u64) as usize);
+                tgt
+            } else {
+                Point::new(p.x + dx * STEP / dist, p.y + dy * STEP / dist, 0.0)
+            };
+            pos[k] = next;
+            batch.push((ids[w], next));
+        }
+        fast.set_positions(&batch);
+        slow.set_positions(&batch);
+
+        // Interleave churn between ticks: flights start and end while the
+        // walkers are mid-leg (including mid-dead-zone).
+        for _ in 0..3 {
+            clock += 11;
+            let r = rng.next(100);
+            if r < 50 && !live.is_empty() {
+                let at = rng.next(live.len() as u64) as usize;
+                let tx = live.swap_remove(at);
+                fast.end_tx_into(tx, t(clock), &mut buf_f);
+                slow.end_tx_into(tx, t(clock), &mut buf_s);
+                assert_deliveries(&buf_f, &buf_s, "waypoint end");
+            } else {
+                let mut k = rng.next(ids.len() as u64) as usize;
+                let mut hops = 0;
+                while fast.is_transmitting(ids[k]) && hops <= ids.len() {
+                    k = (k + 1) % ids.len();
+                    hops += 1;
+                }
+                if !fast.is_transmitting(ids[k]) {
+                    let tf = fast.start_tx(ids[k], t(clock));
+                    let ts = slow.start_tx(ids[k], t(clock));
+                    assert_eq!(tf, ts);
+                    live.push(tf);
+                }
+            }
+        }
+        // Probe the moving edge itself: every walker's carrier view must
+        // agree while it is between clusters.
+        for &w in walkers.iter().step_by(5) {
+            assert_eq!(fast.carrier_busy(ids[w]), slow.carrier_busy(ids[w]));
+            let peer = ids[(w + 1) % ids.len()];
+            assert_eq!(fast.hears(ids[w], peer), slow.hears(ids[w], peer));
+        }
+        assert_eq!(fast.active_count(), slow.active_count());
+    }
+
+    while !live.is_empty() {
+        let pick = rng.next(live.len() as u64) as usize;
+        let tx = live.swap_remove(pick);
+        clock += 5;
+        fast.end_tx_into(tx, t(clock), &mut buf_f);
+        slow.end_tx_into(tx, t(clock), &mut buf_s);
+        assert_deliveries(&buf_f, &buf_s, "waypoint drain");
+    }
+    assert_eq!(fast.active_count(), 0);
+    assert_eq!(slow.active_count(), 0);
+}
+
+/// Three-way bitwise agreement for waypoint motion on a reference-sized
+/// floor: sparse == reference and dense == reference on the same walks.
+#[test]
+fn waypoint_walkers_small_three_way() {
+    waypoint_pair::<SparseMedium, ReferenceMedium>(0x11E7, 8, 6, 60);
+    waypoint_pair::<DenseMedium, ReferenceMedium>(0x11E7, 8, 6, 60);
+}
+
+/// Waypoint motion at scale: many walkers crossing reach bounds per tick
+/// with hundreds-to-thousands of flights in the air.
+#[test]
+fn waypoint_walkers_sparse_vs_dense() {
+    // The dense oracle pays O(N·active) per *move*, so the release size is
+    // bounded by walkers × ticks, not flights: 96 walkers × 80 ticks keeps
+    // ~480 flights airborne through ~7700 reach-bound crossings.
+    let (clusters, ticks) = if cfg!(debug_assertions) {
+        (48, 50)
+    } else {
+        (96, 80)
+    };
+    waypoint_pair::<SparseMedium, DenseMedium>(0x77A1, clusters, 6, ticks);
+}
+
+/// A batch is the sequence of its entries, on the *same* medium type: the
+/// sparse medium's coalesced `set_positions` (deferred re-folds) must be
+/// indistinguishable from applying each entry through `set_position` —
+/// same deliveries, same carrier answers, same RNG stream.
+#[test]
+fn batched_moves_match_sequential_on_the_same_medium() {
+    let prop = Propagation::new(PropagationConfig::default());
+    let mut batched = SparseMedium::new(prop, SimRng::new(0xD0D0));
+    let mut single = SparseMedium::new(prop, SimRng::new(0xD0D0));
+    let pts = cluster_points(6, 6);
+    let ids: Vec<StationId> = pts
+        .iter()
+        .map(|&p| {
+            let a = batched.add_station(p);
+            let b = single.add_station(p);
+            assert_eq!(a, b);
+            a
+        })
+        .collect();
+    for &id in ids.iter().step_by(5) {
+        batched.set_rx_error_rate(id, 0.1);
+        single.set_rx_error_rate(id, 0.1);
+    }
+    let mut rng = Lcg(0xD0D0 ^ 0xBA7C4);
+    let mut live: Vec<TxId> = Vec::new();
+    let mut clock = 0u64;
+    for &id in ids.iter().skip(1).step_by(2) {
+        clock += 3;
+        let a = batched.start_tx(id, t(clock));
+        let b = single.start_tx(id, t(clock));
+        assert_eq!(a, b);
+        live.push(a);
+    }
+    let mut buf_a = Vec::new();
+    let mut buf_b = Vec::new();
+    for tick in 0..80u64 {
+        // The same move set, batched on one instance, singly on the other.
+        let moves: Vec<(StationId, Point)> = (0..4)
+            .map(|j| {
+                let k = rng.next(ids.len() as u64) as usize;
+                let c = rng.next(6) as f64;
+                (
+                    ids[k],
+                    Point::new(c * 40.0 + (tick % 9) as f64, j as f64 * 2.0, 0.0),
+                )
+            })
+            .collect();
+        batched.set_positions(&moves);
+        for &(id, p) in &moves {
+            single.set_position(id, p);
+        }
+        clock += 11;
+        if tick % 3 == 0 && !live.is_empty() {
+            let at = rng.next(live.len() as u64) as usize;
+            let tx = live.swap_remove(at);
+            batched.end_tx_into(tx, t(clock), &mut buf_a);
+            single.end_tx_into(tx, t(clock), &mut buf_b);
+            assert_deliveries(&buf_a, &buf_b, "batch-vs-sequential end");
+        } else {
+            let k = rng.next(ids.len() as u64) as usize;
+            if !batched.is_transmitting(ids[k]) {
+                let a = batched.start_tx(ids[k], t(clock));
+                let b = single.start_tx(ids[k], t(clock));
+                assert_eq!(a, b);
+                live.push(a);
+            }
+        }
+        let probe = ids[rng.next(ids.len() as u64) as usize];
+        assert_eq!(batched.carrier_busy(probe), single.carrier_busy(probe));
+        assert_eq!(batched.hears(probe, ids[0]), single.hears(probe, ids[0]));
+    }
+    while let Some(tx) = live.pop() {
+        clock += 5;
+        batched.end_tx_into(tx, t(clock), &mut buf_a);
+        single.end_tx_into(tx, t(clock), &mut buf_b);
+        assert_deliveries(&buf_a, &buf_b, "batch-vs-sequential drain");
+    }
+}

@@ -42,6 +42,9 @@ cargo run --release -p macaw-bench --bin scale -- --quick --shards 4
 echo "== per-event-cost guard (flat medium cost across N) =="
 cargo run --release -p macaw-bench --bin scale -- --smoke
 
+echo "== per-move-cost guard (flat mover cost across N + moving-run cache round-trip) =="
+cargo run --release -p macaw-bench --bin mobility -- --smoke
+
 echo "== medium churn suite (slab vs oracles under end_tx-heavy schedules) =="
 cargo test -q --release -p macaw-phy --test churn_medium
 
